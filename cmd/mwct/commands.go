@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	malleable "github.com/malleable-sched/malleable"
+	"github.com/malleable-sched/malleable/internal/baselines"
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/exact"
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// runGen implements `mwct gen`.
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	className := fs.String("class", "uniform", "instance class: uniform, constant-weight, constant-weight-volume, large-delta, unit-class, heterogeneous")
+	n := fs.Int("n", 5, "number of tasks")
+	p := fs.Float64("p", 2, "number of processors")
+	count := fs.Int("count", 1, "number of instances to generate")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	class, err := workload.ParseClass(*className)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewGenerator(class, *n, *p, *seed)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for i := 0; i < *count; i++ {
+		if err := enc.Encode(gen.Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadInstance reads a JSON instance from a file, or from stdin when the
+// path is "-" or empty.
+func loadInstance(path string) (*schedule.Instance, error) {
+	var r io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var inst schedule.Instance
+	if err := json.NewDecoder(r).Decode(&inst); err != nil {
+		return nil, fmt.Errorf("decoding instance: %w", err)
+	}
+	return &inst, nil
+}
+
+// runSolve implements `mwct solve`.
+func runSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	algo := fs.String("algo", "best-greedy", "algorithm: wdeq, deq, smith-greedy, best-greedy, optimal, cmax, lateness, smith-sequential")
+	input := fs.String("input", "-", "instance file (JSON), '-' for stdin")
+	gantt := fs.Bool("gantt", false, "print an ASCII Gantt chart")
+	integral := fs.Bool("integral", false, "also print the per-processor (integral) schedule")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := loadInstance(*input)
+	if err != nil {
+		return err
+	}
+
+	var s *schedule.ColumnSchedule
+	switch *algo {
+	case "wdeq":
+		s, err = malleable.WDEQ(inst)
+	case "deq":
+		s, err = malleable.DEQ(inst)
+	case "smith-greedy":
+		var r *core.GreedyResult
+		r, err = malleable.GreedySmith(inst)
+		if err == nil {
+			s = r.Schedule
+		}
+	case "best-greedy":
+		var r *core.GreedyResult
+		r, err = malleable.BestGreedy(inst, rand.New(rand.NewSource(1)), 64)
+		if err == nil {
+			s = r.Schedule
+			fmt.Printf("best greedy order: %v\n", r.Order)
+		}
+	case "optimal":
+		var r *exact.OrderSolution
+		r, err = malleable.Optimal(inst)
+		if err == nil {
+			s = r.Schedule
+			fmt.Printf("optimal completion order: %v\n", r.Order)
+		}
+	case "cmax":
+		s, err = malleable.CmaxOptimal(inst)
+	case "lateness":
+		var lmax float64
+		s, lmax, err = malleable.MinimizeMaxLateness(inst)
+		if err == nil {
+			fmt.Printf("optimal maximum lateness: %.6g\n", lmax)
+		}
+	case "smith-sequential":
+		s, err = baselines.SmithSequential(inst)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(s.FormatCompletionTable())
+	fmt.Printf("lower bounds: A(I)=%.6g H(I)=%.6g\n", malleable.SquashedAreaBound(inst), malleable.HeightBound(inst))
+	if *gantt {
+		if err := s.RenderGantt(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *integral {
+		pa, err := malleable.ToProcessorSchedule(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(pa.Summary())
+		if *gantt {
+			if err := pa.RenderGantt(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runCompare implements `mwct compare`.
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	input := fs.String("input", "-", "instance file (JSON), '-' for stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := loadInstance(*input)
+	if err != nil {
+		return err
+	}
+	reference := malleable.LowerBound(inst)
+	refName := "max(A, H) lower bound"
+	if inst.N() <= exact.EnumerationLimit {
+		if obj, err := malleable.OptimalObjective(inst); err == nil {
+			reference = obj
+			refName = "exact optimum"
+		}
+	}
+	rows, err := baselines.CompareOnInstance(inst, reference)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference (%s): %.6g\n", refName, reference)
+	fmt.Printf("%-40s %14s %10s\n", "algorithm", "ΣwC", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-40s %14.6g %10.4f\n", r.Name, r.Objective, r.Ratio)
+	}
+	return nil
+}
+
+// runBandwidth implements `mwct bandwidth`.
+func runBandwidth(args []string) error {
+	fs := flag.NewFlagSet("bandwidth", flag.ExitOnError)
+	workers := fs.Int("workers", 8, "number of workers")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return bandwidthScenarioReport(os.Stdout, *workers, *seed)
+}
+
+// runExperiment implements `mwct experiment`.
+func runExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	name := fs.String("name", "all", "experiment to run: e1..e10, f1, or all")
+	full := fs.Bool("full", false, "use the paper-scale sample counts (10,000 instances per size; slow)")
+	instances := fs.Int("instances", 0, "override the number of instances per size")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return runExperimentByName(os.Stdout, strings.ToLower(*name), *full, *instances, *seed)
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/experiments"
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/sim"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// renderable is the common surface of every experiment result.
+type renderable interface {
+	Render(w io.Writer) error
+}
+
+// runExperimentByName dispatches one (or all) of the paper's experiments.
+func runExperimentByName(w io.Writer, name string, full bool, instances int, seed int64) error {
+	cfg := experiments.DefaultConfig()
+	if full {
+		cfg = experiments.PaperConfig()
+	}
+	if instances > 0 {
+		cfg.Instances = instances
+	}
+	cfg.Seed = seed
+
+	type entry struct {
+		id    string
+		title string
+		run   func() (renderable, error)
+	}
+	catalog := []entry{
+		{"e1", "E1 — best greedy vs optimum, uniform instances (Section V-A)", func() (renderable, error) {
+			return experiments.GreedyVsOptimal(cfg, workload.Uniform)
+		}},
+		{"e2", "E2 — best greedy vs optimum, constant weights (Section V-A)", func() (renderable, error) {
+			return experiments.GreedyVsOptimal(cfg, workload.ConstantWeight)
+		}},
+		{"e3", "E3 — best greedy vs optimum, constant weights and volumes (Section V-A)", func() (renderable, error) {
+			return experiments.GreedyVsOptimal(cfg, workload.ConstantWeightVolume)
+		}},
+		{"e4", "E4 — Conjecture 13: order-reversal invariance (exact rationals)", func() (renderable, error) {
+			c := cfg
+			c.Sizes = []int{3, 5, 8, 12, 15}
+			if !full {
+				c.Instances = min(cfg.Instances, 20)
+			}
+			return experiments.Conjecture13(c)
+		}},
+		{"e5", "E5 — optimal-order catalogue of Section V-B", func() (renderable, error) {
+			c := cfg
+			if !full {
+				c.Instances = min(cfg.Instances, 20)
+			}
+			return experiments.OrderCatalogue(c)
+		}},
+		{"e6", "E6 — allocation changes and preemptions of the normal form (Theorems 9 & 10)", func() (renderable, error) {
+			c := cfg
+			c.Processors = 4
+			c.Sizes = []int{4, 8, 16, 32}
+			return experiments.Preemptions(c)
+		}},
+		{"e7", "E7 — WDEQ approximation ratio (Theorem 4)", func() (renderable, error) {
+			return experiments.WDEQRatio(cfg)
+		}},
+		{"e8", "E8 — greedy dominance on the δ>P/2 class (Theorem 11)", func() (renderable, error) {
+			c := cfg
+			c.Processors = 2
+			return experiments.GreedyDominance(c)
+		}},
+		{"e9", "E9 — Table I reproduction", func() (renderable, error) {
+			c := cfg
+			if !full {
+				c.Instances = min(cfg.Instances, 10)
+				c.Sizes = []int{2, 3, 4}
+			}
+			return experiments.TableI(c)
+		}},
+		{"e10", "E10 — Smith-order greedy vs optimum (open question of the conclusion)", func() (renderable, error) {
+			return experiments.SmithRatio(cfg)
+		}},
+		{"f1", "F1 — bandwidth-sharing scenario (Figure 1)", func() (renderable, error) {
+			c := cfg
+			if !full {
+				c.Instances = min(cfg.Instances, 20)
+			}
+			return experiments.Bandwidth(c, 8)
+		}},
+	}
+
+	ran := false
+	for _, e := range catalog {
+		if name != "all" && name != e.id {
+			continue
+		}
+		ran = true
+		fmt.Fprintf(w, "=== %s ===\n", e.title)
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (expected e1..e10, f1 or all)", name)
+	}
+	return nil
+}
+
+// bandwidthScenarioReport runs one concrete Figure-1 scenario and prints the
+// schedules and throughputs of the competing strategies.
+func bandwidthScenarioReport(w io.Writer, workers int, seed int64) error {
+	scenario, err := workload.NewBandwidthScenario(workers, seed)
+	if err != nil {
+		return err
+	}
+	inst, err := scenario.Instance()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "server bandwidth %.3g, horizon %.3g, %d workers\n",
+		scenario.ServerBandwidth, scenario.Horizon, len(scenario.Workers))
+
+	schedules := map[string]*schedule.ColumnSchedule{}
+	wdeq, err := core.RunWDEQ(inst)
+	if err != nil {
+		return err
+	}
+	schedules["WDEQ (non-clairvoyant)"] = wdeq
+	best, err := core.BestGreedy(inst, rand.New(rand.NewSource(seed)), 64)
+	if err != nil {
+		return err
+	}
+	schedules["best greedy (clairvoyant)"] = best.Schedule
+	cmax, err := core.CmaxOptimal(inst)
+	if err != nil {
+		return err
+	}
+	schedules["fair stretch (Cmax-optimal)"] = cmax
+
+	results, err := sim.CompareBandwidthStrategies(scenario, schedules)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-32s %18s %18s\n", "distribution strategy", "tasks by horizon", "Σ rate·C")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-32s %18.4f %18.4f\n", r.Strategy, r.TasksProcessed, r.WeightedCompletionTime)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

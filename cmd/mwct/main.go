@@ -1,0 +1,64 @@
+// Command mwct is the command-line front end of the malleable-task
+// scheduling library. It generates problem instances, runs the scheduling
+// algorithms of the paper on them, compares algorithms, and reproduces the
+// paper's experiments.
+//
+// Usage:
+//
+//	mwct gen        -class uniform -n 5 -p 2 -count 3 -seed 1
+//	mwct solve      -algo best-greedy -input instance.json -gantt
+//	mwct compare    -input instance.json
+//	mwct experiment -name e1 [-full]
+//	mwct bandwidth  -workers 8 -seed 7
+//
+// Instances are read and written as JSON (see `mwct gen` for the format).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "solve":
+		err = runSolve(os.Args[2:])
+	case "compare":
+		err = runCompare(os.Args[2:])
+	case "experiment":
+		err = runExperiment(os.Args[2:])
+	case "bandwidth":
+		err = runBandwidth(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mwct: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mwct: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `mwct — malleable task scheduling for weighted mean completion time
+
+Commands:
+  gen         generate random problem instances (JSON on stdout)
+  solve       run one algorithm on an instance and print its schedule
+  compare     run all applicable algorithms on an instance and compare them
+  experiment  reproduce one of the paper's experiments (e1..e9, f1, all)
+  bandwidth   run the Figure-1 master-worker bandwidth-sharing scenario
+
+Run "mwct <command> -h" for the flags of each command.
+`)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExperimentByNameSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperimentByName(&buf, "e5", false, 2, 1); err != nil {
+		t.Fatalf("e5: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Optimal-order catalogue") {
+		t.Errorf("missing E5 output: %q", buf.String())
+	}
+}
+
+func TestRunExperimentByNameUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperimentByName(&buf, "e99", false, 1, 1); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentByNameSelection(t *testing.T) {
+	// Each id must be reachable; use a tiny sample so the test stays fast.
+	for _, id := range []string{"e4", "e6", "e10"} {
+		var buf bytes.Buffer
+		if err := runExperimentByName(&buf, id, false, 1, 3); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+func TestBandwidthScenarioReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := bandwidthScenarioReport(&buf, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "best greedy") || !strings.Contains(out, "tasks by horizon") {
+		t.Errorf("unexpected report: %q", out)
+	}
+}
+
+func TestLoadInstanceFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	payload := `{"processors": 2, "tasks": [{"weight": 1, "volume": 2, "delta": 1}]}`
+	if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := loadInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 1 || inst.P != 2 {
+		t.Errorf("instance = %+v", inst)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"processors": 0, "tasks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadInstance(bad); err == nil {
+		t.Errorf("invalid instance accepted")
+	}
+	if _, err := loadInstance(filepath.Join(dir, "missing.json")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestMinHelper(t *testing.T) {
+	if min(2, 3) != 2 || min(5, 1) != 1 {
+		t.Errorf("min helper broken")
+	}
+}

@@ -1,0 +1,38 @@
+// Package malleable schedules work-preserving malleable tasks on identical
+// processors to minimize the weighted sum of completion times, implementing
+// the algorithms and analyses of:
+//
+//	Olivier Beaumont, Nicolas Bonichon, Lionel Eyraud-Dubois, Loris Marchal.
+//	"Minimizing Weighted Mean Completion Time for Malleable Tasks Scheduling."
+//	IPDPS 2012.
+//
+// A malleable task i is described by its total work V_i (its sequential
+// processing time), a weight w_i, and a degree bound δ_i — the maximum number
+// of processors it can use at any instant. The task may be preempted and the
+// number of processors allocated to it may change freely over time; because
+// the tasks are work-preserving, running on q processors for a duration d
+// always processes q·d units of work.
+//
+// The package exposes:
+//
+//   - WDEQ, the non-clairvoyant weighted dynamic equipartition algorithm
+//     (a 2-approximation for Σ w_i·C_i, Theorem 4 of the paper), and DEQ,
+//     its unweighted ancestor;
+//   - WaterFill, the normal-form construction: given only per-task completion
+//     times it rebuilds a valid schedule whenever one exists (Theorem 8) and
+//     bounds the number of allocation changes and preemptions (Theorems 9
+//     and 10);
+//   - Greedy, BestGreedy and GreedySmith, the greedy schedules of Section V,
+//     which the paper conjectures always contain an optimal schedule;
+//   - Optimal, the exact solver for small instances (order enumeration plus
+//     the linear program of Corollary 1, solved by a built-in simplex);
+//   - the lower bounds A(I) (squashed area), H(I) (height) and their mixed
+//     combination, plus makespan- and lateness-oriented helpers.
+//
+// The heavy lifting lives in internal packages (internal/core,
+// internal/schedule, internal/lp, ...); this package is the stable facade a
+// downstream user imports. The cmd/mwct command exposes the same
+// functionality on the command line, the examples/ directory contains
+// runnable scenarios, and bench_test.go regenerates every quantitative result
+// of the paper (see DESIGN.md and EXPERIMENTS.md).
+package malleable

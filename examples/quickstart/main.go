@@ -1,0 +1,78 @@
+// Quickstart: build a small malleable-task instance, schedule it with the
+// library's main algorithms, and print the resulting schedules.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	malleable "github.com/malleable-sched/malleable"
+)
+
+func main() {
+	// Four jobs on a 4-processor node. Volumes are in core-hours; a job's
+	// delta is how many cores it can exploit at once; weights encode
+	// priority (the objective is the weighted sum of completion times).
+	inst, err := malleable.NewInstance(4, []malleable.Task{
+		{Name: "train", Weight: 4, Volume: 8, Delta: 4},
+		{Name: "etl", Weight: 2, Volume: 6, Delta: 2},
+		{Name: "report", Weight: 1, Volume: 1, Delta: 1},
+		{Name: "backup", Weight: 1, Volume: 4, Delta: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== lower bounds ==")
+	fmt.Printf("squashed area A(I) = %.4g\n", malleable.SquashedAreaBound(inst))
+	fmt.Printf("height        H(I) = %.4g\n\n", malleable.HeightBound(inst))
+
+	// Non-clairvoyant: WDEQ does not need to know the volumes in advance.
+	wdeq, err := malleable.WDEQ(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== WDEQ (non-clairvoyant, 2-approximation) ==")
+	fmt.Print(wdeq.FormatCompletionTable())
+	fmt.Println()
+
+	// Clairvoyant: the best greedy schedule (conjectured optimal, provably
+	// optimal on several instance classes).
+	best, err := malleable.BestGreedy(inst, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== best greedy schedule ==")
+	fmt.Printf("order: %v\n", best.Order)
+	fmt.Print(best.Schedule.FormatCompletionTable())
+	if err := best.Schedule.RenderGantt(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Exact optimum for this small instance.
+	opt, err := malleable.Optimal(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== exact optimum (order enumeration + LP) ==")
+	fmt.Printf("optimal objective: %.6g (best greedy: %.6g, WDEQ: %.6g)\n",
+		opt.Objective, best.Objective, wdeq.WeightedCompletionTime())
+
+	// Convert the optimal fractional schedule to a concrete per-processor
+	// schedule (Theorem 3) and show it.
+	pa, err := malleable.ToProcessorSchedule(opt.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== per-processor schedule of the optimum ==")
+	if err := pa.RenderGantt(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pa.Summary())
+}

@@ -1,0 +1,128 @@
+package malleable_test
+
+import (
+	"math/rand"
+	"testing"
+
+	malleable "github.com/malleable-sched/malleable"
+	"github.com/malleable-sched/malleable/internal/baselines"
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/exact"
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// TestIntegrationCrossValidation runs every scheduling path of the library on
+// a batch of random instances and checks the relationships the paper
+// establishes between them:
+//
+//	lower bounds <= optimum <= best greedy = optimum (Conjecture 12)
+//	optimum <= WDEQ <= 2 * optimum (Theorem 4)
+//	completion times of any produced schedule are WF-feasible (Theorem 8)
+//	normal forms preserve objectives and respect the change bound (Theorem 9)
+//	integral conversions are valid and preserve objectives (Theorem 3)
+func TestIntegrationCrossValidation(t *testing.T) {
+	for _, class := range []workload.Class{workload.Uniform, workload.ConstantWeight, workload.LargeDelta} {
+		gen, err := workload.NewGenerator(class, 4, 3, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			inst := gen.Next()
+
+			opt, err := malleable.Optimal(inst)
+			if err != nil {
+				t.Fatalf("%v/%d: optimal: %v", class, trial, err)
+			}
+			if lb := malleable.LowerBound(inst); opt.Objective < lb-1e-6 {
+				t.Fatalf("%v/%d: optimum %g below the lower bound %g", class, trial, opt.Objective, lb)
+			}
+
+			best, err := malleable.BestGreedy(inst, rand.New(rand.NewSource(int64(trial))), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !numeric.ApproxEqualTol(best.Objective, opt.Objective, 1e-5) {
+				t.Fatalf("%v/%d: best greedy %g differs from the optimum %g", class, trial, best.Objective, opt.Objective)
+			}
+
+			wdeq, err := malleable.WDEQ(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wdeq.WeightedCompletionTime() > 2*opt.Objective+1e-6 {
+				t.Fatalf("%v/%d: WDEQ breaks the factor-2 guarantee", class, trial)
+			}
+
+			for name, s := range map[string]*malleable.Schedule{
+				"wdeq": wdeq, "best-greedy": best.Schedule, "optimal": opt.Schedule,
+			} {
+				if err := s.Validate(); err != nil {
+					t.Fatalf("%v/%d: %s schedule invalid: %v", class, trial, name, err)
+				}
+				if !malleable.Feasible(inst, s.CompletionTimes()) {
+					t.Fatalf("%v/%d: %s completion times not WF-feasible", class, trial, name)
+				}
+				normal, err := malleable.Normalize(s)
+				if err != nil {
+					t.Fatalf("%v/%d: normalize %s: %v", class, trial, name, err)
+				}
+				if !numeric.ApproxEqualTol(normal.WeightedCompletionTime(), s.WeightedCompletionTime(), 1e-6) {
+					t.Fatalf("%v/%d: normalization changed the %s objective", class, trial, name)
+				}
+				if _, changes := core.Lemma5ChangeCount(normal); changes > inst.N() {
+					t.Fatalf("%v/%d: normal form of %s has %d changes > n", class, trial, name, changes)
+				}
+				pa, err := malleable.ToProcessorSchedule(normal)
+				if err != nil {
+					t.Fatalf("%v/%d: integral conversion of %s: %v", class, trial, name, err)
+				}
+				if err := pa.Validate(); err != nil {
+					t.Fatalf("%v/%d: integral %s schedule invalid: %v", class, trial, name, err)
+				}
+				if !numeric.ApproxEqualTol(pa.WeightedCompletionTime(), s.WeightedCompletionTime(), 1e-6) {
+					t.Fatalf("%v/%d: integral conversion changed the %s objective", class, trial, name)
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationBaselinesAgainstOptimal checks that the baselines stay on
+// the right side of the exact optimum and of their own guarantees on the
+// instance classes where they apply.
+func TestIntegrationBaselinesAgainstOptimal(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.Uniform, 4, 2, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		inst := gen.Next().Clone()
+		for i := range inst.Tasks {
+			inst.Tasks[i].Delta = 1 // the δ=1 class of Table I
+		}
+		opt, err := exact.Optimal(inst, exact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lrf, err := baselines.LRF(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lrf.WeightedCompletionTime() < opt.Objective-1e-6 {
+			t.Fatalf("trial %d: LRF beats the optimum", trial)
+		}
+		if lrf.WeightedCompletionTime() > 1.2072*opt.Objective+1e-6 {
+			t.Fatalf("trial %d: LRF exceeds the Kawaguchi–Kyan bound: %g vs %g",
+				trial, lrf.WeightedCompletionTime(), opt.Objective)
+		}
+		// SPT optimizes the unweighted objective; only validity is asserted.
+		spt, err := baselines.SPT(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spt.Validate(); err != nil {
+			t.Fatalf("trial %d: SPT invalid: %v", trial, err)
+		}
+	}
+}

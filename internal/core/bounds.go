@@ -1,0 +1,115 @@
+// Package core implements the algorithms of the paper "Minimizing Weighted
+// Mean Completion Time for Malleable Tasks Scheduling" (Beaumont, Bonichon,
+// Eyraud-Dubois, Marchal — IPDPS 2012): the non-clairvoyant WDEQ
+// 2-approximation (Section III), the water-filling normal form (Section IV),
+// greedy schedules (Section V), and the lower bounds used in the analysis.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+// SquashedAreaBound computes A(I) (Definition 5 of the paper): the optimal
+// weighted completion time when the degree bounds δ_i are ignored, i.e. the
+// tasks are processed one after another on the "squashed" platform of speed P
+// in Smith order (non-decreasing V_i/w_i). It is a lower bound of the optimal
+// objective of MWCT.
+func SquashedAreaBound(inst *schedule.Instance) float64 {
+	order := inst.SmithOrder()
+	var obj numeric.KahanSum
+	elapsed := 0.0
+	for _, i := range order {
+		elapsed += inst.Tasks[i].Volume / inst.P
+		obj.Add(inst.Tasks[i].Weight * elapsed)
+	}
+	return obj.Value()
+}
+
+// HeightBound computes H(I) (Definition 6 of the paper): Σ w_i V_i/δ_i, the
+// optimal weighted completion time when the platform has unlimited processors
+// and every task runs at its maximal degree. It is a lower bound of the
+// optimal objective of MWCT.
+func HeightBound(inst *schedule.Instance) float64 {
+	var obj numeric.KahanSum
+	for _, t := range inst.Tasks {
+		obj.Add(t.Weight * t.Volume / t.Delta)
+	}
+	return obj.Value()
+}
+
+// LowerBound returns max(A(I), H(I)), the strongest of the two basic lower
+// bounds on the optimal weighted completion time.
+func LowerBound(inst *schedule.Instance) float64 {
+	return math.Max(SquashedAreaBound(inst), HeightBound(inst))
+}
+
+// MixedLowerBound computes the bound of Lemma 1: given a split of every task
+// volume V_i = V1_i + V2_i, the optimum is at least A(I[V1]) + H(I[V2]).
+// Entries of v1 are clamped to [0, V_i]; the remaining volume forms V2.
+func MixedLowerBound(inst *schedule.Instance, v1 []float64) (float64, error) {
+	if len(v1) != inst.N() {
+		return 0, fmt.Errorf("core: MixedLowerBound needs %d split volumes, got %d", inst.N(), len(v1))
+	}
+	sub1 := inst.Clone()
+	sub2 := inst.Clone()
+	for i := range v1 {
+		split := numeric.Clamp(v1[i], 0, inst.Tasks[i].Volume)
+		sub1.Tasks[i].Volume = split
+		sub2.Tasks[i].Volume = inst.Tasks[i].Volume - split
+	}
+	return squashedAreaAllowZero(sub1) + heightAllowZero(sub2), nil
+}
+
+// squashedAreaAllowZero is A(I) generalized to sub-instances in which some
+// volumes may be zero (zero-volume tasks contribute their weight times the
+// elapsed time at their position, which is optimal to place first).
+func squashedAreaAllowZero(inst *schedule.Instance) float64 {
+	type entry struct {
+		ratio  float64
+		weight float64
+		volume float64
+	}
+	entries := make([]entry, 0, inst.N())
+	for _, t := range inst.Tasks {
+		ratio := 0.0
+		if t.Volume > 0 {
+			ratio = t.Volume / t.Weight
+		}
+		entries = append(entries, entry{ratio, t.Weight, t.Volume})
+	}
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].ratio < entries[b].ratio })
+	var obj numeric.KahanSum
+	elapsed := 0.0
+	for _, e := range entries {
+		elapsed += e.volume / inst.P
+		obj.Add(e.weight * elapsed)
+	}
+	return obj.Value()
+}
+
+// heightAllowZero is H(I) for sub-instances that may contain zero volumes.
+func heightAllowZero(inst *schedule.Instance) float64 {
+	var obj numeric.KahanSum
+	for _, t := range inst.Tasks {
+		if t.Volume <= 0 {
+			continue
+		}
+		obj.Add(t.Weight * t.Volume / t.Delta)
+	}
+	return obj.Value()
+}
+
+// WeightedCompletionOf returns Σ w_i C_i for an arbitrary completion-time
+// vector, a convenience shared by solvers and experiments.
+func WeightedCompletionOf(inst *schedule.Instance, completions []float64) float64 {
+	var obj numeric.KahanSum
+	for i, c := range completions {
+		obj.Add(inst.Tasks[i].Weight * c)
+	}
+	return obj.Value()
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+func mustInstance(t *testing.T, p float64, tasks []schedule.Task) *schedule.Instance {
+	t.Helper()
+	inst, err := schedule.NewInstance(p, tasks)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+// randomInstance draws an instance from the distribution used in the paper's
+// Section V-A experiments: uniform δ_i < P, w_i < 1 and V_i < 1 (shifted away
+// from zero to keep the instance valid).
+func randomInstance(rng *rand.Rand, n int, p float64) *schedule.Instance {
+	tasks := make([]schedule.Task, n)
+	for i := range tasks {
+		tasks[i] = schedule.Task{
+			Weight: 0.05 + 0.95*rng.Float64(),
+			Volume: 0.05 + 0.95*rng.Float64(),
+			Delta:  0.05 + (p-0.05)*rng.Float64(),
+		}
+	}
+	return &schedule.Instance{P: p, Tasks: tasks}
+}
+
+func TestSquashedAreaBoundSingleProcessor(t *testing.T) {
+	// On one processor with δ_i >= 1 the squashed-area bound is the exact
+	// optimum (Smith's rule): tasks (V,w) = (1,1), (2,1): order T1 then T2,
+	// objective 1*1 + 1*3 = 4.
+	inst := mustInstance(t, 1, []schedule.Task{
+		{Weight: 1, Volume: 1, Delta: 1},
+		{Weight: 1, Volume: 2, Delta: 1},
+	})
+	if got := SquashedAreaBound(inst); !numeric.ApproxEqual(got, 4) {
+		t.Errorf("A(I) = %g, want 4", got)
+	}
+}
+
+func TestSquashedAreaBoundUsesSmithOrder(t *testing.T) {
+	// Weighted: (V=4,w=1), (V=1,w=10) on P=1: Smith order puts the second
+	// first. A = 10*1 + 1*5 = 15.
+	inst := mustInstance(t, 1, []schedule.Task{
+		{Weight: 1, Volume: 4, Delta: 1},
+		{Weight: 10, Volume: 1, Delta: 1},
+	})
+	if got := SquashedAreaBound(inst); !numeric.ApproxEqual(got, 15) {
+		t.Errorf("A(I) = %g, want 15", got)
+	}
+}
+
+func TestHeightBound(t *testing.T) {
+	inst := mustInstance(t, 4, []schedule.Task{
+		{Weight: 2, Volume: 6, Delta: 3}, // contributes 2*2 = 4
+		{Weight: 1, Volume: 4, Delta: 2}, // contributes 1*2 = 2
+	})
+	if got := HeightBound(inst); !numeric.ApproxEqual(got, 6) {
+		t.Errorf("H(I) = %g, want 6", got)
+	}
+}
+
+func TestLowerBoundIsMax(t *testing.T) {
+	inst := mustInstance(t, 2, []schedule.Task{
+		{Weight: 1, Volume: 4, Delta: 1},
+		{Weight: 1, Volume: 1, Delta: 2},
+	})
+	a, h := SquashedAreaBound(inst), HeightBound(inst)
+	want := a
+	if h > a {
+		want = h
+	}
+	if got := LowerBound(inst); !numeric.ApproxEqual(got, want) {
+		t.Errorf("LowerBound = %g, want %g", got, want)
+	}
+}
+
+func TestMixedLowerBoundExtremes(t *testing.T) {
+	inst := mustInstance(t, 2, []schedule.Task{
+		{Weight: 1, Volume: 2, Delta: 1},
+		{Weight: 3, Volume: 1, Delta: 2},
+	})
+	// All volume in the first part: mixed = A(I).
+	all := []float64{2, 1}
+	got, err := MixedLowerBound(inst, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqual(got, SquashedAreaBound(inst)) {
+		t.Errorf("mixed(all in V1) = %g, want A = %g", got, SquashedAreaBound(inst))
+	}
+	// All volume in the second part: mixed = H(I).
+	none := []float64{0, 0}
+	got, err = MixedLowerBound(inst, none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqual(got, HeightBound(inst)) {
+		t.Errorf("mixed(all in V2) = %g, want H = %g", got, HeightBound(inst))
+	}
+	if _, err := MixedLowerBound(inst, []float64{1}); err == nil {
+		t.Errorf("size mismatch accepted")
+	}
+}
+
+func TestWeightedCompletionOf(t *testing.T) {
+	inst := mustInstance(t, 1, []schedule.Task{
+		{Weight: 2, Volume: 1, Delta: 1},
+		{Weight: 3, Volume: 1, Delta: 1},
+	})
+	if got := WeightedCompletionOf(inst, []float64{1, 2}); !numeric.ApproxEqual(got, 8) {
+		t.Errorf("WeightedCompletionOf = %g, want 8", got)
+	}
+}
+
+// Property: every schedule produced by the library's algorithms has an
+// objective at least the lower bounds (A, H, and any mixed split).
+func TestQuickLowerBoundsHold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 1+rng.Intn(5), float64(1+rng.Intn(4)))
+		s, err := RunWDEQ(inst)
+		if err != nil {
+			return false
+		}
+		obj := s.WeightedCompletionTime()
+		if obj < SquashedAreaBound(inst)-1e-6 || obj < HeightBound(inst)-1e-6 {
+			return false
+		}
+		// A random split must also be a lower bound.
+		v1 := make([]float64, inst.N())
+		for i := range v1 {
+			v1[i] = rng.Float64() * inst.Tasks[i].Volume
+		}
+		mixed, err := MixedLowerBound(inst, v1)
+		if err != nil {
+			return false
+		}
+		return obj >= mixed-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

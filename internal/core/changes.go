@@ -1,0 +1,73 @@
+package core
+
+import (
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+// Lemma5ChangeCount counts, per task and in total, the allocation changes of
+// a water-filling (normal form) schedule using the convention of Lemma 5 of
+// the paper: changes are counted between consecutive columns of positive
+// length within the task's active interval, except that the single transition
+// into the task's trailing saturated run (columns where the task holds
+// exactly δ_i processors until it completes) is not counted — the paper's
+// accounting attributes that boundary to the availability profile rather than
+// to the task.
+//
+// In normal-form schedules a task's allocation is non-decreasing over time
+// and the saturated columns form a suffix of its active interval, so the
+// convention removes at most one change per task. Theorem 9 states that the
+// total under this convention is at most n; the natural count (see
+// schedule.ColumnSchedule.AllocationChanges) is therefore at most 2n.
+func Lemma5ChangeCount(s *schedule.ColumnSchedule) (perTask []int, total int) {
+	n := s.Inst.N()
+	perTask = make([]int, n)
+	for i := 0; i < n; i++ {
+		delta := s.Inst.EffectiveDelta(i)
+		var seq []float64
+		for j := 0; j < s.NumColumns(); j++ {
+			if s.ColumnLength(j) <= numeric.Eps {
+				continue
+			}
+			seq = append(seq, s.Alloc[i][j])
+		}
+		first, last := -1, -1
+		for j, a := range seq {
+			if a > numeric.Eps {
+				if first == -1 {
+					first = j
+				}
+				last = j
+			}
+		}
+		if first == -1 {
+			continue
+		}
+		changes := 0
+		for j := first + 1; j <= last; j++ {
+			if numeric.ApproxEqualTol(seq[j], seq[j-1], 1e-7) {
+				continue
+			}
+			if numeric.ApproxEqualTol(seq[j], delta, 1e-7) && trailingRunIsSaturated(seq, j, last, delta) {
+				// Transition into the trailing saturated run: not counted.
+				continue
+			}
+			changes++
+		}
+		perTask[i] = changes
+		total += changes
+	}
+	return perTask, total
+}
+
+// trailingRunIsSaturated reports whether every entry of seq from index j to
+// last equals delta (up to tolerance), i.e. index j starts the trailing
+// saturated run.
+func trailingRunIsSaturated(seq []float64, j, last int, delta float64) bool {
+	for k := j; k <= last; k++ {
+		if !numeric.ApproxEqualTol(seq[k], delta, 1e-7) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/stepfunc"
+)
+
+// ShareAllocation implements the resource-sharing rule of Algorithm 1 (WDEQ):
+// the P processors are split between the active tasks proportionally to their
+// weights; tasks whose proportional share exceeds their degree bound δ_i are
+// pinned at δ_i and the surplus is redistributed among the others, repeatedly,
+// until a fixed point is reached.
+//
+// weights and deltas describe the active tasks only; the returned slice gives
+// each task's allocation and always sums to at most P. The function is purely
+// combinatorial (it never looks at volumes), which is what makes WDEQ
+// non-clairvoyant.
+func ShareAllocation(p float64, weights, deltas []float64) []float64 {
+	n := len(weights)
+	alloc := make([]float64, n)
+	if n == 0 {
+		return alloc
+	}
+	pinned := make([]bool, n)
+	remaining := p
+	for {
+		var weightSum float64
+		for i := range weights {
+			if !pinned[i] {
+				weightSum += weights[i]
+			}
+		}
+		if weightSum <= 0 {
+			break
+		}
+		changed := false
+		for i := range weights {
+			if pinned[i] {
+				continue
+			}
+			share := weights[i] * remaining / weightSum
+			if deltas[i] < share {
+				alloc[i] = deltas[i]
+				remaining -= deltas[i]
+				pinned[i] = true
+				changed = true
+			}
+		}
+		if !changed {
+			for i := range weights {
+				if !pinned[i] {
+					alloc[i] = weights[i] * remaining / weightSum
+				}
+			}
+			break
+		}
+	}
+	return alloc
+}
+
+// EquipartitionAllocation is the unweighted DEQ sharing rule: every active
+// task has weight one.
+func EquipartitionAllocation(p float64, deltas []float64) []float64 {
+	weights := make([]float64, len(deltas))
+	for i := range weights {
+		weights[i] = 1
+	}
+	return ShareAllocation(p, weights, deltas)
+}
+
+// RunWDEQ simulates the non-clairvoyant WDEQ algorithm (Algorithm 1 of the
+// paper) on the instance and returns the resulting column-based schedule.
+// The scheduler re-computes the weighted equipartition every time a task
+// completes; it never uses the task volumes to take decisions (they are used
+// by the simulation only to detect completions), which is exactly the
+// non-clairvoyant execution model of Section III.
+func RunWDEQ(inst *schedule.Instance) (*schedule.ColumnSchedule, error) {
+	return runEquipartition(inst, false)
+}
+
+// RunDEQ simulates the unweighted DEQ algorithm of Deng et al. (all weights
+// treated as one), the baseline WDEQ generalizes.
+func RunDEQ(inst *schedule.Instance) (*schedule.ColumnSchedule, error) {
+	return runEquipartition(inst, true)
+}
+
+func runEquipartition(inst *schedule.Instance, ignoreWeights bool) (*schedule.ColumnSchedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.N()
+	remaining := make([]float64, n)
+	active := make([]int, 0, n)
+	profiles := make([]*stepfunc.StepFunc, n)
+	completions := make([]float64, n)
+	for i := range remaining {
+		remaining[i] = inst.Tasks[i].Volume
+		active = append(active, i)
+		profiles[i] = stepfunc.Constant(0)
+	}
+	now := 0.0
+	for len(active) > 0 {
+		weights := make([]float64, len(active))
+		deltas := make([]float64, len(active))
+		for k, i := range active {
+			if ignoreWeights {
+				weights[k] = 1
+			} else {
+				weights[k] = inst.Tasks[i].Weight
+			}
+			deltas[k] = inst.EffectiveDelta(i)
+		}
+		alloc := ShareAllocation(inst.P, weights, deltas)
+
+		// Next event: the earliest completion under the current allocation.
+		dt := math.Inf(1)
+		for k, i := range active {
+			if alloc[k] <= 0 {
+				continue
+			}
+			if d := remaining[i] / alloc[k]; d < dt {
+				dt = d
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// No active task makes progress: impossible for valid instances
+			// because the sharing rule always hands out positive allocations.
+			return nil, errNoProgress
+		}
+
+		for k, i := range active {
+			if alloc[k] <= 0 {
+				continue
+			}
+			profiles[i].AddOn(now, now+dt, alloc[k])
+			remaining[i] -= alloc[k] * dt
+		}
+		now += dt
+
+		// Retire completed tasks (several may finish simultaneously).
+		stillActive := active[:0]
+		for _, i := range active {
+			if remaining[i] <= 1e-9*math.Max(1, inst.Tasks[i].Volume) {
+				completions[i] = now
+				remaining[i] = 0
+			} else {
+				stillActive = append(stillActive, i)
+			}
+		}
+		active = stillActive
+	}
+	return schedule.FromAllocationFunctions(inst, completions, profiles)
+}
+
+// errNoProgress reports a stalled equipartition simulation; it cannot occur
+// for valid instances and exists to avoid an infinite loop on corrupted data.
+var errNoProgress = &noProgressError{}
+
+type noProgressError struct{}
+
+func (*noProgressError) Error() string {
+	return "core: equipartition simulation made no progress (corrupt instance?)"
+}
+
+// WDEQApproximationRatio runs WDEQ on the instance and returns the ratio of
+// its objective to the given reference value (typically the optimum or the
+// LowerBound). It returns +Inf if the reference is not positive.
+func WDEQApproximationRatio(inst *schedule.Instance, reference float64) (float64, error) {
+	s, err := RunWDEQ(inst)
+	if err != nil {
+		return 0, err
+	}
+	if reference <= numeric.Eps {
+		return math.Inf(1), nil
+	}
+	return s.WeightedCompletionTime() / reference, nil
+}

@@ -1,0 +1,353 @@
+package exact
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+func mustInstance(t *testing.T, p float64, tasks []schedule.Task) *schedule.Instance {
+	t.Helper()
+	inst, err := schedule.NewInstance(p, tasks)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+// randomInstance draws an instance from the paper's Section V-A distribution.
+func randomInstance(rng *rand.Rand, n int, p float64) *schedule.Instance {
+	tasks := make([]schedule.Task, n)
+	for i := range tasks {
+		tasks[i] = schedule.Task{
+			Weight: 0.05 + 0.95*rng.Float64(),
+			Volume: 0.05 + 0.95*rng.Float64(),
+			Delta:  0.05 + (p-0.05)*rng.Float64(),
+		}
+	}
+	return &schedule.Instance{P: p, Tasks: tasks}
+}
+
+func TestSolveOrderSingleTask(t *testing.T) {
+	inst := mustInstance(t, 2, []schedule.Task{{Weight: 3, Volume: 4, Delta: 2}})
+	sol, err := SolveOrder(inst, []int{0}, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqual(sol.Objective, 6) { // C = 4/2 = 2, w = 3
+		t.Errorf("objective = %g, want 6", sol.Objective)
+	}
+	if err := sol.Schedule.Validate(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+func TestSolveOrderTwoTasksMatchesHandComputation(t *testing.T) {
+	// P=2, identical tasks V=2, δ=2, w=1: for order (0,1) the optimum runs
+	// task 0 at full width then task 1: objective 1 + 2 = 3.
+	inst := mustInstance(t, 2, []schedule.Task{
+		{Weight: 1, Volume: 2, Delta: 2},
+		{Weight: 1, Volume: 2, Delta: 2},
+	})
+	sol, err := SolveOrder(inst, []int{0, 1}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqual(sol.Objective, 3) {
+		t.Errorf("objective = %g, want 3", sol.Objective)
+	}
+	// The exact backend agrees.
+	exactSol, err := SolveOrder(inst, []int{0, 1}, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqualTol(exactSol.Objective, 3, 1e-12) {
+		t.Errorf("exact objective = %g, want 3", exactSol.Objective)
+	}
+}
+
+func TestSolveOrderRejectsBadOrder(t *testing.T) {
+	inst := mustInstance(t, 1, []schedule.Task{{Weight: 1, Volume: 1, Delta: 1}})
+	if _, err := SolveOrder(inst, []int{1}, false, false); err == nil {
+		t.Errorf("bad order accepted")
+	}
+}
+
+func TestOptimalSingleProcessorMatchesSmith(t *testing.T) {
+	// On a single processor with δ_i = 1 the optimum is Smith's rule, whose
+	// value is the squashed-area bound.
+	inst := mustInstance(t, 1, []schedule.Task{
+		{Weight: 1, Volume: 3, Delta: 1},
+		{Weight: 4, Volume: 1, Delta: 1},
+		{Weight: 2, Volume: 2, Delta: 1},
+	})
+	sol, err := Optimal(inst, Options{BuildSchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqualTol(sol.Objective, core.SquashedAreaBound(inst), 1e-6) {
+		t.Errorf("optimal = %g, Smith = %g", sol.Objective, core.SquashedAreaBound(inst))
+	}
+	if err := sol.Schedule.Validate(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+func TestOptimalUnlimitedDeltaMatchesHeightBound(t *testing.T) {
+	// With δ_i >= P... actually with P large enough that every task can run
+	// at its own δ simultaneously, the optimum is the height bound.
+	inst := mustInstance(t, 100, []schedule.Task{
+		{Weight: 1, Volume: 2, Delta: 2},
+		{Weight: 3, Volume: 4, Delta: 4},
+		{Weight: 2, Volume: 1, Delta: 1},
+	})
+	sol, err := Optimal(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqualTol(sol.Objective, core.HeightBound(inst), 1e-6) {
+		t.Errorf("optimal = %g, H = %g", sol.Objective, core.HeightBound(inst))
+	}
+}
+
+func TestOptimalRejectsLargeInstances(t *testing.T) {
+	tasks := make([]schedule.Task, EnumerationLimit+1)
+	for i := range tasks {
+		tasks[i] = schedule.Task{Weight: 1, Volume: 1, Delta: 1}
+	}
+	inst := mustInstance(t, 2, tasks)
+	if _, err := Optimal(inst, Options{}); err == nil {
+		t.Errorf("oversized instance accepted")
+	}
+}
+
+func TestBranchAndBoundMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		inst := randomInstance(rng, 2+rng.Intn(4), float64(1+rng.Intn(3)))
+		enum, err := Optimal(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnb, err := BranchAndBound(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.ApproxEqualTol(enum.Objective, bnb.Objective, 1e-6) {
+			t.Errorf("trial %d: enumeration %g vs branch-and-bound %g", trial, enum.Objective, bnb.Objective)
+		}
+	}
+}
+
+func TestOptimalObjectiveWrapper(t *testing.T) {
+	inst := mustInstance(t, 1, []schedule.Task{{Weight: 2, Volume: 1, Delta: 1}})
+	obj, err := OptimalObjective(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqual(obj, 2) {
+		t.Errorf("objective = %g, want 2", obj)
+	}
+}
+
+// Property: the exact optimum is never above any schedule the library can
+// produce (WDEQ, greedy) and never below the lower bounds.
+func TestQuickOptimalSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 2+rng.Intn(3), float64(1+rng.Intn(3)))
+		opt, err := Optimal(inst, Options{})
+		if err != nil {
+			return false
+		}
+		if opt.Objective < core.LowerBound(inst)-1e-6 {
+			return false
+		}
+		wdeq, err := core.RunWDEQ(inst)
+		if err != nil {
+			return false
+		}
+		if wdeq.WeightedCompletionTime() < opt.Objective-1e-6 {
+			return false
+		}
+		best, err := core.BestGreedy(inst, rng, 0)
+		if err != nil {
+			return false
+		}
+		return best.Objective >= opt.Objective-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Theorem 4): WDEQ is within a factor 2 of the exact optimum.
+func TestQuickWDEQTwoApproximation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 2+rng.Intn(3), float64(1+rng.Intn(3)))
+		opt, err := Optimal(inst, Options{})
+		if err != nil {
+			return false
+		}
+		wdeq, err := core.RunWDEQ(inst)
+		if err != nil {
+			return false
+		}
+		return wdeq.WeightedCompletionTime() <= 2*opt.Objective+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitClassGreedyKnownValues(t *testing.T) {
+	// Two tasks with δ = 1 and 1/2, order (0,1):
+	// C1 = 1, C2 = 1 + (1 - 0*(1-0))/(1/2) = 3. Sum = 4.
+	deltas := []*big.Rat{big.NewRat(1, 1), big.NewRat(1, 2)}
+	completions, sum, err := UnitClassGreedy(deltas, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completions[0].Cmp(big.NewRat(1, 1)) != 0 || completions[1].Cmp(big.NewRat(3, 1)) != 0 {
+		t.Errorf("completions = %v", completions)
+	}
+	if sum.Cmp(big.NewRat(4, 1)) != 0 {
+		t.Errorf("sum = %v, want 4", sum)
+	}
+	// Reversed order (1,0): C1 = 2, C2 = 2 + (1 - (1/2)*2)/1 = 2... the
+	// second task receives 1/2 processor for 2 time units (volume 1 done!),
+	// so its completion is 2 as well: sum = 4, matching Conjecture 13.
+	_, sumRev, err := UnitClassGreedy(deltas, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumRev.Cmp(sum) != 0 {
+		t.Errorf("reversed sum = %v, want %v", sumRev, sum)
+	}
+}
+
+func TestUnitClassGreedyMatchesFloatGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		deltas := RandomUnitDeltas(n, 64, rng.Intn)
+		tasks := make([]schedule.Task, n)
+		floatDeltas := make([]float64, n)
+		for i, d := range deltas {
+			f, _ := d.Float64()
+			floatDeltas[i] = f
+			tasks[i] = schedule.Task{Weight: 1, Volume: 1, Delta: f}
+		}
+		inst := &schedule.Instance{P: 1, Tasks: tasks}
+		sigma := rng.Perm(n)
+		s, err := core.Greedy(inst, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sum, err := UnitClassGreedy(deltas, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := sum.Float64()
+		if !numeric.ApproxEqualTol(s.SumCompletionTimes(), want, 1e-6) {
+			t.Errorf("trial %d: float greedy %g, exact recurrence %g", trial, s.SumCompletionTimes(), want)
+		}
+	}
+}
+
+func TestUnitClassGreedyValidation(t *testing.T) {
+	if _, _, err := UnitClassGreedy([]*big.Rat{big.NewRat(1, 4)}, []int{0}); err == nil {
+		t.Errorf("δ < 1/2 accepted")
+	}
+	if _, _, err := UnitClassGreedy([]*big.Rat{big.NewRat(3, 4)}, []int{1}); err == nil {
+		t.Errorf("bad permutation accepted")
+	}
+}
+
+func TestConjecture13ExhaustiveSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		deltas := RandomUnitDeltas(2+rng.Intn(4), 32, rng.Intn)
+		violation, err := Conjecture13Exhaustive(deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if violation != nil {
+			t.Errorf("Conjecture 13 violated for δ=%v at order %v", deltas, violation)
+		}
+	}
+}
+
+func TestOptimalUnitClassOrdersCatalogue(t *testing.T) {
+	// Section V-B, three tasks sorted δ1 >= δ2 >= δ3: the optimal orders are
+	// (1,3,2) and (2,3,1) (0-based: {0,2,1} and {1,2,0}).
+	deltas := []*big.Rat{big.NewRat(19, 20), big.NewRat(4, 5), big.NewRat(3, 5)}
+	orders, _, err := OptimalUnitClassOrders(deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(want []int) bool {
+		for _, o := range orders {
+			match := true
+			for i := range want {
+				if o[i] != want[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+		return false
+	}
+	if !has([]int{0, 2, 1}) || !has([]int{1, 2, 0}) {
+		t.Errorf("optimal orders %v missing the catalogue entries", orders)
+	}
+}
+
+func TestRandomUnitDeltasRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	deltas := RandomUnitDeltas(50, 16, rng.Intn)
+	half := big.NewRat(1, 2)
+	one := big.NewRat(1, 1)
+	for _, d := range deltas {
+		if d.Cmp(half) < 0 || d.Cmp(one) > 0 {
+			t.Errorf("delta %v out of range", d)
+		}
+	}
+	// Degenerate denominator is clamped.
+	if d := RandomUnitDeltas(1, 0, rng.Intn); d[0].Cmp(half) < 0 {
+		t.Errorf("clamped denominator produced %v", d[0])
+	}
+}
+
+// Property (paper Section V-A): the best greedy schedule matches the exact
+// optimum on small random instances (Conjecture 12). The paper reports that
+// on 10,000 random instances per size the two were numerically
+// indistinguishable; a smaller sample is checked here, the full-scale run
+// lives in the experiment driver.
+func TestQuickConjecture12BestGreedyIsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 2+rng.Intn(3), float64(1+rng.Intn(3)))
+		opt, err := Optimal(inst, Options{})
+		if err != nil {
+			return false
+		}
+		best, err := core.BestGreedy(inst, rng, 0)
+		if err != nil {
+			return false
+		}
+		return numeric.ApproxEqualTol(best.Objective, opt.Objective, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+// EnumerationLimit is the largest task count for which the optimal solvers
+// enumerate completion orders (n! LP solves). The paper's experiments use
+// n <= 5; the limit leaves comfortable headroom while protecting callers from
+// accidental factorial blow-ups.
+const EnumerationLimit = 9
+
+// Options configures the optimal solvers.
+type Options struct {
+	// ExactArithmetic selects the rational simplex backend for every LP.
+	ExactArithmetic bool
+	// BuildSchedule reconstructs the optimal schedule (via water filling) in
+	// addition to the optimal objective.
+	BuildSchedule bool
+}
+
+// Optimal computes the optimal weighted completion time by enumerating every
+// completion order and solving the LP of Corollary 1 for each (the procedure
+// used by the paper for its Section V-A study). It fails for instances larger
+// than EnumerationLimit.
+func Optimal(inst *schedule.Instance, opts Options) (*OrderSolution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.N()
+	if n > EnumerationLimit {
+		return nil, fmt.Errorf("exact: %d tasks exceed the enumeration limit of %d", n, EnumerationLimit)
+	}
+	var best *OrderSolution
+	var firstErr error
+	numeric.Permutations(n, func(perm []int) bool {
+		sol, err := SolveOrder(inst, perm, opts.ExactArithmetic, false)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if best == nil || sol.Objective < best.Objective {
+			best = sol
+		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if opts.BuildSchedule && best != nil {
+		s, err := core.WaterFill(inst, best.Completions)
+		if err != nil {
+			return nil, err
+		}
+		best.Schedule = s
+	}
+	return best, nil
+}
+
+// BranchAndBound computes the same optimum as Optimal but explores the
+// completion orders as a search tree, pruning a partial order as soon as a
+// lower bound on its best possible objective exceeds the incumbent. The lower
+// bound combines (i) per-position completion-time bounds for the fixed prefix
+// (squashed volume and task height) and (ii) the squashed-area bound of the
+// unassigned task subset. It is used by the ablation benchmark comparing
+// plain enumeration with pruned search, and allows slightly larger instances.
+func BranchAndBound(inst *schedule.Instance, opts Options) (*OrderSolution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.N()
+	if n > EnumerationLimit+3 {
+		return nil, fmt.Errorf("exact: %d tasks exceed the branch-and-bound limit of %d", n, EnumerationLimit+3)
+	}
+
+	// Initial incumbent: the best greedy schedule (cheap and usually optimal,
+	// per Conjecture 12), which makes pruning effective from the start.
+	incumbent := math.Inf(1)
+	var best *OrderSolution
+	if g, err := core.BestGreedy(inst, nil, 0); err == nil && g != nil {
+		incumbent = g.Objective
+		best = &OrderSolution{
+			Order:       g.Schedule.Order,
+			Objective:   g.Objective,
+			Completions: g.Schedule.CompletionTimes(),
+		}
+	}
+
+	prefix := make([]int, 0, n)
+	used := make([]bool, n)
+	var rec func() error
+	rec = func() error {
+		if len(prefix) == n {
+			sol, err := SolveOrder(inst, prefix, opts.ExactArithmetic, false)
+			if err != nil {
+				return err
+			}
+			if sol.Objective < incumbent-1e-12 {
+				incumbent = sol.Objective
+				best = sol
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			prefix = append(prefix, i)
+			used[i] = true
+			if lb := partialLowerBound(inst, prefix, used); lb < incumbent-1e-9 {
+				if err := rec(); err != nil {
+					return err
+				}
+			}
+			used[i] = false
+			prefix = prefix[:len(prefix)-1]
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("exact: branch and bound found no solution")
+	}
+	if opts.BuildSchedule && best.Schedule == nil {
+		s, err := core.WaterFill(inst, best.Completions)
+		if err != nil {
+			return nil, err
+		}
+		best.Schedule = s
+	}
+	return best, nil
+}
+
+// partialLowerBound bounds from below the objective of any schedule whose
+// completion order starts with the given prefix.
+func partialLowerBound(inst *schedule.Instance, prefix []int, used []bool) float64 {
+	partial, lastC, _ := prefixLowerBound(inst, prefix)
+
+	// Remaining tasks: two valid bounds, take the larger.
+	// (a) each remaining task completes no earlier than max(lastC, V_i/δ_i);
+	// (b) the remaining sub-instance alone costs at least its squashed-area bound.
+	var remTasks []schedule.Task
+	boundA := 0.0
+	for i, t := range inst.Tasks {
+		if used[i] {
+			continue
+		}
+		remTasks = append(remTasks, t)
+		boundA += t.Weight * math.Max(lastC, t.Volume/inst.EffectiveDelta(i))
+	}
+	boundB := 0.0
+	if len(remTasks) > 0 {
+		sub := &schedule.Instance{P: inst.P, Tasks: remTasks}
+		boundB = core.SquashedAreaBound(sub)
+	}
+	return partial + math.Max(boundA, boundB)
+}
+
+// OptimalObjective is a convenience wrapper returning only the optimal
+// objective value with the float backend.
+func OptimalObjective(inst *schedule.Instance) (float64, error) {
+	sol, err := Optimal(inst, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return sol.Objective, nil
+}

@@ -1,0 +1,182 @@
+// Package exact computes optimal malleable schedules for small instances.
+// Corollary 1 of the paper shows that once the order of completion times is
+// fixed, the optimal schedule is given by a small linear program; the package
+// therefore finds the optimum by enumerating completion orders (optionally
+// with branch-and-bound pruning) and solving the LP of each order, using
+// either the fast float64 simplex or the exact rational simplex of
+// internal/lp. It also contains the exact-rational greedy recurrence for the
+// homogeneous instance class of Section V-B, used to verify Conjecture 13.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/lp"
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+// OrderSolution is the optimal schedule for one fixed completion order.
+type OrderSolution struct {
+	// Order lists task indices in completion order.
+	Order []int
+	// Objective is Σ w_i C_i for the optimal schedule with this order.
+	Objective float64
+	// Completions holds the optimal completion times, indexed by task.
+	Completions []float64
+	// Schedule is the corresponding column-based schedule (reconstructed with
+	// the water-filling algorithm from the optimal completion times). It is
+	// nil when the caller asked only for the objective.
+	Schedule *schedule.ColumnSchedule
+}
+
+// buildOrderModel builds the LP of Corollary 1 for the given completion
+// order. Variables: the column lengths l_1..l_n and, for every task i and
+// every column j not later than the task's completion column, the work area
+// x_{i,j} processed by task i in column j.
+//
+// minimize   Σ_j (Σ_{k >= j} w_{order[k]}) · l_j
+// subject to Σ_i x_{i,j} <= P·l_j                 for every column j
+//
+//	x_{i,j} <= δ_i·l_j                   for every i, j <= pos(i)
+//	Σ_{j <= pos(i)} x_{i,j} = V_i        for every task i
+//	l_j, x_{i,j} >= 0
+func buildOrderModel(inst *schedule.Instance, order []int) (*lp.Model, []int, map[[2]int]int) {
+	n := inst.N()
+	pos := make([]int, n) // pos[task] = completion column of task
+	for j, task := range order {
+		pos[task] = j
+	}
+
+	model := lp.NewModel(lp.Minimize)
+
+	// Column length variables with their objective coefficients
+	// (suffix sums of the weights in completion order).
+	lVars := make([]int, n)
+	for j := 0; j < n; j++ {
+		wSuffix := 0.0
+		for k := j; k < n; k++ {
+			wSuffix += inst.Tasks[order[k]].Weight
+		}
+		lVars[j] = model.AddVariable(fmt.Sprintf("l%d", j), wSuffix)
+	}
+
+	// Work-area variables.
+	xVars := make(map[[2]int]int)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= pos[i]; j++ {
+			xVars[[2]int{i, j}] = model.AddVariable(fmt.Sprintf("x%d_%d", i, j), 0)
+		}
+	}
+
+	// Capacity per column.
+	for j := 0; j < n; j++ {
+		row := map[int]float64{lVars[j]: -inst.P}
+		for i := 0; i < n; i++ {
+			if j <= pos[i] {
+				row[xVars[[2]int{i, j}]] = 1
+			}
+		}
+		model.AddConstraint(fmt.Sprintf("cap%d", j), row, lp.LE, 0)
+	}
+
+	// Degree bound per task and column.
+	for i := 0; i < n; i++ {
+		delta := inst.EffectiveDelta(i)
+		for j := 0; j <= pos[i]; j++ {
+			model.AddConstraint(fmt.Sprintf("deg%d_%d", i, j),
+				map[int]float64{xVars[[2]int{i, j}]: 1, lVars[j]: -delta}, lp.LE, 0)
+		}
+	}
+
+	// Volume per task.
+	for i := 0; i < n; i++ {
+		row := map[int]float64{}
+		for j := 0; j <= pos[i]; j++ {
+			row[xVars[[2]int{i, j}]] = 1
+		}
+		model.AddConstraint(fmt.Sprintf("vol%d", i), row, lp.EQ, inst.Tasks[i].Volume)
+	}
+	return model, lVars, xVars
+}
+
+// SolveOrder computes the optimal schedule whose completion order is the
+// given permutation of task indices, by solving the LP of Corollary 1. When
+// exactArithmetic is true the rational simplex is used, removing any
+// numerical ambiguity (at a significant cost in speed). When buildSchedule is
+// true the optimal completion times are turned into a full schedule with the
+// water-filling algorithm.
+func SolveOrder(inst *schedule.Instance, order []int, exactArithmetic, buildSchedule bool) (*OrderSolution, error) {
+	n := inst.N()
+	if len(order) != n || !numeric.IsPermutation(order) {
+		return nil, fmt.Errorf("exact: order %v is not a permutation of the %d tasks", order, n)
+	}
+	model, lVars, _ := buildOrderModel(inst, order)
+
+	var objective float64
+	var lengths []float64
+	if exactArithmetic {
+		sol, err := model.SolveExact()
+		if err != nil {
+			return nil, fmt.Errorf("exact: order %v: %w", order, err)
+		}
+		objective = sol.ObjectiveFloat()
+		lengths = make([]float64, n)
+		for j := 0; j < n; j++ {
+			lengths[j] = sol.Value(lVars[j])
+		}
+	} else {
+		sol, err := model.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("exact: order %v: %w", order, err)
+		}
+		objective = sol.Objective
+		lengths = make([]float64, n)
+		for j := 0; j < n; j++ {
+			lengths[j] = sol.Value(lVars[j])
+		}
+	}
+
+	completions := make([]float64, n)
+	elapsed := 0.0
+	for j, task := range order {
+		elapsed += lengths[j]
+		completions[task] = elapsed
+	}
+	out := &OrderSolution{
+		Order:       append([]int(nil), order...),
+		Objective:   objective,
+		Completions: completions,
+	}
+	if buildSchedule {
+		s, err := core.WaterFill(inst, completions)
+		if err != nil {
+			return nil, fmt.Errorf("exact: reconstructing schedule for order %v: %w", order, err)
+		}
+		out.Schedule = s
+	}
+	return out, nil
+}
+
+// prefixLowerBound returns a quick lower bound on the objective of
+// any schedule whose first k completions (in order) are the tasks of prefix:
+// the j-th completion time is at least the larger of the squashed volume of
+// the first j tasks and the height of the j-th task, and completion times are
+// non-decreasing.
+func prefixLowerBound(inst *schedule.Instance, prefix []int) (partialObjective, lastCompletionLB, volumeSoFar float64) {
+	var obj numeric.KahanSum
+	cLB := 0.0
+	vol := 0.0
+	for _, task := range prefix {
+		vol += inst.Tasks[task].Volume
+		c := math.Max(vol/inst.P, inst.Tasks[task].Volume/inst.EffectiveDelta(task))
+		if c < cLB {
+			c = cLB
+		}
+		cLB = c
+		obj.Add(inst.Tasks[task].Weight * c)
+	}
+	return obj.Value(), cLB, vol
+}

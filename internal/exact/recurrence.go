@@ -1,0 +1,163 @@
+package exact
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+)
+
+// UnitClassGreedy evaluates, in exact rational arithmetic, the greedy
+// schedule of the restricted instance class of Section V-B (P = 1, V_i = 1,
+// w_i = 1, δ_i >= 1/2) for the order sigma, using the closed-form recurrence
+// given in the paper:
+//
+//	C_σ(1) = 1/δ_σ(1)
+//	C_σ(i) = C_σ(i-1) + (1 - (1-δ_σ(i-1))·(C_σ(i-1) - C_σ(i-2))) / δ_σ(i)
+//
+// It returns the completion times in schedule order and their sum. The δ
+// values must lie in [1/2, 1]; the recurrence (and the greedy structure it
+// encodes) is only valid on that class.
+func UnitClassGreedy(deltas []*big.Rat, sigma []int) (completions []*big.Rat, sum *big.Rat, err error) {
+	n := len(deltas)
+	if len(sigma) != n || !numeric.IsPermutation(sigma) {
+		return nil, nil, fmt.Errorf("exact: sigma %v is not a permutation of %d tasks", sigma, n)
+	}
+	half := big.NewRat(1, 2)
+	one := big.NewRat(1, 1)
+	for i, d := range deltas {
+		if d.Cmp(half) < 0 || d.Cmp(one) > 0 {
+			return nil, nil, fmt.Errorf("exact: δ_%d = %v outside [1/2, 1]", i, d)
+		}
+	}
+	completions = make([]*big.Rat, n)
+	sum = new(big.Rat)
+	cPrev := new(big.Rat)  // C_σ(i-1)
+	cPrev2 := new(big.Rat) // C_σ(i-2)
+	for i, task := range sigma {
+		c := new(big.Rat)
+		if i == 0 {
+			c.Inv(deltas[task])
+		} else {
+			dPrev := deltas[sigma[i-1]]
+			// numerator = 1 - (1-dPrev)*(cPrev - cPrev2)
+			oneMinus := new(big.Rat).Sub(one, dPrev)
+			span := new(big.Rat).Sub(cPrev, cPrev2)
+			num := new(big.Rat).Sub(one, oneMinus.Mul(oneMinus, span))
+			c.Add(cPrev, num.Quo(num, deltas[task]))
+		}
+		completions[i] = c
+		sum.Add(sum, c)
+		cPrev2 = cPrev
+		cPrev = c
+	}
+	return completions, sum, nil
+}
+
+// Conjecture13Holds checks, in exact rational arithmetic, whether the sum of
+// completion times of the greedy schedule for sigma equals the sum for the
+// reversed order (Conjecture 13 of the paper). It returns the two exact sums
+// along with the verdict.
+func Conjecture13Holds(deltas []*big.Rat, sigma []int) (holds bool, forward, backward *big.Rat, err error) {
+	_, forward, err = UnitClassGreedy(deltas, sigma)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	_, backward, err = UnitClassGreedy(deltas, numeric.ReversePermutation(sigma))
+	if err != nil {
+		return false, nil, nil, err
+	}
+	return forward.Cmp(backward) == 0, forward, backward, nil
+}
+
+// Conjecture13Exhaustive checks Conjecture 13 for every one of the n! orders
+// of the given δ values and returns the first violating order, or nil if the
+// conjecture holds for the whole instance.
+func Conjecture13Exhaustive(deltas []*big.Rat) (violation []int, err error) {
+	n := len(deltas)
+	var firstErr error
+	numeric.Permutations(n, func(perm []int) bool {
+		holds, _, _, e := Conjecture13Holds(deltas, perm)
+		if e != nil {
+			firstErr = e
+			return false
+		}
+		if !holds {
+			violation = append([]int(nil), perm...)
+			return false
+		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return violation, nil
+}
+
+// BestUnitClassOrder enumerates all orders of the unit-class instance and
+// returns one order minimizing the exact sum of completion times, together
+// with that sum. It is the exact-arithmetic ground truth behind the
+// optimal-order catalogue of Section V-B (experiment E5).
+func BestUnitClassOrder(deltas []*big.Rat) (best []int, bestSum *big.Rat, err error) {
+	n := len(deltas)
+	var firstErr error
+	numeric.Permutations(n, func(perm []int) bool {
+		_, sum, e := UnitClassGreedy(deltas, perm)
+		if e != nil {
+			firstErr = e
+			return false
+		}
+		if bestSum == nil || sum.Cmp(bestSum) < 0 {
+			bestSum = sum
+			best = append([]int(nil), perm...)
+		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return best, bestSum, nil
+}
+
+// OptimalUnitClassOrders returns every order achieving the exact minimum sum
+// of completion times on the unit-class instance.
+func OptimalUnitClassOrders(deltas []*big.Rat) ([][]int, *big.Rat, error) {
+	_, bestSum, err := BestUnitClassOrder(deltas)
+	if err != nil {
+		return nil, nil, err
+	}
+	var optimal [][]int
+	var firstErr error
+	numeric.Permutations(len(deltas), func(perm []int) bool {
+		_, sum, e := UnitClassGreedy(deltas, perm)
+		if e != nil {
+			firstErr = e
+			return false
+		}
+		if sum.Cmp(bestSum) == 0 {
+			optimal = append(optimal, append([]int(nil), perm...))
+		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return optimal, bestSum, nil
+}
+
+// RandomUnitDeltas draws n rational δ values uniformly (with the given
+// denominator resolution) from [1/2, 1], using the provided integer source.
+// Keeping the values rational makes the Conjecture-13 verification exact.
+func RandomUnitDeltas(n, denominator int, intn func(int) int) []*big.Rat {
+	if denominator < 2 {
+		denominator = 2
+	}
+	out := make([]*big.Rat, n)
+	for i := range out {
+		// numerator in [denominator/2, denominator].
+		lo := denominator / 2
+		num := lo + intn(denominator-lo+1)
+		out[i] = big.NewRat(int64(num), int64(denominator))
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/sim"
+	"github.com/malleable-sched/malleable/internal/stats"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// BandwidthRow is the aggregate behaviour of one distribution strategy in the
+// F1 study.
+type BandwidthRow struct {
+	Strategy string
+	// MeanThroughputVsBest is the strategy's throughput divided by the best
+	// strategy's throughput, averaged over scenarios (1.0 means it always
+	// ties with the best).
+	MeanThroughputVsBest float64
+	MinThroughputVsBest  float64
+	// MeanWeightedCompletion is the mean Σ rate_i · C_i of its schedules.
+	MeanWeightedCompletion float64
+}
+
+// BandwidthResult is the outcome of experiment F1 (Figure 1 of the paper):
+// the master–worker code-distribution scenario where maximizing the tasks
+// processed by the horizon is equivalent to minimizing the weighted sum of
+// completion times.
+type BandwidthResult struct {
+	Scenarios int
+	Workers   int
+	Rows      []BandwidthRow
+	// IdentityGapMax is the largest observed gap between the explicit
+	// throughput simulation and the closed-form Σ rate·(T−C); it should be
+	// numerically zero.
+	IdentityGapMax float64
+	// EquivalenceViolations counts scenario/strategy pairs in which a
+	// strictly lower ΣwC did not translate into at least as much throughput.
+	EquivalenceViolations int
+}
+
+// Bandwidth runs the F1 study: random scenarios, three distribution
+// strategies (WDEQ, best greedy, Cmax-optimal/fair stretch), throughput
+// measured at the horizon.
+func Bandwidth(cfg Config, workers int) (*BandwidthResult, error) {
+	cfg = cfg.withDefaults()
+	if workers <= 0 {
+		workers = 8
+	}
+	out := &BandwidthResult{Scenarios: cfg.Instances, Workers: workers}
+	rng := rand.New(rand.NewSource(cfg.Seed + 101))
+
+	ratios := map[string][]float64{}
+	objectives := map[string][]float64{}
+	for k := 0; k < cfg.Instances; k++ {
+		scenario, err := workload.NewBandwidthScenario(workers, cfg.Seed+int64(k))
+		if err != nil {
+			return nil, err
+		}
+		inst, err := scenario.Instance()
+		if err != nil {
+			return nil, err
+		}
+		schedules := map[string]*schedule.ColumnSchedule{}
+		wdeq, err := core.RunWDEQ(inst)
+		if err != nil {
+			return nil, err
+		}
+		schedules["WDEQ (non-clairvoyant)"] = wdeq
+		best, err := core.BestGreedy(inst, rng, 12)
+		if err != nil {
+			return nil, err
+		}
+		schedules["best greedy (clairvoyant)"] = best.Schedule
+		cmax, err := core.CmaxOptimal(inst)
+		if err != nil {
+			return nil, err
+		}
+		schedules["fair stretch (Cmax-optimal)"] = cmax
+
+		results, err := sim.CompareBandwidthStrategies(scenario, schedules)
+		if err != nil {
+			out.EquivalenceViolations++
+			continue
+		}
+		bestThroughput := results[0].TasksProcessed
+		for _, r := range results {
+			if bestThroughput > 0 {
+				ratios[r.Strategy] = append(ratios[r.Strategy], r.TasksProcessed/bestThroughput)
+			}
+			objectives[r.Strategy] = append(objectives[r.Strategy], r.WeightedCompletionTime)
+			if gap := r.ThroughputIdentityGap(scenario); gap > out.IdentityGapMax {
+				out.IdentityGapMax = gap
+			}
+		}
+	}
+	for _, name := range []string{"best greedy (clairvoyant)", "WDEQ (non-clairvoyant)", "fair stretch (Cmax-optimal)"} {
+		s := stats.Summarize(ratios[name])
+		out.Rows = append(out.Rows, BandwidthRow{
+			Strategy:               name,
+			MeanThroughputVsBest:   s.Mean,
+			MinThroughputVsBest:    s.Min,
+			MeanWeightedCompletion: stats.Summarize(objectives[name]).Mean,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the F1 table.
+func (r *BandwidthResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Bandwidth-sharing scenario (Figure 1): %d scenarios, %d workers each\n", r.Scenarios, r.Workers); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-32s %22s %22s %20s\n", "distribution strategy", "mean throughput/best", "min throughput/best", "mean Σ rate·C"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%-32s %22.4f %22.4f %20.4f\n",
+			row.Strategy, row.MeanThroughputVsBest, row.MinThroughputVsBest, row.MeanWeightedCompletion); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "max |closed-form − simulated| throughput gap: %.3g; equivalence violations: %d\n",
+		r.IdentityGapMax, r.EquivalenceViolations)
+	return err
+}
+
+// EquivalenceHolds reports whether the min-ΣwC strategy always maximized the
+// throughput (the paper's claimed equivalence) and the closed form matched
+// the explicit simulation.
+func (r *BandwidthResult) EquivalenceHolds() bool {
+	if r.EquivalenceViolations > 0 || r.IdentityGapMax > 1e-6 {
+		return false
+	}
+	for _, row := range r.Rows {
+		if row.Strategy == "best greedy (clairvoyant)" && row.MinThroughputVsBest < 1-1e-6 {
+			return false
+		}
+	}
+	return true
+}

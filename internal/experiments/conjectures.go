@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/exact"
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/stats"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// Conjecture13Row is one row of the E4 study.
+type Conjecture13Row struct {
+	N          int
+	Instances  int
+	OrdersPer  int
+	Violations int
+}
+
+// Conjecture13Result is the outcome of experiment E4: exact-rational
+// verification of the order-reversal identity (the paper checked it formally
+// with Sage up to 15 tasks).
+type Conjecture13Result struct {
+	Rows []Conjecture13Row
+}
+
+// Conjecture13 verifies the order-reversal identity on the unit class. For
+// each task count it draws cfg.Instances random rational δ vectors; for
+// n <= 6 it checks every order exhaustively, for larger n it checks a sample
+// of random orders (the identity is between one order and its reverse, so a
+// sample of orders is still an exact check of the conjecture on those
+// orders). Sizes beyond the paper's 15 tasks are accepted.
+func Conjecture13(cfg Config) (*Conjecture13Result, error) {
+	cfg = cfg.withDefaults()
+	out := &Conjecture13Result{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range cfg.Sizes {
+		row := Conjecture13Row{N: n, Instances: cfg.Instances}
+		for k := 0; k < cfg.Instances; k++ {
+			deltas := exact.RandomUnitDeltas(n, 1024, rng.Intn)
+			if n <= 6 {
+				row.OrdersPer = int(numeric.Factorial(n))
+				violation, err := exact.Conjecture13Exhaustive(deltas)
+				if err != nil {
+					return nil, err
+				}
+				if violation != nil {
+					row.Violations++
+				}
+				continue
+			}
+			// Sampled orders for larger n.
+			const sampledOrders = 24
+			row.OrdersPer = sampledOrders
+			for s := 0; s < sampledOrders; s++ {
+				holds, _, _, err := exact.Conjecture13Holds(deltas, rng.Perm(n))
+				if err != nil {
+					return nil, err
+				}
+				if !holds {
+					row.Violations++
+					break
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render writes the E4 table.
+func (r *Conjecture13Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Conjecture 13: greedy objective is invariant under order reversal (exact rationals)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%4s %10s %12s %12s\n", "n", "instances", "orders/inst", "violations"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%4d %10d %12d %12d\n", row.N, row.Instances, row.OrdersPer, row.Violations); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Holds reports whether no violation was found.
+func (r *Conjecture13Result) Holds() bool {
+	for _, row := range r.Rows {
+		if row.Violations > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OrderCatalogueResult is the outcome of experiment E5: the optimal-order
+// catalogue of Section V-B (with tasks sorted by non-increasing δ) and the
+// necessary condition for 5 tasks.
+//
+// Reproduction note: the enumeration confirms the paper's catalogue for 2 and
+// 3 tasks, but for 4 tasks the exact enumeration finds (1,3,4,2) and its
+// reverse (2,4,3,1) optimal rather than the (1,3,2,4)/(4,2,3,1) printed in
+// the paper; both counters are reported so the discrepancy is visible (see
+// EXPERIMENTS.md).
+type OrderCatalogueResult struct {
+	Instances int
+	// Catalogue23Violations counts instances (n in {2,3}) whose optimal
+	// orders do not include the ones listed in the paper.
+	Catalogue23Violations int
+	// Paper4Matches counts 4-task instances whose optimal orders include the
+	// paper's printed orders (1,3,2,4)/(4,2,3,1).
+	Paper4Matches int
+	// Empirical4Matches counts 4-task instances whose optimal orders include
+	// (1,3,4,2)/(2,4,3,1), the pattern found by exact enumeration.
+	Empirical4Matches int
+	// ConditionViolations counts 5-task instances with an optimal order
+	// (i, j, k, l, m) violating the necessary condition
+	// (δ_l − δ_j)(δ_i − δ_m) <= 0.
+	ConditionViolations int
+}
+
+// OrderCatalogue verifies the Section V-B catalogue on random unit-class
+// instances with δ sorted decreasingly (the paper states the catalogue for
+// δ_1 >= δ_2 >= ... >= δ_n).
+func OrderCatalogue(cfg Config) (*OrderCatalogueResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+	out := &OrderCatalogueResult{Instances: cfg.Instances}
+	for k := 0; k < cfg.Instances; k++ {
+		for _, n := range []int{2, 3} {
+			deltas := sortedUnitDeltas(rng, n)
+			orders, _, err := exact.OptimalUnitClassOrders(deltas)
+			if err != nil {
+				return nil, err
+			}
+			if !containsAll(orders, catalogue23[n]) {
+				out.Catalogue23Violations++
+			}
+		}
+		// 4 tasks: compare the paper's printed orders with the pattern found
+		// by exact enumeration.
+		deltas4 := sortedUnitDeltas(rng, 4)
+		orders4, _, err := exact.OptimalUnitClassOrders(deltas4)
+		if err != nil {
+			return nil, err
+		}
+		if containsAll(orders4, [][]int{{0, 2, 1, 3}, {3, 1, 2, 0}}) {
+			out.Paper4Matches++
+		}
+		if containsAll(orders4, [][]int{{0, 2, 3, 1}, {1, 3, 2, 0}}) {
+			out.Empirical4Matches++
+		}
+		// The 5-task necessary condition.
+		deltas := sortedUnitDeltas(rng, 5)
+		floats := make([]float64, 5)
+		for i, d := range deltas {
+			f, _ := d.Float64()
+			floats[i] = f
+		}
+		orders, _, err := exact.OptimalUnitClassOrders(deltas)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range orders {
+			// Order (i, j, k, l, m): require (δ_l − δ_j)(δ_i − δ_m) <= 0.
+			i, j, l, m := o[0], o[1], o[3], o[4]
+			if (floats[l]-floats[j])*(floats[i]-floats[m]) > 1e-12 {
+				out.ConditionViolations++
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// catalogue23 holds the paper's optimal orders for 2 and 3 tasks (0-based,
+// tasks sorted by non-increasing δ):
+//
+//	2 tasks: (1,2) and (2,1)     → {0,1} and {1,0}
+//	3 tasks: (1,3,2) and (2,3,1) → {0,2,1} and {1,2,0}
+var catalogue23 = map[int][][]int{
+	2: {{0, 1}, {1, 0}},
+	3: {{0, 2, 1}, {1, 2, 0}},
+}
+
+func sortedUnitDeltas(rng *rand.Rand, n int) []*big.Rat {
+	deltas := exact.RandomUnitDeltas(n, 512, rng.Intn)
+	// Insertion sort descending.
+	for i := 1; i < len(deltas); i++ {
+		for j := i; j > 0 && deltas[j].Cmp(deltas[j-1]) > 0; j-- {
+			deltas[j], deltas[j-1] = deltas[j-1], deltas[j]
+		}
+	}
+	return deltas
+}
+
+// containsAll reports whether every wanted order appears in the optimal set.
+func containsAll(optimal [][]int, wanted [][]int) bool {
+	contains := func(want []int) bool {
+		for _, o := range optimal {
+			same := len(o) == len(want)
+			for i := 0; same && i < len(want); i++ {
+				if o[i] != want[i] {
+					same = false
+				}
+			}
+			if same {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range wanted {
+		if !contains(want) {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the E5 report.
+func (r *OrderCatalogueResult) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"Optimal-order catalogue (Section V-B)\n"+
+			"  instances per size: %d\n"+
+			"  catalogue violations for 2 and 3 tasks: %d\n"+
+			"  4-task instances matching the paper's printed orders (1,3,2,4)/(4,2,3,1): %d\n"+
+			"  4-task instances matching the enumerated orders (1,3,4,2)/(2,4,3,1): %d\n"+
+			"  5-task necessary-condition violations: %d\n",
+		r.Instances, r.Catalogue23Violations, r.Paper4Matches, r.Empirical4Matches, r.ConditionViolations)
+	return err
+}
+
+// Holds reports whether the reproducible claims were confirmed: the 2- and
+// 3-task catalogue and the 5-task necessary condition. The 4-task line is
+// reported but not asserted because the exact enumeration disagrees with the
+// printed orders (see the type documentation).
+func (r *OrderCatalogueResult) Holds() bool {
+	return r.Catalogue23Violations == 0 && r.ConditionViolations == 0
+}
+
+// GreedyDominanceRow is one row of the E8 study.
+type GreedyDominanceRow struct {
+	N                 int
+	Instances         int
+	MaxRelativeGap    float64
+	OptimalNotGreedy  int
+	SaturationCounter int
+}
+
+// GreedyDominanceResult is the outcome of experiment E8 (Theorem 11): on
+// instances with homogeneous weights and δ_i > P/2, optimal schedules are
+// greedy.
+type GreedyDominanceResult struct {
+	Rows []GreedyDominanceRow
+}
+
+// GreedyDominance compares the exact optimum with the best greedy schedule on
+// the large-δ class and checks the structural property of Lemma 7 (every task
+// saturated in its completion column) on the optimal schedules.
+func GreedyDominance(cfg Config) (*GreedyDominanceResult, error) {
+	cfg = cfg.withDefaults()
+	out := &GreedyDominanceResult{}
+	p := cfg.Processors
+	if p < 2 {
+		p = 2
+	}
+	for _, n := range cfg.Sizes {
+		gen, err := workload.NewGenerator(workload.LargeDelta, n, p, cfg.Seed+int64(31*n))
+		if err != nil {
+			return nil, err
+		}
+		gaps := make([]float64, 0, cfg.Instances)
+		notGreedy := 0
+		saturation := 0
+		for k := 0; k < cfg.Instances; k++ {
+			inst := gen.Next()
+			opt, err := exact.Optimal(inst, exact.Options{ExactArithmetic: cfg.ExactArithmetic, BuildSchedule: true})
+			if err != nil {
+				return nil, err
+			}
+			best, err := core.BestGreedy(inst, nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			gap := (best.Objective - opt.Objective) / opt.Objective
+			if gap < 0 {
+				gap = 0
+			}
+			gaps = append(gaps, gap)
+			if gap > 1e-5 {
+				notGreedy++
+			}
+			// Lemma 7: every task saturated in its completion column of the
+			// best greedy (= optimal) schedule.
+			s := best.Schedule
+			for i := 0; i < inst.N(); i++ {
+				j := s.ColumnOf(i)
+				if s.ColumnLength(j) <= numeric.Eps {
+					continue
+				}
+				if !numeric.ApproxEqualTol(s.Alloc[i][j], inst.EffectiveDelta(i), 1e-6) {
+					saturation++
+					break
+				}
+			}
+		}
+		out.Rows = append(out.Rows, GreedyDominanceRow{
+			N:                 n,
+			Instances:         cfg.Instances,
+			MaxRelativeGap:    stats.Summarize(gaps).Max,
+			OptimalNotGreedy:  notGreedy,
+			SaturationCounter: saturation,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the E8 table.
+func (r *GreedyDominanceResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Greedy dominance on the δ > P/2, homogeneous-weight class (Theorem 11)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%4s %10s %16s %18s %20s\n", "n", "instances", "max rel. gap", "greedy suboptimal", "saturation violated"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%4d %10d %16.3e %18d %20d\n",
+			row.N, row.Instances, row.MaxRelativeGap, row.OptimalNotGreedy, row.SaturationCounter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Holds reports whether the greedy schedules matched the optimum everywhere.
+func (r *GreedyDominanceResult) Holds() bool {
+	for _, row := range r.Rows {
+		if row.OptimalNotGreedy > 0 {
+			return false
+		}
+	}
+	return true
+}

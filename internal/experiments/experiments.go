@@ -1,0 +1,359 @@
+// Package experiments contains one driver per quantitative claim of the
+// paper. Each driver generates the instance distribution used by the paper,
+// runs the relevant algorithms, and reports the same quantities the paper
+// discusses (see DESIGN.md for the experiment index E1–E9 / F1 and
+// EXPERIMENTS.md for the measured results). Sample counts are configurable so
+// that the benchmark harness can run quick versions while `mwct experiment
+// -full` reproduces the paper-scale runs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/exact"
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/stats"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// Config holds the common experiment parameters.
+type Config struct {
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Instances is the number of random instances per task-count (the paper
+	// uses 10,000 for the Section V-A study).
+	Instances int
+	// Sizes lists the task counts to sweep (the paper uses 2..5).
+	Sizes []int
+	// Processors is the platform size for the classes that need one.
+	Processors float64
+	// ExactArithmetic switches the optimal solver to the rational simplex.
+	ExactArithmetic bool
+}
+
+// DefaultConfig returns the configuration used by the benchmark harness:
+// small sample counts with the paper's sizes.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Instances: 60, Sizes: []int{2, 3, 4, 5}, Processors: 1}
+}
+
+// PaperConfig returns the full-scale configuration of the paper's Section
+// V-A study (10,000 instances per size).
+func PaperConfig() Config {
+	return Config{Seed: 1, Instances: 10000, Sizes: []int{2, 3, 4, 5}, Processors: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Instances <= 0 {
+		c.Instances = 60
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{2, 3, 4, 5}
+	}
+	if c.Processors <= 0 {
+		c.Processors = 1
+	}
+	return c
+}
+
+// GreedyVsOptimalRow is one row (one task count) of the E1/E2/E3 study.
+type GreedyVsOptimalRow struct {
+	N               int
+	Instances       int
+	MeanRelativeGap float64
+	MaxRelativeGap  float64
+	// GreedyBelowLP counts instances where the best greedy objective was
+	// numerically below the LP optimum (should only happen within round-off).
+	GreedyBelowLP int
+}
+
+// GreedyVsOptimalResult is the outcome of experiments E1–E3 (Section V-A):
+// the best greedy schedule versus the exact optimum on random instances.
+type GreedyVsOptimalResult struct {
+	Class workload.Class
+	Rows  []GreedyVsOptimalRow
+}
+
+// GreedyVsOptimal runs the Section V-A study on the given instance class
+// (Uniform for E1, ConstantWeight for E2, ConstantWeightVolume for E3).
+func GreedyVsOptimal(cfg Config, class workload.Class) (*GreedyVsOptimalResult, error) {
+	cfg = cfg.withDefaults()
+	out := &GreedyVsOptimalResult{Class: class}
+	for _, n := range cfg.Sizes {
+		gen, err := workload.NewGenerator(class, n, cfg.Processors, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		gaps := make([]float64, 0, cfg.Instances)
+		below := 0
+		for k := 0; k < cfg.Instances; k++ {
+			inst := gen.Next()
+			opt, err := exact.Optimal(inst, exact.Options{ExactArithmetic: cfg.ExactArithmetic})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: optimal solve failed (n=%d, k=%d): %w", n, k, err)
+			}
+			best, err := core.BestGreedy(inst, nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			gap := (best.Objective - opt.Objective) / opt.Objective
+			if gap < -1e-9 {
+				below++
+			}
+			if gap < 0 {
+				gap = 0
+			}
+			gaps = append(gaps, gap)
+		}
+		summary := stats.Summarize(gaps)
+		out.Rows = append(out.Rows, GreedyVsOptimalRow{
+			N:               n,
+			Instances:       cfg.Instances,
+			MeanRelativeGap: summary.Mean,
+			MaxRelativeGap:  summary.Max,
+			GreedyBelowLP:   below,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the result as the table the paper describes in prose
+// ("the best greedy schedule was numerically indistinguishable from the
+// optimal").
+func (r *GreedyVsOptimalResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Best greedy vs LP optimum — class %s\n", r.Class); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%4s %10s %16s %16s %14s\n", "n", "instances", "mean rel. gap", "max rel. gap", "greedy<LP"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%4d %10d %16.3e %16.3e %14d\n",
+			row.N, row.Instances, row.MeanRelativeGap, row.MaxRelativeGap, row.GreedyBelowLP); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Indistinguishable reports whether the study reproduces the paper's claim:
+// the largest relative gap between the best greedy and the optimum stays
+// within numerical noise (the threshold is generous because the float LP and
+// the greedy construction accumulate different round-off).
+func (r *GreedyVsOptimalResult) Indistinguishable(threshold float64) bool {
+	for _, row := range r.Rows {
+		if row.MaxRelativeGap > threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// WDEQRatioRow is one row of the E7 study.
+type WDEQRatioRow struct {
+	N              int
+	Instances      int
+	MeanVsOptimal  float64
+	MaxVsOptimal   float64
+	MeanVsLowerBnd float64
+	MaxVsLowerBnd  float64
+}
+
+// WDEQRatioResult is the outcome of experiment E7: the empirical
+// approximation ratio of the non-clairvoyant WDEQ algorithm (Theorem 4 proves
+// it never exceeds 2).
+type WDEQRatioResult struct {
+	Rows []WDEQRatioRow
+}
+
+// WDEQRatio measures the WDEQ approximation ratio against the exact optimum
+// (for the sizes where enumeration is feasible) and against the max(A, H)
+// lower bound.
+func WDEQRatio(cfg Config) (*WDEQRatioResult, error) {
+	cfg = cfg.withDefaults()
+	out := &WDEQRatioResult{}
+	for _, n := range cfg.Sizes {
+		gen, err := workload.NewGenerator(workload.Uniform, n, cfg.Processors, cfg.Seed+int64(97*n))
+		if err != nil {
+			return nil, err
+		}
+		var vsOpt, vsLB []float64
+		for k := 0; k < cfg.Instances; k++ {
+			inst := gen.Next()
+			s, err := core.RunWDEQ(inst)
+			if err != nil {
+				return nil, err
+			}
+			obj := s.WeightedCompletionTime()
+			vsLB = append(vsLB, obj/core.LowerBound(inst))
+			if n <= exact.EnumerationLimit {
+				opt, err := exact.Optimal(inst, exact.Options{ExactArithmetic: cfg.ExactArithmetic})
+				if err != nil {
+					return nil, err
+				}
+				vsOpt = append(vsOpt, obj/opt.Objective)
+			}
+		}
+		row := WDEQRatioRow{N: n, Instances: cfg.Instances}
+		if len(vsOpt) > 0 {
+			s := stats.Summarize(vsOpt)
+			row.MeanVsOptimal, row.MaxVsOptimal = s.Mean, s.Max
+		}
+		if len(vsLB) > 0 {
+			s := stats.Summarize(vsLB)
+			row.MeanVsLowerBnd, row.MaxVsLowerBnd = s.Mean, s.Max
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render writes the E7 table.
+func (r *WDEQRatioResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "WDEQ approximation ratio (Theorem 4 guarantees <= 2 vs optimum)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%4s %10s %14s %14s %14s %14s\n",
+		"n", "instances", "mean vs OPT", "max vs OPT", "mean vs LB", "max vs LB"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%4d %10d %14.4f %14.4f %14.4f %14.4f\n",
+			row.N, row.Instances, row.MeanVsOptimal, row.MaxVsOptimal, row.MeanVsLowerBnd, row.MaxVsLowerBnd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WithinTwo reports whether every measured ratio against the optimum stays
+// within the proven factor of 2.
+func (r *WDEQRatioResult) WithinTwo() bool {
+	for _, row := range r.Rows {
+		if row.MaxVsOptimal > 2+1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+// PreemptionRow is one row of the E6 study.
+type PreemptionRow struct {
+	N                   int
+	Instances           int
+	MeanLemma5Changes   float64
+	MaxLemma5Changes    int
+	MeanNaturalChanges  float64
+	MaxNaturalChanges   int
+	MeanIntegralChanges float64
+	MaxIntegralChanges  int
+	MeanPreemptions     float64
+	MaxPreemptions      int
+}
+
+// PreemptionResult is the outcome of experiment E6: allocation changes and
+// preemptions of the normal form (Theorems 9 and 10).
+type PreemptionResult struct {
+	Rows []PreemptionRow
+}
+
+// Preemptions measures, for water-filling normal forms of WDEQ completion
+// times on random instances, the total allocation changes (paper convention
+// and natural convention) and the preemptions of the Theorem-3 integral
+// conversion.
+func Preemptions(cfg Config) (*PreemptionResult, error) {
+	cfg = cfg.withDefaults()
+	out := &PreemptionResult{}
+	for _, n := range cfg.Sizes {
+		gen, err := workload.NewGenerator(workload.Uniform, n, math.Max(2, cfg.Processors), cfg.Seed+int64(13*n))
+		if err != nil {
+			return nil, err
+		}
+		var lemma5s, naturals, integrals, preempts []float64
+		maxL, maxN, maxI, maxP := 0, 0, 0, 0
+		for k := 0; k < cfg.Instances; k++ {
+			inst := gen.Next()
+			src, err := core.RunWDEQ(inst)
+			if err != nil {
+				return nil, err
+			}
+			wf, err := core.WaterFill(inst, src.CompletionTimes())
+			if err != nil {
+				return nil, err
+			}
+			_, lemma5 := core.Lemma5ChangeCount(wf)
+			_, natural := wf.AllocationChanges()
+			pa, err := schedule.FromColumns(wf)
+			if err != nil {
+				return nil, err
+			}
+			_, integral := pa.AllocationChangeCount()
+			_, preempt := pa.PreemptionCount()
+			lemma5s = append(lemma5s, float64(lemma5))
+			naturals = append(naturals, float64(natural))
+			integrals = append(integrals, float64(integral))
+			preempts = append(preempts, float64(preempt))
+			if lemma5 > maxL {
+				maxL = lemma5
+			}
+			if natural > maxN {
+				maxN = natural
+			}
+			if integral > maxI {
+				maxI = integral
+			}
+			if preempt > maxP {
+				maxP = preempt
+			}
+		}
+		out.Rows = append(out.Rows, PreemptionRow{
+			N:                   n,
+			Instances:           cfg.Instances,
+			MeanLemma5Changes:   stats.Summarize(lemma5s).Mean,
+			MaxLemma5Changes:    maxL,
+			MeanNaturalChanges:  stats.Summarize(naturals).Mean,
+			MaxNaturalChanges:   maxN,
+			MeanIntegralChanges: stats.Summarize(integrals).Mean,
+			MaxIntegralChanges:  maxI,
+			MeanPreemptions:     stats.Summarize(preempts).Mean,
+			MaxPreemptions:      maxP,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the E6 table.
+func (r *PreemptionResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Normal-form allocation changes and preemptions (Theorems 9 and 10)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%4s %9s %12s %8s %12s %8s %12s %8s %12s %8s\n",
+		"n", "instances", "lemma5 mean", "max(<=n)", "natural mean", "max", "integer mean", "max", "preempt mean", "max"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%4d %9d %12.2f %8d %12.2f %8d %12.2f %8d %12.2f %8d\n",
+			row.N, row.Instances,
+			row.MeanLemma5Changes, row.MaxLemma5Changes,
+			row.MeanNaturalChanges, row.MaxNaturalChanges,
+			row.MeanIntegralChanges, row.MaxIntegralChanges,
+			row.MeanPreemptions, row.MaxPreemptions); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Theorem9Holds reports whether the Lemma-5 change count never exceeded the
+// task count in any sampled instance.
+func (r *PreemptionResult) Theorem9Holds() bool {
+	for _, row := range r.Rows {
+		if row.MaxLemma5Changes > row.N {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// quickConfig keeps the experiment drivers fast enough for the unit-test
+// suite while still exercising every code path.
+func quickConfig() Config {
+	return Config{Seed: 7, Instances: 6, Sizes: []int{2, 3, 4}, Processors: 1}
+}
+
+func TestGreedyVsOptimalUniform(t *testing.T) {
+	res, err := GreedyVsOptimal(quickConfig(), workload.Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !res.Indistinguishable(1e-4) {
+		t.Errorf("best greedy deviates from the optimum: %+v", res.Rows)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "uniform") {
+		t.Errorf("render missing class name: %q", buf.String())
+	}
+}
+
+func TestGreedyVsOptimalConstantClasses(t *testing.T) {
+	for _, class := range []workload.Class{workload.ConstantWeight, workload.ConstantWeightVolume} {
+		res, err := GreedyVsOptimal(quickConfig(), class)
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		if !res.Indistinguishable(1e-4) {
+			t.Errorf("%v: best greedy deviates from the optimum: %+v", class, res.Rows)
+		}
+	}
+}
+
+func TestWDEQRatio(t *testing.T) {
+	res, err := WDEQRatio(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WithinTwo() {
+		t.Errorf("WDEQ exceeded its approximation guarantee: %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.MaxVsOptimal < 1-1e-6 {
+			t.Errorf("ratio below 1 is impossible: %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theorem 4") {
+		t.Errorf("render missing header")
+	}
+}
+
+func TestPreemptions(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Processors = 3
+	res, err := Preemptions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Theorem9Holds() {
+		t.Errorf("Lemma-5 change count exceeded n: %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.MaxNaturalChanges > 2*row.N {
+			t.Errorf("natural change count exceeded 2n: %+v", row)
+		}
+		if row.MeanPreemptions < 0 {
+			t.Errorf("negative preemptions")
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConjecture13Experiment(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Sizes = []int{3, 5, 9} // include a size beyond exhaustive enumeration
+	cfg.Instances = 4
+	res, err := Conjecture13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds() {
+		t.Errorf("Conjecture 13 violated: %+v", res.Rows)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderCatalogue(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Instances = 3
+	res, err := OrderCatalogue(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds() {
+		t.Errorf("order catalogue violated: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyDominance(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Processors = 2
+	cfg.Sizes = []int{2, 3}
+	res, err := GreedyDominance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds() {
+		t.Errorf("greedy dominance violated on the large-δ class: %+v", res.Rows)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Instances = 4
+	cfg.Sizes = []int{2, 3}
+	res, err := TableI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GuaranteesRespected() {
+		t.Errorf("an algorithm exceeded its proven guarantee: %+v", res.Rows)
+	}
+	if len(res.Rows) < 8 {
+		t.Errorf("expected at least 8 table rows, got %d", len(res.Rows))
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Errorf("render missing header")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Instances = 5
+	res, err := Bandwidth(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EquivalenceHolds() {
+		t.Errorf("throughput/completion-time equivalence violated: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Errorf("render missing header")
+	}
+}
+
+func TestSmithRatio(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Instances = 4
+	res, err := SmithRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.MaxRatio < 1-1e-6 {
+			t.Errorf("ratio below 1 is impossible: %+v", row)
+		}
+	}
+	if res.WorstRatio() > 2 {
+		t.Errorf("Smith greedy worse than a factor 2 on tiny instances: %+v", res.Rows)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Smith") {
+		t.Errorf("render missing header")
+	}
+}
+
+func TestConfigsAndDefaults(t *testing.T) {
+	d := DefaultConfig()
+	if d.Instances <= 0 || len(d.Sizes) == 0 {
+		t.Errorf("DefaultConfig = %+v", d)
+	}
+	p := PaperConfig()
+	if p.Instances != 10000 {
+		t.Errorf("PaperConfig instances = %d", p.Instances)
+	}
+	var zero Config
+	filled := zero.withDefaults()
+	if filled.Instances <= 0 || len(filled.Sizes) == 0 || filled.Processors <= 0 {
+		t.Errorf("withDefaults left zero values: %+v", filled)
+	}
+}

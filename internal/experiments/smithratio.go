@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/exact"
+	"github.com/malleable-sched/malleable/internal/stats"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// SmithRatioRow is one row of the E10 study.
+type SmithRatioRow struct {
+	Class          string
+	N              int
+	Instances      int
+	MeanRatio      float64
+	MaxRatio       float64
+	WorstCaseDelta []float64
+}
+
+// SmithRatioResult is the outcome of experiment E10, which explores the open
+// question raised in the conclusion of the paper: what is the approximation
+// ratio of the greedy schedule that uses Smith's ordering (non-decreasing
+// V_i/w_i), in particular on the w_i = V_i = 1 class?
+type SmithRatioResult struct {
+	Rows []SmithRatioRow
+}
+
+// SmithRatio measures the ratio of the Smith-ordered greedy schedule to the
+// exact optimum on the uniform class and on the w=V=1 class, and records the
+// degree bounds of the worst instance found (a candidate hard instance for
+// the open question).
+func SmithRatio(cfg Config) (*SmithRatioResult, error) {
+	cfg = cfg.withDefaults()
+	out := &SmithRatioResult{}
+	classes := []struct {
+		name  string
+		class workload.Class
+		p     float64
+	}{
+		{"uniform (§V-A distribution)", workload.Uniform, cfg.Processors},
+		{"unit volumes and weights (w=V=1)", workload.ConstantWeightVolume, cfg.Processors},
+	}
+	for _, spec := range classes {
+		for _, n := range cfg.Sizes {
+			if n > exact.EnumerationLimit {
+				continue
+			}
+			gen, err := workload.NewGenerator(spec.class, n, spec.p, cfg.Seed+int64(41*n))
+			if err != nil {
+				return nil, err
+			}
+			ratios := make([]float64, 0, cfg.Instances)
+			worst := 0.0
+			var worstDeltas []float64
+			for k := 0; k < cfg.Instances; k++ {
+				inst := gen.Next()
+				opt, err := exact.Optimal(inst, exact.Options{ExactArithmetic: cfg.ExactArithmetic})
+				if err != nil {
+					return nil, err
+				}
+				smith, err := core.GreedySmith(inst)
+				if err != nil {
+					return nil, err
+				}
+				ratio := smith.Objective / opt.Objective
+				ratios = append(ratios, ratio)
+				if ratio > worst {
+					worst = ratio
+					worstDeltas = make([]float64, inst.N())
+					for i := range inst.Tasks {
+						worstDeltas[i] = inst.Tasks[i].Delta
+					}
+				}
+			}
+			s := stats.Summarize(ratios)
+			out.Rows = append(out.Rows, SmithRatioRow{
+				Class:          spec.name,
+				N:              n,
+				Instances:      cfg.Instances,
+				MeanRatio:      s.Mean,
+				MaxRatio:       s.Max,
+				WorstCaseDelta: worstDeltas,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render writes the E10 table.
+func (r *SmithRatioResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Smith-order greedy vs optimum (open question of the conclusion)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-36s %4s %10s %12s %12s\n", "class", "n", "instances", "mean ratio", "max ratio"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%-36s %4d %10d %12.4f %12.4f\n",
+			row.Class, row.N, row.Instances, row.MeanRatio, row.MaxRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WorstRatio returns the largest ratio observed across all rows.
+func (r *SmithRatioResult) WorstRatio() float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		if row.MaxRatio > worst {
+			worst = row.MaxRatio
+		}
+	}
+	return worst
+}

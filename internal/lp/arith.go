@@ -1,0 +1,97 @@
+package lp
+
+import (
+	"math"
+	"math/big"
+)
+
+// arith abstracts the exact-versus-floating arithmetic used by the simplex
+// tableau, so that the pivoting code is written once and shared by both
+// backends.
+type arith[T any] interface {
+	// FromFloat converts a float64 model coefficient into the backend type.
+	FromFloat(f float64) T
+	// ToFloat converts a backend value to float64 for reporting.
+	ToFloat(v T) float64
+	Add(a, b T) T
+	Sub(a, b T) T
+	Mul(a, b T) T
+	Div(a, b T) T
+	Neg(a T) T
+	Zero() T
+	One() T
+	// Sign returns -1, 0 or +1. The float backend applies a tolerance so that
+	// tiny round-off residues are treated as zero.
+	Sign(a T) int
+	// Cmp compares a and b exactly (float backend: ordinary comparison).
+	Cmp(a, b T) int
+}
+
+// pivotTolerance is the magnitude below which a float64 tableau entry is
+// treated as zero when selecting pivots and classifying reduced costs.
+const pivotTolerance = 1e-9
+
+// floatArith is the fast float64 backend.
+type floatArith struct{}
+
+func (floatArith) FromFloat(f float64) float64 { return f }
+func (floatArith) ToFloat(v float64) float64   { return v }
+func (floatArith) Add(a, b float64) float64    { return a + b }
+func (floatArith) Sub(a, b float64) float64    { return a - b }
+func (floatArith) Mul(a, b float64) float64    { return a * b }
+func (floatArith) Div(a, b float64) float64    { return a / b }
+func (floatArith) Neg(a float64) float64       { return -a }
+func (floatArith) Zero() float64               { return 0 }
+func (floatArith) One() float64                { return 1 }
+
+func (floatArith) Sign(a float64) int {
+	if math.Abs(a) <= pivotTolerance {
+		return 0
+	}
+	if a > 0 {
+		return 1
+	}
+	return -1
+}
+
+func (floatArith) Cmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ratValue is an immutable rational value used by the exact backend. Using a
+// value type (rather than *big.Rat directly) keeps the simplex code free of
+// aliasing pitfalls: every arithmetic operation allocates a fresh rational.
+type ratValue struct{ r *big.Rat }
+
+// ratArith is the exact math/big.Rat backend.
+type ratArith struct{}
+
+func (ratArith) FromFloat(f float64) ratValue {
+	r := new(big.Rat)
+	if r.SetFloat64(f) == nil {
+		panic("lp: non-finite coefficient in exact solve")
+	}
+	return ratValue{r}
+}
+
+func (ratArith) ToFloat(v ratValue) float64 {
+	f, _ := v.r.Float64()
+	return f
+}
+
+func (ratArith) Add(a, b ratValue) ratValue { return ratValue{new(big.Rat).Add(a.r, b.r)} }
+func (ratArith) Sub(a, b ratValue) ratValue { return ratValue{new(big.Rat).Sub(a.r, b.r)} }
+func (ratArith) Mul(a, b ratValue) ratValue { return ratValue{new(big.Rat).Mul(a.r, b.r)} }
+func (ratArith) Div(a, b ratValue) ratValue { return ratValue{new(big.Rat).Quo(a.r, b.r)} }
+func (ratArith) Neg(a ratValue) ratValue    { return ratValue{new(big.Rat).Neg(a.r)} }
+func (ratArith) Zero() ratValue             { return ratValue{new(big.Rat)} }
+func (ratArith) One() ratValue              { return ratValue{big.NewRat(1, 1)} }
+func (ratArith) Sign(a ratValue) int        { return a.r.Sign() }
+func (ratArith) Cmp(a, b ratValue) int      { return a.r.Cmp(b.r) }

@@ -1,0 +1,360 @@
+package lp
+
+// This file implements a dense two-phase primal simplex over a generic
+// arithmetic backend. The problems solved by the scheduling library are small
+// (tens of variables and constraints), so a full tableau with Bland's
+// anti-cycling rule is simple, robust, and fast enough; the exact backend
+// reuses the same code with rational arithmetic.
+
+// simplexResult carries the raw solution of a standard-form problem.
+type simplexResult[T any] struct {
+	objective float64
+	exactObj  T
+	x         []float64
+	exactX    []T
+}
+
+// tableau is the working state of the simplex method.
+type tableau[T any] struct {
+	ar arith[T]
+
+	m, n  int   // m rows (constraints), n columns (structural + slack + artificial)
+	rows  [][]T // m x n constraint coefficients
+	rhs   []T   // m right-hand sides (kept non-negative)
+	basis []int // basis[i] = column basic in row i
+
+	cost    []T // current objective coefficients (phase 1 or phase 2), length n
+	redCost []T // reduced costs, length n
+	objVal  T   // current objective value (of the phase objective)
+
+	numStructural int
+	artificialAt  int // columns >= artificialAt are artificial variables
+}
+
+// maxSimplexIterations bounds the number of pivots; the problems built by this
+// library are far below this limit, so hitting it indicates a bug rather than
+// a hard instance.
+const maxSimplexIterations = 20000
+
+// runSimplex solves the standard-form problem (minimize obj subject to the
+// rows/ops/rhs with all variables >= 0) and reports the solver status.
+func runSimplex[T any](ar arith[T], p *standardProblem) (*simplexResult[T], Status) {
+	t := newTableau(ar, p)
+
+	// Phase 1: minimize the sum of artificial variables.
+	if t.artificialAt < t.n {
+		t.setPhase1Cost()
+		status := t.iterate()
+		if status != Optimal {
+			return nil, status
+		}
+		if ar.Sign(t.objVal) > 0 {
+			return nil, Infeasible
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: original objective restricted to non-artificial columns.
+	t.setPhase2Cost(p)
+	status := t.iterate()
+	if status != Optimal {
+		return nil, status
+	}
+	return t.extract(p), Optimal
+}
+
+func newTableau[T any](ar arith[T], p *standardProblem) *tableau[T] {
+	m := len(p.rows)
+	// Count extra columns: one slack per LE, one surplus + one artificial per
+	// GE, one artificial per EQ. Signs are decided after normalizing the RHS
+	// to be non-negative.
+	type rowKind int
+	const (
+		kindLE rowKind = iota
+		kindGE
+		kindEQ
+	)
+	kinds := make([]rowKind, m)
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	for i := range p.rows {
+		row := append([]float64(nil), p.rows[i]...)
+		b := p.rhs[i]
+		op := p.ops[i]
+		if b < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			b = -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = row
+		rhs[i] = b
+		switch op {
+		case LE:
+			kinds[i] = kindLE
+		case GE:
+			kinds[i] = kindGE
+		default:
+			kinds[i] = kindEQ
+		}
+	}
+
+	slackCount := 0
+	artCount := 0
+	for _, k := range kinds {
+		switch k {
+		case kindLE:
+			slackCount++
+		case kindGE:
+			slackCount++ // surplus
+			artCount++
+		case kindEQ:
+			artCount++
+		}
+	}
+
+	n := p.numVars + slackCount + artCount
+	t := &tableau[T]{
+		ar:            ar,
+		m:             m,
+		n:             n,
+		numStructural: p.numVars,
+		artificialAt:  p.numVars + slackCount,
+		basis:         make([]int, m),
+	}
+	t.rows = make([][]T, m)
+	t.rhs = make([]T, m)
+	zero := ar.Zero()
+	one := ar.One()
+	slackCol := p.numVars
+	artCol := t.artificialAt
+	for i := 0; i < m; i++ {
+		r := make([]T, n)
+		for j := range r {
+			r[j] = zero
+		}
+		for j, c := range rows[i] {
+			r[j] = ar.FromFloat(c)
+		}
+		switch kinds[i] {
+		case kindLE:
+			r[slackCol] = one
+			t.basis[i] = slackCol
+			slackCol++
+		case kindGE:
+			r[slackCol] = ar.Neg(one)
+			slackCol++
+			r[artCol] = one
+			t.basis[i] = artCol
+			artCol++
+		case kindEQ:
+			r[artCol] = one
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.rows[i] = r
+		t.rhs[i] = ar.FromFloat(rhs[i])
+	}
+	return t
+}
+
+// setPhase1Cost installs the phase-1 objective (sum of artificial variables)
+// and prices it out against the current (artificial) basis.
+func (t *tableau[T]) setPhase1Cost() {
+	ar := t.ar
+	t.cost = make([]T, t.n)
+	for j := range t.cost {
+		if j >= t.artificialAt {
+			t.cost[j] = ar.One()
+		} else {
+			t.cost[j] = ar.Zero()
+		}
+	}
+	t.recomputeReducedCosts()
+}
+
+// setPhase2Cost installs the original objective. Artificial columns get a
+// prohibitive flag by simply being excluded from entering (their reduced cost
+// is never allowed to drive a pivot because the columns are removed from
+// consideration in iterate).
+func (t *tableau[T]) setPhase2Cost(p *standardProblem) {
+	ar := t.ar
+	t.cost = make([]T, t.n)
+	for j := range t.cost {
+		t.cost[j] = ar.Zero()
+	}
+	for j := 0; j < t.numStructural; j++ {
+		t.cost[j] = ar.FromFloat(p.obj[j])
+	}
+	t.recomputeReducedCosts()
+}
+
+// recomputeReducedCosts rebuilds the reduced-cost row and objective value from
+// scratch: redCost = cost - cost_B * B^-1 * A, computed directly from the
+// current (already pivoted) tableau rows.
+func (t *tableau[T]) recomputeReducedCosts() {
+	ar := t.ar
+	t.redCost = make([]T, t.n)
+	copy(t.redCost, t.cost)
+	t.objVal = ar.Zero()
+	for i := 0; i < t.m; i++ {
+		cb := t.cost[t.basis[i]]
+		if ar.Sign(cb) == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.redCost[j] = ar.Sub(t.redCost[j], ar.Mul(cb, t.rows[i][j]))
+		}
+		t.objVal = ar.Add(t.objVal, ar.Mul(cb, t.rhs[i]))
+	}
+}
+
+// iterate performs simplex pivots until optimality, unboundedness, or the
+// iteration limit. Bland's rule (smallest eligible index for both the
+// entering and leaving variable) guarantees termination.
+func (t *tableau[T]) iterate() Status {
+	ar := t.ar
+	for iter := 0; iter < maxSimplexIterations; iter++ {
+		// Entering column: Bland's rule — smallest index with negative
+		// reduced cost. Artificial columns never re-enter once phase 2 runs
+		// because their phase-2 reduced costs are maintained but we skip them.
+		entering := -1
+		for j := 0; j < t.n; j++ {
+			if j >= t.artificialAt && t.isPhase2() {
+				continue
+			}
+			if ar.Sign(t.redCost[j]) < 0 {
+				entering = j
+				break
+			}
+		}
+		if entering == -1 {
+			return Optimal
+		}
+
+		// Ratio test: smallest rhs/coef over rows with positive coefficient;
+		// ties broken by the smallest basis column index (Bland).
+		leaving := -1
+		var bestRatio T
+		for i := 0; i < t.m; i++ {
+			coef := t.rows[i][entering]
+			if ar.Sign(coef) <= 0 {
+				continue
+			}
+			ratio := ar.Div(t.rhs[i], coef)
+			if leaving == -1 || ar.Cmp(ratio, bestRatio) < 0 ||
+				(ar.Cmp(ratio, bestRatio) == 0 && t.basis[i] < t.basis[leaving]) {
+				leaving = i
+				bestRatio = ratio
+			}
+		}
+		if leaving == -1 {
+			return Unbounded
+		}
+		t.pivot(leaving, entering)
+	}
+	return IterationLimit
+}
+
+func (t *tableau[T]) isPhase2() bool {
+	// During phase 1 every artificial has cost one; during phase 2 they all
+	// have cost zero. Checking the first artificial column is enough.
+	if t.artificialAt >= t.n {
+		return true
+	}
+	return t.ar.Sign(t.cost[t.artificialAt]) == 0
+}
+
+// pivot makes column `entering` basic in row `leaving`.
+func (t *tableau[T]) pivot(leaving, entering int) {
+	ar := t.ar
+	pivotVal := t.rows[leaving][entering]
+	// Normalize the pivot row.
+	inv := ar.Div(ar.One(), pivotVal)
+	for j := 0; j < t.n; j++ {
+		t.rows[leaving][j] = ar.Mul(t.rows[leaving][j], inv)
+	}
+	t.rhs[leaving] = ar.Mul(t.rhs[leaving], inv)
+
+	// Eliminate the entering column from all other rows and the cost row.
+	for i := 0; i < t.m; i++ {
+		if i == leaving {
+			continue
+		}
+		factor := t.rows[i][entering]
+		if ar.Sign(factor) == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.rows[i][j] = ar.Sub(t.rows[i][j], ar.Mul(factor, t.rows[leaving][j]))
+		}
+		t.rhs[i] = ar.Sub(t.rhs[i], ar.Mul(factor, t.rhs[leaving]))
+	}
+	factor := t.redCost[entering]
+	if ar.Sign(factor) != 0 {
+		for j := 0; j < t.n; j++ {
+			t.redCost[j] = ar.Sub(t.redCost[j], ar.Mul(factor, t.rows[leaving][j]))
+		}
+		t.objVal = ar.Add(t.objVal, ar.Mul(factor, t.rhs[leaving]))
+	}
+	t.basis[leaving] = entering
+}
+
+// driveOutArtificials removes artificial variables from the basis after a
+// feasible phase-1 solution, pivoting them out on any usable column so the
+// phase-2 basis contains only structural and slack variables whenever
+// possible. Rows whose artificial cannot be pivoted out are redundant
+// (all-zero) and are left in place; they are harmless because the artificial
+// stays at value zero and never re-enters.
+func (t *tableau[T]) driveOutArtificials() {
+	ar := t.ar
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artificialAt {
+			continue
+		}
+		pivotCol := -1
+		for j := 0; j < t.artificialAt; j++ {
+			if ar.Sign(t.rows[i][j]) != 0 {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+		}
+	}
+}
+
+// extract reads off the solution values of the structural variables.
+func (t *tableau[T]) extract(p *standardProblem) *simplexResult[T] {
+	ar := t.ar
+	exactX := make([]T, t.numStructural)
+	for j := range exactX {
+		exactX[j] = ar.Zero()
+	}
+	for i, b := range t.basis {
+		if b < t.numStructural {
+			exactX[b] = t.rhs[i]
+		}
+	}
+	x := make([]float64, t.numStructural)
+	for j := range x {
+		x[j] = ar.ToFloat(exactX[j])
+	}
+	exactObj := ar.Zero()
+	for j := 0; j < t.numStructural; j++ {
+		exactObj = ar.Add(exactObj, ar.Mul(ar.FromFloat(p.obj[j]), exactX[j]))
+	}
+	return &simplexResult[T]{
+		objective: ar.ToFloat(exactObj),
+		exactObj:  exactObj,
+		x:         x,
+		exactX:    exactX,
+	}
+}

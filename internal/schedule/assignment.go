@@ -1,0 +1,294 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+)
+
+// Segment is a time interval during which one processor executes one task.
+type Segment struct {
+	// Task is the index of the executed task.
+	Task int
+	// Start and End delimit the half-open execution interval [Start, End).
+	Start, End float64
+}
+
+// Duration returns the length of the segment.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// ProcessorAssignment is an integral schedule: each of the P processors
+// executes a sequence of non-overlapping task segments. It is the MWCT (as
+// opposed to MWCT-CB-F) view of a schedule, produced from a column-based
+// fractional schedule by the constructive proof of Theorem 3.
+type ProcessorAssignment struct {
+	// Inst is the instance being scheduled.
+	Inst *Instance
+	// Procs[p] lists the segments executed by processor p, sorted by start
+	// time. Idle periods are simply gaps between segments.
+	Procs [][]Segment
+	// Completions[i] is the completion time of task i.
+	Completions []float64
+}
+
+// FromColumns converts a column-based fractional schedule into an integral
+// per-processor schedule with the same completion times, following the proof
+// of Theorem 3: inside each column the per-task areas are stacked onto
+// processors in completion order, starting from the first partially available
+// processor, so that every task uses either ⌊d_i,j⌋ or ⌈d_i,j⌉ processors at
+// every instant of the column.
+//
+// The instance's processor count must be (numerically) an integer.
+func FromColumns(s *ColumnSchedule) (*ProcessorAssignment, error) {
+	p := int(math.Round(s.Inst.P))
+	if !numeric.ApproxEqual(float64(p), s.Inst.P) || p <= 0 {
+		return nil, fmt.Errorf("schedule: integral conversion needs an integer processor count, got %g", s.Inst.P)
+	}
+	pa := &ProcessorAssignment{
+		Inst:        s.Inst,
+		Procs:       make([][]Segment, p),
+		Completions: s.CompletionTimes(),
+	}
+	for j := 0; j < s.NumColumns(); j++ {
+		start := s.ColumnStart(j)
+		length := s.ColumnLength(j)
+		if length <= numeric.Eps {
+			continue
+		}
+		proc := 0   // current processor being filled
+		used := 0.0 // portion of the current processor already used (from the column start)
+		// Stack tasks in completion order (Order), as in Figure 2 of the paper.
+		for _, task := range s.Order {
+			area := s.Alloc[task][j] * length
+			if area <= numeric.Eps*length {
+				continue
+			}
+			for area > 1e-12 && proc < p {
+				avail := length - used
+				take := math.Min(area, avail)
+				if take > 1e-12 {
+					pa.Procs[proc] = append(pa.Procs[proc], Segment{
+						Task:  task,
+						Start: start + used,
+						End:   start + used + take,
+					})
+					used += take
+					area -= take
+				}
+				if length-used <= 1e-12 {
+					proc++
+					used = 0
+				}
+			}
+			if area > 1e-9*length {
+				return nil, fmt.Errorf("schedule: column %d overflows the platform while placing task %d (left-over area %g)", j, task, area)
+			}
+		}
+	}
+	pa.mergeAdjacent()
+	return pa, nil
+}
+
+// mergeAdjacent merges back-to-back segments of the same task on the same
+// processor, which arise when a task keeps a processor across a column
+// boundary.
+func (pa *ProcessorAssignment) mergeAdjacent() {
+	for p := range pa.Procs {
+		segs := pa.Procs[p]
+		sort.Slice(segs, func(a, b int) bool { return segs[a].Start < segs[b].Start })
+		var out []Segment
+		for _, seg := range segs {
+			if n := len(out); n > 0 && out[n-1].Task == seg.Task && numeric.ApproxEqual(out[n-1].End, seg.Start) {
+				out[n-1].End = seg.End
+				continue
+			}
+			out = append(out, seg)
+		}
+		pa.Procs[p] = out
+	}
+}
+
+// NumProcessors returns the number of processors in the assignment.
+func (pa *ProcessorAssignment) NumProcessors() int { return len(pa.Procs) }
+
+// Validate checks that the integral schedule is feasible:
+//
+//  1. segments on every processor are disjoint and ordered;
+//  2. every task executes for a total duration equal to its volume;
+//  3. no task runs after its recorded completion time;
+//  4. at every instant a task uses at most ⌈δ_i⌉ processors (with δ_i an
+//     integer in all generated instances, this is exactly the δ_i bound of
+//     MWCT).
+func (pa *ProcessorAssignment) Validate() error {
+	n := pa.Inst.N()
+	work := make([]float64, n)
+	type event struct {
+		t     float64
+		task  int
+		delta int
+	}
+	var events []event
+	for p, segs := range pa.Procs {
+		for k, seg := range segs {
+			if seg.End < seg.Start-numeric.Eps {
+				return fmt.Errorf("schedule: processor %d has a reversed segment %+v", p, seg)
+			}
+			if seg.Task < 0 || seg.Task >= n {
+				return fmt.Errorf("schedule: processor %d runs unknown task %d", p, seg.Task)
+			}
+			if k > 0 && seg.Start < segs[k-1].End-numeric.Eps {
+				return fmt.Errorf("schedule: processor %d has overlapping segments at %g", p, seg.Start)
+			}
+			if seg.End > pa.Completions[seg.Task]+1e-6 {
+				return fmt.Errorf("schedule: task %d runs until %g after its completion time %g",
+					seg.Task, seg.End, pa.Completions[seg.Task])
+			}
+			work[seg.Task] += seg.Duration()
+			events = append(events, event{seg.Start, seg.Task, +1}, event{seg.End, seg.Task, -1})
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !numeric.ApproxEqualTol(work[i], pa.Inst.Tasks[i].Volume, 1e-6) {
+			return fmt.Errorf("schedule: task %d executes for %g, want volume %g", i, work[i], pa.Inst.Tasks[i].Volume)
+		}
+	}
+	// Degree-bound check by sweeping events. Events whose times differ only by
+	// round-off are applied atomically so that a segment ending at t and
+	// another starting at t (up to float error) do not produce a transient
+	// double count.
+	sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
+	running := make([]int, n)
+	for k := 0; k < len(events); {
+		groupEnd := k
+		for groupEnd < len(events) && numeric.ApproxEqualTol(events[groupEnd].t, events[k].t, 1e-7) {
+			groupEnd++
+		}
+		for g := k; g < groupEnd; g++ {
+			running[events[g].task] += events[g].delta
+		}
+		for g := k; g < groupEnd; g++ {
+			task := events[g].task
+			limit := int(math.Ceil(pa.Inst.EffectiveDelta(task) - numeric.Eps))
+			if running[task] > limit {
+				return fmt.Errorf("schedule: task %d uses %d processors at time %g, degree bound %g",
+					task, running[task], events[g].t, pa.Inst.EffectiveDelta(task))
+			}
+		}
+		k = groupEnd
+	}
+	return nil
+}
+
+// PreemptionCount returns, per task and in total, the number of preemptions:
+// a preemption is counted every time a processor stops executing a task
+// strictly before that task's completion time (the task is interrupted on
+// that processor, regardless of whether it resumes elsewhere).
+func (pa *ProcessorAssignment) PreemptionCount() (perTask []int, total int) {
+	perTask = make([]int, pa.Inst.N())
+	for _, segs := range pa.Procs {
+		for _, seg := range segs {
+			if seg.End < pa.Completions[seg.Task]-1e-7 {
+				perTask[seg.Task]++
+				total++
+			}
+		}
+	}
+	return perTask, total
+}
+
+// allocationTimeline returns, for task i, the breakpoint times and integer
+// processor counts of its execution (how many processors run it over time).
+func (pa *ProcessorAssignment) allocationTimeline(task int) (times []float64, counts []int) {
+	type event struct {
+		t     float64
+		delta int
+	}
+	var events []event
+	for _, segs := range pa.Procs {
+		for _, seg := range segs {
+			if seg.Task != task || seg.Duration() <= numeric.Eps {
+				continue
+			}
+			events = append(events, event{seg.Start, +1}, event{seg.End, -1})
+		}
+	}
+	if len(events) == 0 {
+		return nil, nil
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
+	cur := 0
+	for k := 0; k < len(events); {
+		t := events[k].t
+		for k < len(events) && numeric.ApproxEqual(events[k].t, t) {
+			cur += events[k].delta
+			k++
+		}
+		times = append(times, t)
+		counts = append(counts, cur)
+	}
+	return times, counts
+}
+
+// AllocationChangeCount returns, per task and in total, the number of changes
+// over time in the integer number of processors executing the task, excluding
+// the initial allocation and the final release (the paper's counting in
+// Lemma 9, whose total is bounded by 3n for schedules produced by the
+// water-filling algorithm).
+func (pa *ProcessorAssignment) AllocationChangeCount() (perTask []int, total int) {
+	perTask = make([]int, pa.Inst.N())
+	for i := range perTask {
+		_, counts := pa.allocationTimeline(i)
+		if len(counts) == 0 {
+			continue
+		}
+		// Drop the trailing zero (final release); count changes between
+		// consecutive distinct positive-period counts.
+		changes := 0
+		for k := 1; k < len(counts); k++ {
+			if counts[k] == 0 && k == len(counts)-1 {
+				break
+			}
+			if counts[k] != counts[k-1] {
+				changes++
+			}
+		}
+		perTask[i] = changes
+		total += changes
+	}
+	return perTask, total
+}
+
+// MaxConcurrency returns the maximum number of processors simultaneously
+// executing task i anywhere in the schedule.
+func (pa *ProcessorAssignment) MaxConcurrency(task int) int {
+	_, counts := pa.allocationTimeline(task)
+	m := 0
+	for _, c := range counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// WeightedCompletionTime returns Σ w_i C_i for the assignment.
+func (pa *ProcessorAssignment) WeightedCompletionTime() float64 {
+	var k numeric.KahanSum
+	for i, c := range pa.Completions {
+		k.Add(pa.Inst.Tasks[i].Weight * c)
+	}
+	return k.Value()
+}
+
+// Makespan returns the largest completion time.
+func (pa *ProcessorAssignment) Makespan() float64 {
+	m := 0.0
+	for _, c := range pa.Completions {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

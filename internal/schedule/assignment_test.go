@@ -1,0 +1,288 @@
+package schedule
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+)
+
+func TestFromColumnsSimple(t *testing.T) {
+	s := twoTaskSchedule(t)
+	pa, err := FromColumns(s)
+	if err != nil {
+		t.Fatalf("FromColumns: %v", err)
+	}
+	if err := pa.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if pa.NumProcessors() != 2 {
+		t.Errorf("NumProcessors = %d", pa.NumProcessors())
+	}
+	if !numeric.ApproxEqual(pa.WeightedCompletionTime(), s.WeightedCompletionTime()) {
+		t.Errorf("objective changed by conversion: %g vs %g",
+			pa.WeightedCompletionTime(), s.WeightedCompletionTime())
+	}
+	if !numeric.ApproxEqual(pa.Makespan(), s.Makespan()) {
+		t.Errorf("makespan changed by conversion")
+	}
+}
+
+func TestFromColumnsFractionalAllocations(t *testing.T) {
+	// A column where a task has a fractional share: its instantaneous count
+	// must be the floor or ceiling of the share.
+	inst, _ := NewInstance(3, []Task{
+		{Weight: 1, Volume: 3, Delta: 2},   // 1.5 processors for 2 time units
+		{Weight: 1, Volume: 3, Delta: 3},   // 1.5 processors for 2 time units
+		{Weight: 1, Volume: 1.5, Delta: 3}, // finishes later
+	})
+	s := NewColumnSchedule(inst)
+	s.Order = []int{0, 1, 2}
+	s.Times = []float64{2, 2, 3}
+	s.Alloc[0][0] = 1.5
+	s.Alloc[1][0] = 1.5
+	s.Alloc[2][2] = 1.5
+	if err := s.Validate(); err != nil {
+		t.Fatalf("column schedule invalid: %v", err)
+	}
+	pa, err := FromColumns(s)
+	if err != nil {
+		t.Fatalf("FromColumns: %v", err)
+	}
+	if err := pa.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if mc := pa.MaxConcurrency(0); mc != 2 {
+		t.Errorf("MaxConcurrency(0) = %d, want 2 (= ceil(1.5))", mc)
+	}
+}
+
+func TestFromColumnsRejectsNonIntegerP(t *testing.T) {
+	inst, _ := NewInstance(2.5, []Task{{Weight: 1, Volume: 1, Delta: 1}})
+	s := NewColumnSchedule(inst)
+	s.Times = []float64{1}
+	s.Alloc[0][0] = 1
+	if _, err := FromColumns(s); err == nil {
+		t.Errorf("non-integer P accepted")
+	}
+}
+
+func TestPreemptionAndChangeCounts(t *testing.T) {
+	// Task 0 runs on 2 processors in column 1 and 1 processor in column 2:
+	// one allocation change, and at least one preemption (a processor is
+	// released at the column boundary before the task completes).
+	inst, _ := NewInstance(2, []Task{
+		{Weight: 1, Volume: 3, Delta: 2},
+		{Weight: 1, Volume: 1, Delta: 1},
+	})
+	s := NewColumnSchedule(inst)
+	s.Order = []int{1, 0}
+	s.Times = []float64{1, 3}
+	s.Alloc[0][0] = 2
+	s.Alloc[1][0] = 0
+	// Task 1 must also run somewhere; give it column 0 share. Rebuild:
+	s.Alloc[0][0] = 1
+	s.Alloc[1][0] = 1
+	s.Alloc[0][1] = 1
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	pa, err := FromColumns(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	perTask, total := pa.AllocationChangeCount()
+	if perTask[1] != 0 {
+		t.Errorf("task 1 should have no changes, got %d", perTask[1])
+	}
+	if total != perTask[0]+perTask[1] {
+		t.Errorf("total inconsistent")
+	}
+	_, preempt := pa.PreemptionCount()
+	if preempt < 0 {
+		t.Errorf("negative preemptions")
+	}
+}
+
+func TestValidateCatchesIntegralViolations(t *testing.T) {
+	inst, _ := NewInstance(2, []Task{{Weight: 1, Volume: 2, Delta: 1}})
+	pa := &ProcessorAssignment{
+		Inst:        inst,
+		Procs:       [][]Segment{{{Task: 0, Start: 0, End: 1}}, {{Task: 0, Start: 0, End: 1}}},
+		Completions: []float64{1},
+	}
+	// Task uses 2 processors simultaneously with δ=1.
+	if err := pa.Validate(); err == nil {
+		t.Errorf("degree violation not caught")
+	}
+
+	pa = &ProcessorAssignment{
+		Inst:        inst,
+		Procs:       [][]Segment{{{Task: 0, Start: 0, End: 1}, {Task: 0, Start: 0.5, End: 1.5}}},
+		Completions: []float64{2},
+	}
+	if err := pa.Validate(); err == nil {
+		t.Errorf("overlap not caught")
+	}
+
+	pa = &ProcessorAssignment{
+		Inst:        inst,
+		Procs:       [][]Segment{{{Task: 0, Start: 0, End: 1}}},
+		Completions: []float64{1},
+	}
+	if err := pa.Validate(); err == nil {
+		t.Errorf("volume shortfall not caught")
+	}
+
+	pa = &ProcessorAssignment{
+		Inst:        inst,
+		Procs:       [][]Segment{{{Task: 0, Start: 0, End: 2}}},
+		Completions: []float64{1},
+	}
+	if err := pa.Validate(); err == nil {
+		t.Errorf("running after completion not caught")
+	}
+
+	pa = &ProcessorAssignment{
+		Inst:        inst,
+		Procs:       [][]Segment{{{Task: 5, Start: 0, End: 2}}},
+		Completions: []float64{2},
+	}
+	if err := pa.Validate(); err == nil {
+		t.Errorf("unknown task not caught")
+	}
+}
+
+func TestAssignmentRenderers(t *testing.T) {
+	s := twoTaskSchedule(t)
+	pa, err := FromColumns(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pa.RenderGantt(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "processor schedule") {
+		t.Errorf("gantt missing header")
+	}
+	if !strings.Contains(pa.Summary(), "preemptions") {
+		t.Errorf("Summary = %q", pa.Summary())
+	}
+}
+
+// randomValidColumnSchedule builds a random valid column schedule by choosing
+// random positive column lengths and then filling columns with a water-filling
+// style allocation that respects capacity and degree bounds, adjusting task
+// volumes to match what was allocated.
+func randomValidColumnSchedule(rng *rand.Rand, n int, p float64) *ColumnSchedule {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			Weight: 1 + rng.Float64()*3,
+			Volume: 1, // placeholder, recomputed below
+			Delta:  float64(1 + rng.Intn(int(p))),
+		}
+	}
+	inst := &Instance{P: p, Tasks: tasks}
+	s := NewColumnSchedule(inst)
+	// Completion order = identity; random column lengths.
+	times := make([]float64, n)
+	cum := 0.0
+	for j := range times {
+		cum += 0.25 + rng.Float64()*2
+		times[j] = cum
+	}
+	s.Times = times
+	// Fill columns: task i may use columns 0..i. The task completing in column
+	// j always receives a positive share there so every volume is positive.
+	for j := 0; j < n; j++ {
+		remaining := p
+		a := math.Min(remaining, (0.1+0.9*rng.Float64())*tasks[j].Delta)
+		s.Alloc[j][j] = a
+		remaining -= a
+		for i := j + 1; i < n; i++ { // tasks completing after column j
+			if remaining <= 0 || rng.Float64() < 0.3 {
+				continue
+			}
+			s.Alloc[i][j] = math.Min(remaining, rng.Float64()*tasks[i].Delta)
+			remaining -= s.Alloc[i][j]
+		}
+	}
+	// Make volumes consistent with the allocation.
+	for i := range tasks {
+		inst.Tasks[i].Volume = s.volumeSoFar(i)
+	}
+	return s
+}
+
+func (s *ColumnSchedule) volumeSoFar(i int) float64 {
+	v := 0.0
+	for j := 0; j < s.NumColumns(); j++ {
+		v += s.Alloc[i][j] * s.ColumnLength(j)
+	}
+	return v
+}
+
+// Property (Theorem 3): every valid fractional column schedule converts to a
+// valid integral schedule with identical completion times and objective.
+func TestQuickTheorem3Conversion(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw%6)
+		p := float64(1 + pRaw%5)
+		s := randomValidColumnSchedule(rng, n, p)
+		if err := s.Validate(); err != nil {
+			// The generator is designed to always produce valid schedules;
+			// treat a violation as a test failure.
+			t.Logf("generator produced invalid schedule: %v", err)
+			return false
+		}
+		pa, err := FromColumns(s)
+		if err != nil {
+			t.Logf("conversion failed: %v", err)
+			return false
+		}
+		if err := pa.Validate(); err != nil {
+			t.Logf("integral schedule invalid: %v", err)
+			return false
+		}
+		return numeric.ApproxEqualTol(pa.WeightedCompletionTime(), s.WeightedCompletionTime(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: in the integral conversion, every task's instantaneous processor
+// count never exceeds ceil of its fractional share's ceiling, i.e. its degree
+// bound (second part of Theorem 3).
+func TestQuickTheorem3DegreeBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomValidColumnSchedule(rng, 1+rng.Intn(5), float64(1+rng.Intn(4)))
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		pa, err := FromColumns(s)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < s.Inst.N(); i++ {
+			if float64(pa.MaxConcurrency(i)) > math.Ceil(s.Inst.EffectiveDelta(i))+numeric.Eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/stepfunc"
+)
+
+// ColumnSchedule is a column-based fractional schedule (the MWCT-CB-F
+// formulation, Definition 2 of the paper). Column j is the time interval
+// between the completion of the (j-1)-th and j-th finishing tasks; within a
+// column every task receives a constant (possibly fractional) number of
+// processors.
+type ColumnSchedule struct {
+	// Inst is the instance being scheduled.
+	Inst *Instance
+	// Order lists task indices by non-decreasing completion time: Order[j] is
+	// the task that completes at the end of column j.
+	Order []int
+	// Times[j] is the completion time of task Order[j]; non-decreasing.
+	Times []float64
+	// Alloc[i][j] is the (fractional) number of processors allocated to task
+	// i during column j.
+	Alloc [][]float64
+}
+
+// NewColumnSchedule allocates an empty schedule skeleton for the instance:
+// the identity order, zero completion times and zero allocations. Callers
+// (the algorithms of internal/core) fill it in.
+func NewColumnSchedule(inst *Instance) *ColumnSchedule {
+	n := inst.N()
+	s := &ColumnSchedule{
+		Inst:  inst,
+		Order: make([]int, n),
+		Times: make([]float64, n),
+		Alloc: make([][]float64, n),
+	}
+	for i := range s.Order {
+		s.Order[i] = i
+		s.Alloc[i] = make([]float64, n)
+	}
+	return s
+}
+
+// NumColumns returns the number of columns (= number of tasks).
+func (s *ColumnSchedule) NumColumns() int { return len(s.Order) }
+
+// ColumnStart returns the start time of column j (0 for the first column).
+func (s *ColumnSchedule) ColumnStart(j int) float64 {
+	if j == 0 {
+		return 0
+	}
+	return s.Times[j-1]
+}
+
+// ColumnLength returns the duration of column j.
+func (s *ColumnSchedule) ColumnLength(j int) float64 {
+	return s.Times[j] - s.ColumnStart(j)
+}
+
+// CompletionTime returns the completion time of task i.
+func (s *ColumnSchedule) CompletionTime(i int) float64 {
+	for j, task := range s.Order {
+		if task == i {
+			return s.Times[j]
+		}
+	}
+	panic(fmt.Sprintf("schedule: task %d not in schedule order", i))
+}
+
+// CompletionTimes returns the completion time of every task, indexed by task.
+func (s *ColumnSchedule) CompletionTimes() []float64 {
+	out := make([]float64, s.Inst.N())
+	for j, task := range s.Order {
+		out[task] = s.Times[j]
+	}
+	return out
+}
+
+// ColumnOf returns the column index in which task i completes.
+func (s *ColumnSchedule) ColumnOf(i int) int {
+	for j, task := range s.Order {
+		if task == i {
+			return j
+		}
+	}
+	panic(fmt.Sprintf("schedule: task %d not in schedule order", i))
+}
+
+// WeightedCompletionTime returns the objective value Σ w_i C_i.
+func (s *ColumnSchedule) WeightedCompletionTime() float64 {
+	var k numeric.KahanSum
+	for j, task := range s.Order {
+		k.Add(s.Inst.Tasks[task].Weight * s.Times[j])
+	}
+	return k.Value()
+}
+
+// SumCompletionTimes returns Σ C_i (the unweighted objective).
+func (s *ColumnSchedule) SumCompletionTimes() float64 {
+	var k numeric.KahanSum
+	for _, t := range s.Times {
+		k.Add(t)
+	}
+	return k.Value()
+}
+
+// Makespan returns the largest completion time.
+func (s *ColumnSchedule) Makespan() float64 {
+	if len(s.Times) == 0 {
+		return 0
+	}
+	return s.Times[len(s.Times)-1]
+}
+
+// MaxLateness returns max_i (C_i - Due_i) using the task due dates.
+func (s *ColumnSchedule) MaxLateness() float64 {
+	worst := math.Inf(-1)
+	for j, task := range s.Order {
+		l := s.Times[j] - s.Inst.Tasks[task].Due
+		if l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// Validate checks that the schedule is a valid solution of MWCT-CB-F for its
+// instance, up to the default numeric tolerance:
+//
+//  1. completion times are non-negative and non-decreasing in column order;
+//  2. Order is a permutation of the tasks;
+//  3. allocations are non-negative, at most δ_i and sum to at most P in every
+//     column of positive length;
+//  4. no task receives resources after the column in which it completes;
+//  5. every task processes exactly its volume.
+func (s *ColumnSchedule) Validate() error {
+	n := s.Inst.N()
+	if len(s.Order) != n || len(s.Times) != n || len(s.Alloc) != n {
+		return fmt.Errorf("schedule: inconsistent sizes (order %d, times %d, alloc %d, tasks %d)",
+			len(s.Order), len(s.Times), len(s.Alloc), n)
+	}
+	if !numeric.IsPermutation(s.Order) {
+		return fmt.Errorf("schedule: order %v is not a permutation of 0..%d", s.Order, n-1)
+	}
+	prev := 0.0
+	for j, t := range s.Times {
+		if t < -numeric.Eps {
+			return fmt.Errorf("schedule: negative completion time %g in column %d", t, j)
+		}
+		if t < prev-numeric.Eps {
+			return fmt.Errorf("schedule: completion times not sorted at column %d (%g after %g)", j, t, prev)
+		}
+		prev = t
+	}
+	volumeTol := 1e-6
+	for i := 0; i < n; i++ {
+		if len(s.Alloc[i]) != n {
+			return fmt.Errorf("schedule: task %d has %d allocation columns, want %d", i, len(s.Alloc[i]), n)
+		}
+		var processed numeric.KahanSum
+		completionCol := s.ColumnOf(i)
+		for j := 0; j < n; j++ {
+			a := s.Alloc[i][j]
+			l := s.ColumnLength(j)
+			if a < -numeric.Eps {
+				return fmt.Errorf("schedule: negative allocation %g for task %d in column %d", a, i, j)
+			}
+			if l > numeric.Eps && a > s.Inst.EffectiveDelta(i)+1e-6 {
+				return fmt.Errorf("schedule: task %d exceeds its degree bound in column %d (%g > %g)",
+					i, j, a, s.Inst.EffectiveDelta(i))
+			}
+			if j > completionCol && a*l > 1e-6 {
+				return fmt.Errorf("schedule: task %d receives resources in column %d after completing in column %d",
+					i, j, completionCol)
+			}
+			processed.Add(a * l)
+		}
+		if !numeric.ApproxEqualTol(processed.Value(), s.Inst.Tasks[i].Volume, volumeTol) {
+			return fmt.Errorf("schedule: task %d processes volume %g, want %g",
+				i, processed.Value(), s.Inst.Tasks[i].Volume)
+		}
+	}
+	for j := 0; j < n; j++ {
+		l := s.ColumnLength(j)
+		if l <= numeric.Eps {
+			continue
+		}
+		var used numeric.KahanSum
+		for i := 0; i < n; i++ {
+			used.Add(s.Alloc[i][j])
+		}
+		if used.Value() > s.Inst.P+1e-6 {
+			return fmt.Errorf("schedule: column %d uses %g processors, capacity %g", j, used.Value(), s.Inst.P)
+		}
+	}
+	return nil
+}
+
+// AllocationChanges returns, for each task, the number of changes in its
+// allocated quantity of processors between consecutive columns of positive
+// length, not counting the initial allocation and the final release (the
+// paper's counting convention in Lemma 5). The second return value is the
+// total over all tasks.
+func (s *ColumnSchedule) AllocationChanges() (perTask []int, total int) {
+	n := s.Inst.N()
+	perTask = make([]int, n)
+	for i := 0; i < n; i++ {
+		// Collapse to the sequence of allocations over positive-length columns.
+		var seq []float64
+		for j := 0; j < n; j++ {
+			if s.ColumnLength(j) <= numeric.Eps {
+				continue
+			}
+			seq = append(seq, s.Alloc[i][j])
+		}
+		first, last := -1, -1
+		for j, a := range seq {
+			if a > numeric.Eps {
+				if first == -1 {
+					first = j
+				}
+				last = j
+			}
+		}
+		if first == -1 {
+			continue
+		}
+		changes := 0
+		for j := first + 1; j <= last; j++ {
+			if !numeric.ApproxEqualTol(seq[j], seq[j-1], 1e-7) {
+				changes++
+			}
+		}
+		perTask[i] = changes
+		total += changes
+	}
+	return perTask, total
+}
+
+// AllocationProfile returns the allocation of task i as a step function of
+// time.
+func (s *ColumnSchedule) AllocationProfile(i int) *stepfunc.StepFunc {
+	f := stepfunc.Constant(0)
+	for j := 0; j < s.NumColumns(); j++ {
+		start, end := s.ColumnStart(j), s.Times[j]
+		if end-start <= numeric.Eps {
+			continue
+		}
+		if a := s.Alloc[i][j]; a > numeric.Eps {
+			f.AddOn(start, end, a)
+		}
+	}
+	return f
+}
+
+// UsageProfile returns the total processor usage Σ_i d_i(t) as a step
+// function of time.
+func (s *ColumnSchedule) UsageProfile() *stepfunc.StepFunc {
+	f := stepfunc.Constant(0)
+	for j := 0; j < s.NumColumns(); j++ {
+		start, end := s.ColumnStart(j), s.Times[j]
+		if end-start <= numeric.Eps {
+			continue
+		}
+		var used numeric.KahanSum
+		for i := 0; i < s.Inst.N(); i++ {
+			used.Add(s.Alloc[i][j])
+		}
+		if used.Value() > numeric.Eps {
+			f.AddOn(start, end, used.Value())
+		}
+	}
+	return f
+}
+
+// FromAllocationFunctions builds a column-based schedule from arbitrary
+// per-task allocation profiles d_i(t) and their completion times, by
+// averaging each profile over each column (the construction in the proof of
+// Theorem 3). The profiles may vary arbitrarily inside a column; the result
+// is a valid MWCT-CB-F schedule with the same completion times.
+func FromAllocationFunctions(inst *Instance, completions []float64, profiles []*stepfunc.StepFunc) (*ColumnSchedule, error) {
+	n := inst.N()
+	if len(completions) != n || len(profiles) != n {
+		return nil, fmt.Errorf("schedule: need %d completions and profiles, got %d and %d", n, len(completions), len(profiles))
+	}
+	s := NewColumnSchedule(inst)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return completions[order[a]] < completions[order[b]] })
+	s.Order = order
+	for j, task := range order {
+		s.Times[j] = completions[task]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			start, end := s.ColumnStart(j), s.Times[j]
+			l := end - start
+			if l <= numeric.Eps {
+				s.Alloc[i][j] = 0
+				continue
+			}
+			s.Alloc[i][j] = profiles[i].Integrate(start, end) / l
+		}
+	}
+	return s, nil
+}
+
+// Clone returns a deep copy of the schedule (sharing the instance).
+func (s *ColumnSchedule) Clone() *ColumnSchedule {
+	c := &ColumnSchedule{
+		Inst:  s.Inst,
+		Order: append([]int(nil), s.Order...),
+		Times: append([]float64(nil), s.Times...),
+		Alloc: make([][]float64, len(s.Alloc)),
+	}
+	for i := range s.Alloc {
+		c.Alloc[i] = append([]float64(nil), s.Alloc[i]...)
+	}
+	return c
+}

@@ -1,0 +1,165 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+)
+
+// ganttWidth is the number of character cells used for the time axis of the
+// ASCII Gantt charts.
+const ganttWidth = 72
+
+// taskGlyph returns the character used to draw task i in ASCII charts.
+func taskGlyph(i int) byte {
+	const glyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	return glyphs[i%len(glyphs)]
+}
+
+// RenderGantt writes an ASCII Gantt chart of the column-based schedule to w.
+// Each row is one task; the horizontal axis is time; the characters show the
+// (rounded) share of the platform the task holds in each column. It is the
+// textual analogue of Figures 2-7 of the paper and is meant for examples and
+// debugging rather than precise reporting.
+func (s *ColumnSchedule) RenderGantt(w io.Writer) error {
+	horizon := s.Makespan()
+	if horizon <= 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	scale := float64(ganttWidth) / horizon
+	if _, err := fmt.Fprintf(w, "column schedule: P=%g, horizon=%.4g, objective ΣwC=%.6g\n",
+		s.Inst.P, horizon, s.WeightedCompletionTime()); err != nil {
+		return err
+	}
+	for i := 0; i < s.Inst.N(); i++ {
+		row := make([]byte, ganttWidth)
+		for c := range row {
+			row[c] = '.'
+		}
+		for j := 0; j < s.NumColumns(); j++ {
+			if s.Alloc[i][j] <= numeric.Eps || s.ColumnLength(j) <= numeric.Eps {
+				continue
+			}
+			from := int(s.ColumnStart(j) * scale)
+			to := int(s.Times[j] * scale)
+			if to >= ganttWidth {
+				to = ganttWidth - 1
+			}
+			for c := from; c <= to; c++ {
+				row[c] = taskGlyph(i)
+			}
+		}
+		name := s.Inst.Tasks[i].Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", i+1)
+		}
+		if _, err := fmt.Fprintf(w, "%-10s |%s| C=%.4g alloc<=%.3g\n",
+			name, row, s.CompletionTime(i), maxAlloc(s.Alloc[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxAlloc(row []float64) float64 {
+	m := 0.0
+	for _, a := range row {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// RenderGantt writes an ASCII Gantt chart of the integral schedule to w, one
+// row per processor.
+func (pa *ProcessorAssignment) RenderGantt(w io.Writer) error {
+	horizon := pa.Makespan()
+	if horizon <= 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	scale := float64(ganttWidth) / horizon
+	if _, err := fmt.Fprintf(w, "processor schedule: P=%d, horizon=%.4g, objective ΣwC=%.6g\n",
+		pa.NumProcessors(), horizon, pa.WeightedCompletionTime()); err != nil {
+		return err
+	}
+	for p, segs := range pa.Procs {
+		row := make([]byte, ganttWidth)
+		for c := range row {
+			row[c] = '.'
+		}
+		for _, seg := range segs {
+			if seg.Duration() <= numeric.Eps {
+				continue
+			}
+			from := int(seg.Start * scale)
+			to := int(seg.End * scale)
+			if to >= ganttWidth {
+				to = ganttWidth - 1
+			}
+			for c := from; c <= to; c++ {
+				row[c] = taskGlyph(seg.Task)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "P%-3d |%s|\n", p+1, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the column-based schedule as CSV rows
+// (task,column,column_start,column_end,allocation), suitable for plotting.
+func (s *ColumnSchedule) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "task,column,column_start,column_end,allocation"); err != nil {
+		return err
+	}
+	for i := 0; i < s.Inst.N(); i++ {
+		for j := 0; j < s.NumColumns(); j++ {
+			if s.Alloc[i][j] <= numeric.Eps {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%d,%d,%g,%g,%g\n",
+				i, j, s.ColumnStart(j), s.Times[j], s.Alloc[i][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary returns a one-line description of the schedule's key metrics.
+func (s *ColumnSchedule) Summary() string {
+	_, changes := s.AllocationChanges()
+	return fmt.Sprintf("n=%d ΣwC=%.6g ΣC=%.6g Cmax=%.6g changes=%d",
+		s.Inst.N(), s.WeightedCompletionTime(), s.SumCompletionTimes(), s.Makespan(), changes)
+}
+
+// Summary returns a one-line description of the integral schedule.
+func (pa *ProcessorAssignment) Summary() string {
+	_, preempt := pa.PreemptionCount()
+	_, changes := pa.AllocationChangeCount()
+	return fmt.Sprintf("n=%d P=%d ΣwC=%.6g Cmax=%.6g preemptions=%d changes=%d",
+		pa.Inst.N(), pa.NumProcessors(), pa.WeightedCompletionTime(), pa.Makespan(), preempt, changes)
+}
+
+// FormatCompletionTable renders a small text table of per-task completion
+// times and weighted contributions, used by the CLI and the examples.
+func (s *ColumnSchedule) FormatCompletionTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s\n", "task", "weight", "volume", "delta", "completion")
+	for j, task := range s.Order {
+		t := s.Inst.Tasks[task]
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", task+1)
+		}
+		fmt.Fprintf(&b, "%-10s %10.4g %10.4g %10.4g %12.6g\n", name, t.Weight, t.Volume, t.Delta, s.Times[j])
+	}
+	fmt.Fprintf(&b, "objective ΣwC = %.6g\n", s.WeightedCompletionTime())
+	return b.String()
+}

@@ -1,0 +1,211 @@
+// Package schedule defines the data model of the malleable-task scheduling
+// library: problem instances, column-based fractional schedules (the
+// MWCT-CB-F formulation of the paper), their conversion to per-processor
+// integral schedules (Theorem 3), and the associated metrics (weighted sum of
+// completion times, makespan, preemption counts).
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+)
+
+// Task is a work-preserving malleable task.
+type Task struct {
+	// Name is an optional human-readable identifier used in reports.
+	Name string `json:"name,omitempty"`
+	// Weight is the coefficient w_i of the task's completion time in the
+	// objective. It must be positive.
+	Weight float64 `json:"weight"`
+	// Volume is the total work V_i (the sequential processing time).
+	Volume float64 `json:"volume"`
+	// Delta is the maximum number of processors the task can use
+	// simultaneously (the paper's δ_i). It must be positive and at most the
+	// instance's processor count to be meaningful.
+	Delta float64 `json:"delta"`
+	// Due is an optional due date, used only by the maximum-lateness metric.
+	Due float64 `json:"due,omitempty"`
+}
+
+// Height returns V_i / δ_i, the minimum possible execution time of the task.
+func (t Task) Height() float64 { return t.Volume / t.Delta }
+
+// SmithRatio returns V_i / w_i, the key of Smith's rule (smaller first).
+func (t Task) SmithRatio() float64 { return t.Volume / t.Weight }
+
+// Instance is a malleable scheduling problem: P identical processors and a
+// set of tasks.
+type Instance struct {
+	// P is the total number of processors (the paper allows the fractional
+	// relaxation, so P is a float64; generators produce integer values).
+	P float64 `json:"processors"`
+	// Tasks is the task set. The order of this slice defines task indices
+	// used throughout the library.
+	Tasks []Task `json:"tasks"`
+}
+
+// NewInstance builds an instance and validates it.
+func NewInstance(p float64, tasks []Task) (*Instance, error) {
+	inst := &Instance{P: p, Tasks: append([]Task(nil), tasks...)}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// N returns the number of tasks.
+func (in *Instance) N() int { return len(in.Tasks) }
+
+// Validate checks that the instance data is well formed: positive processor
+// count, and positive weight, volume and degree bound for every task.
+func (in *Instance) Validate() error {
+	if !(in.P > 0) || math.IsInf(in.P, 0) || math.IsNaN(in.P) {
+		return fmt.Errorf("schedule: processor count must be positive and finite, got %g", in.P)
+	}
+	if len(in.Tasks) == 0 {
+		return fmt.Errorf("schedule: instance has no tasks")
+	}
+	for i, t := range in.Tasks {
+		if !(t.Weight > 0) || math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0) {
+			return fmt.Errorf("schedule: task %d has non-positive weight %g", i, t.Weight)
+		}
+		if !(t.Volume > 0) || math.IsNaN(t.Volume) || math.IsInf(t.Volume, 0) {
+			return fmt.Errorf("schedule: task %d has non-positive volume %g", i, t.Volume)
+		}
+		if !(t.Delta > 0) || math.IsNaN(t.Delta) || math.IsInf(t.Delta, 0) {
+			return fmt.Errorf("schedule: task %d has non-positive degree bound %g", i, t.Delta)
+		}
+		if t.Due < 0 {
+			return fmt.Errorf("schedule: task %d has negative due date %g", i, t.Due)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	return &Instance{P: in.P, Tasks: append([]Task(nil), in.Tasks...)}
+}
+
+// TotalVolume returns the sum of all task volumes.
+func (in *Instance) TotalVolume() float64 {
+	var k numeric.KahanSum
+	for _, t := range in.Tasks {
+		k.Add(t.Volume)
+	}
+	return k.Value()
+}
+
+// TotalWeight returns the sum of all task weights.
+func (in *Instance) TotalWeight() float64 {
+	var k numeric.KahanSum
+	for _, t := range in.Tasks {
+		k.Add(t.Weight)
+	}
+	return k.Value()
+}
+
+// MaxHeight returns max_i V_i/δ_i, a lower bound on the makespan.
+func (in *Instance) MaxHeight() float64 {
+	m := 0.0
+	for _, t := range in.Tasks {
+		if h := t.Height(); h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// EffectiveDelta returns min(δ_i, P) for task i: a task can never use more
+// processors than the platform holds.
+func (in *Instance) EffectiveDelta(i int) float64 {
+	return math.Min(in.Tasks[i].Delta, in.P)
+}
+
+// OptimalMakespan returns the optimal makespan for work-preserving malleable
+// tasks: max(ΣV_i / P, max_i V_i/δ_i). This classical result underlies the
+// makespan entry of Table I and is used by the Cmax-optimal schedule builder.
+func (in *Instance) OptimalMakespan() float64 {
+	cmax := in.TotalVolume() / in.P
+	for i := range in.Tasks {
+		if h := in.Tasks[i].Volume / in.EffectiveDelta(i); h > cmax {
+			cmax = h
+		}
+	}
+	return cmax
+}
+
+// SmithOrder returns the task indices sorted by non-decreasing V_i/w_i
+// (Smith's rule / WSPT order). Ties are broken by index for determinism.
+func (in *Instance) SmithOrder() []int {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Tasks[order[a]].SmithRatio() < in.Tasks[order[b]].SmithRatio()
+	})
+	return order
+}
+
+// DeltaDescendingOrder returns the task indices sorted by non-increasing δ_i.
+func (in *Instance) DeltaDescendingOrder() []int {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Tasks[order[a]].Delta > in.Tasks[order[b]].Delta
+	})
+	return order
+}
+
+// IsHomogeneousWeights reports whether all task weights are equal.
+func (in *Instance) IsHomogeneousWeights() bool {
+	for _, t := range in.Tasks {
+		if !numeric.ApproxEqual(t.Weight, in.Tasks[0].Weight) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLargeDeltaClass reports whether every task satisfies δ_i > P/2, the class
+// for which Theorem 11 proves that all optimal schedules are greedy.
+func (in *Instance) IsLargeDeltaClass() bool {
+	for _, t := range in.Tasks {
+		if !(t.Delta > in.P/2) {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalJSON implements json.Marshaler (the default struct encoding is used;
+// the method exists so that the encoding is part of the package's public
+// contract and covered by tests).
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	type alias Instance
+	return json.Marshal((*alias)(in))
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded
+// instance.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	type alias Instance
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*in = Instance(a)
+	return in.Validate()
+}
+
+// String returns a compact description of the instance.
+func (in *Instance) String() string {
+	return fmt.Sprintf("Instance{P=%g, n=%d, V=%.3g}", in.P, in.N(), in.TotalVolume())
+}

@@ -1,0 +1,160 @@
+package schedule
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+)
+
+func testInstance(t *testing.T) *Instance {
+	t.Helper()
+	inst, err := NewInstance(4, []Task{
+		{Name: "a", Weight: 2, Volume: 8, Delta: 2},
+		{Name: "b", Weight: 1, Volume: 4, Delta: 4},
+		{Name: "c", Weight: 3, Volume: 6, Delta: 3},
+	})
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		p     float64
+		tasks []Task
+	}{
+		{"zero processors", 0, []Task{{Weight: 1, Volume: 1, Delta: 1}}},
+		{"negative processors", -1, []Task{{Weight: 1, Volume: 1, Delta: 1}}},
+		{"nan processors", math.NaN(), []Task{{Weight: 1, Volume: 1, Delta: 1}}},
+		{"no tasks", 2, nil},
+		{"zero weight", 2, []Task{{Weight: 0, Volume: 1, Delta: 1}}},
+		{"zero volume", 2, []Task{{Weight: 1, Volume: 0, Delta: 1}}},
+		{"zero delta", 2, []Task{{Weight: 1, Volume: 1, Delta: 0}}},
+		{"negative due", 2, []Task{{Weight: 1, Volume: 1, Delta: 1, Due: -1}}},
+		{"inf volume", 2, []Task{{Weight: 1, Volume: math.Inf(1), Delta: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := NewInstance(c.p, c.tasks); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+	if _, err := NewInstance(2, []Task{{Weight: 1, Volume: 1, Delta: 1}}); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+func TestInstanceAggregates(t *testing.T) {
+	inst := testInstance(t)
+	if inst.N() != 3 {
+		t.Errorf("N = %d", inst.N())
+	}
+	if !numeric.ApproxEqual(inst.TotalVolume(), 18) {
+		t.Errorf("TotalVolume = %g", inst.TotalVolume())
+	}
+	if !numeric.ApproxEqual(inst.TotalWeight(), 6) {
+		t.Errorf("TotalWeight = %g", inst.TotalWeight())
+	}
+	if !numeric.ApproxEqual(inst.MaxHeight(), 4) { // task a: 8/2
+		t.Errorf("MaxHeight = %g", inst.MaxHeight())
+	}
+	// Optimal makespan = max(18/4, 8/2, 4/4, 6/3) = 4.5
+	if !numeric.ApproxEqual(inst.OptimalMakespan(), 4.5) {
+		t.Errorf("OptimalMakespan = %g", inst.OptimalMakespan())
+	}
+	if !numeric.ApproxEqual(inst.EffectiveDelta(1), 4) {
+		t.Errorf("EffectiveDelta(1) = %g", inst.EffectiveDelta(1))
+	}
+}
+
+func TestTaskDerivedQuantities(t *testing.T) {
+	task := Task{Weight: 2, Volume: 8, Delta: 4}
+	if !numeric.ApproxEqual(task.Height(), 2) {
+		t.Errorf("Height = %g", task.Height())
+	}
+	if !numeric.ApproxEqual(task.SmithRatio(), 4) {
+		t.Errorf("SmithRatio = %g", task.SmithRatio())
+	}
+}
+
+func TestSmithOrder(t *testing.T) {
+	inst := testInstance(t)
+	// Smith ratios: a: 8/2=4, b: 4/1=4, c: 6/3=2 -> c first, then a, b (stable).
+	order := inst.SmithOrder()
+	want := []int{2, 0, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("SmithOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeltaDescendingOrder(t *testing.T) {
+	inst := testInstance(t)
+	order := inst.DeltaDescendingOrder()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("DeltaDescendingOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	inst := testInstance(t)
+	if inst.IsHomogeneousWeights() {
+		t.Errorf("weights are heterogeneous")
+	}
+	if inst.IsLargeDeltaClass() {
+		t.Errorf("delta=2 on P=4 is not > P/2")
+	}
+	homo, _ := NewInstance(2, []Task{
+		{Weight: 1, Volume: 1, Delta: 1.5},
+		{Weight: 1, Volume: 2, Delta: 2},
+	})
+	if !homo.IsHomogeneousWeights() || !homo.IsLargeDeltaClass() {
+		t.Errorf("homogeneous large-delta instance misclassified")
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	inst := testInstance(t)
+	data, err := json.Marshal(inst)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.P != inst.P || back.N() != inst.N() {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	for i := range back.Tasks {
+		if back.Tasks[i] != inst.Tasks[i] {
+			t.Errorf("task %d changed: %+v vs %+v", i, back.Tasks[i], inst.Tasks[i])
+		}
+	}
+	// Unmarshal validates.
+	if err := json.Unmarshal([]byte(`{"processors":0,"tasks":[]}`), &back); err == nil {
+		t.Errorf("invalid JSON instance accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	inst := testInstance(t)
+	c := inst.Clone()
+	c.Tasks[0].Volume = 99
+	if inst.Tasks[0].Volume == 99 {
+		t.Errorf("Clone shares task storage")
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	if testInstance(t).String() == "" {
+		t.Errorf("empty String")
+	}
+}

@@ -1,0 +1,245 @@
+// Package sim provides a small online (non-clairvoyant) execution engine for
+// malleable tasks and the master–worker bandwidth-sharing simulation of the
+// paper's Figure 1. The engine runs a scheduling policy that sees task
+// weights, degree bounds and progress but never the remaining volumes, which
+// is exactly the non-clairvoyant model of Section III of the paper; the
+// engine itself knows the volumes and uses them only to detect completions.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/stepfunc"
+)
+
+// TaskView is what a non-clairvoyant policy is allowed to observe about a
+// task: everything except its (remaining) volume.
+type TaskView struct {
+	// ID is the task index in the instance.
+	ID int
+	// Weight and Delta are the task's weight and degree bound.
+	Weight, Delta float64
+	// Processed is the volume processed so far. Policies may use it (it is
+	// observable in reality) but none of the bundled policies do.
+	Processed float64
+}
+
+// Policy decides how many processors each alive task receives. The returned
+// slice must be aligned with the alive slice; entries must be non-negative,
+// at most the task's Delta, and sum to at most p. The engine validates these
+// conditions and aborts the run if a policy violates them.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Allocate computes the allocation for the alive tasks.
+	Allocate(p float64, alive []TaskView) []float64
+}
+
+// WDEQPolicy is the weighted dynamic equipartition of Algorithm 1.
+type WDEQPolicy struct{}
+
+// Name implements Policy.
+func (WDEQPolicy) Name() string { return "WDEQ" }
+
+// Allocate implements Policy.
+func (WDEQPolicy) Allocate(p float64, alive []TaskView) []float64 {
+	weights := make([]float64, len(alive))
+	deltas := make([]float64, len(alive))
+	for i, t := range alive {
+		weights[i] = t.Weight
+		deltas[i] = t.Delta
+	}
+	return core.ShareAllocation(p, weights, deltas)
+}
+
+// DEQPolicy is the unweighted dynamic equipartition (all weights treated as
+// one), the baseline of Deng et al.
+type DEQPolicy struct{}
+
+// Name implements Policy.
+func (DEQPolicy) Name() string { return "DEQ" }
+
+// Allocate implements Policy.
+func (DEQPolicy) Allocate(p float64, alive []TaskView) []float64 {
+	deltas := make([]float64, len(alive))
+	for i, t := range alive {
+		deltas[i] = t.Delta
+	}
+	return core.EquipartitionAllocation(p, deltas)
+}
+
+// PriorityPolicy allocates the platform greedily following a fixed priority
+// list: the highest-priority alive task receives min(δ, what is left), then
+// the next, and so on. With priorities sorted by weight it is an online
+// analogue of a greedy schedule.
+type PriorityPolicy struct {
+	// Priority maps task ID to its rank (lower rank = served first).
+	Priority []int
+	// Label is returned by Name.
+	Label string
+}
+
+// Name implements Policy.
+func (p PriorityPolicy) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "priority"
+}
+
+// Allocate implements Policy.
+func (p PriorityPolicy) Allocate(capacity float64, alive []TaskView) []float64 {
+	idx := make([]int, len(alive))
+	for i := range idx {
+		idx[i] = i
+	}
+	rank := func(view TaskView) int {
+		if view.ID < len(p.Priority) {
+			return p.Priority[view.ID]
+		}
+		return view.ID
+	}
+	// Insertion sort by rank (alive sets are small).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && rank(alive[idx[j]]) < rank(alive[idx[j-1]]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	alloc := make([]float64, len(alive))
+	remaining := capacity
+	for _, i := range idx {
+		a := math.Min(alive[i].Delta, remaining)
+		if a < 0 {
+			a = 0
+		}
+		alloc[i] = a
+		remaining -= a
+	}
+	return alloc
+}
+
+// Trace records one scheduling decision of a run.
+type Trace struct {
+	// Time is when the decision was taken.
+	Time float64
+	// Alive lists the IDs of the tasks alive at that time.
+	Alive []int
+	// Alloc gives the allocation of each alive task, aligned with Alive.
+	Alloc []float64
+}
+
+// Result is the outcome of an online run.
+type Result struct {
+	// Policy is the name of the policy that produced the run.
+	Policy string
+	// Schedule is the resulting (valid) column-based schedule.
+	Schedule *schedule.ColumnSchedule
+	// Decisions is the sequence of scheduling decisions.
+	Decisions []Trace
+}
+
+// Run executes the policy on the instance. Decisions are recomputed every
+// time a task completes (the event granularity of the paper's model).
+func Run(inst *schedule.Instance, policy Policy) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.N()
+	remaining := make([]float64, n)
+	processed := make([]float64, n)
+	profiles := make([]*stepfunc.StepFunc, n)
+	completions := make([]float64, n)
+	alive := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		remaining[i] = inst.Tasks[i].Volume
+		profiles[i] = stepfunc.Constant(0)
+		alive = append(alive, i)
+	}
+
+	result := &Result{Policy: policy.Name()}
+	now := 0.0
+	for steps := 0; len(alive) > 0; steps++ {
+		if steps > 4*n+16 {
+			return nil, fmt.Errorf("sim: policy %q did not finish after %d decision points", policy.Name(), steps)
+		}
+		views := make([]TaskView, len(alive))
+		for k, i := range alive {
+			views[k] = TaskView{
+				ID:        i,
+				Weight:    inst.Tasks[i].Weight,
+				Delta:     inst.EffectiveDelta(i),
+				Processed: processed[i],
+			}
+		}
+		alloc := policy.Allocate(inst.P, views)
+		if err := validateAllocation(inst, views, alloc); err != nil {
+			return nil, fmt.Errorf("sim: policy %q: %w", policy.Name(), err)
+		}
+		result.Decisions = append(result.Decisions, Trace{
+			Time:  now,
+			Alive: append([]int(nil), alive...),
+			Alloc: append([]float64(nil), alloc...),
+		})
+
+		// Advance to the next completion.
+		dt := math.Inf(1)
+		for k, i := range alive {
+			if alloc[k] <= 0 {
+				continue
+			}
+			if d := remaining[i] / alloc[k]; d < dt {
+				dt = d
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("sim: policy %q starves all remaining tasks at time %g", policy.Name(), now)
+		}
+		for k, i := range alive {
+			if alloc[k] <= 0 {
+				continue
+			}
+			profiles[i].AddOn(now, now+dt, alloc[k])
+			remaining[i] -= alloc[k] * dt
+			processed[i] += alloc[k] * dt
+		}
+		now += dt
+		stillAlive := alive[:0]
+		for _, i := range alive {
+			if remaining[i] <= 1e-9*math.Max(1, inst.Tasks[i].Volume) {
+				completions[i] = now
+			} else {
+				stillAlive = append(stillAlive, i)
+			}
+		}
+		alive = stillAlive
+	}
+	s, err := schedule.FromAllocationFunctions(inst, completions, profiles)
+	if err != nil {
+		return nil, err
+	}
+	result.Schedule = s
+	return result, nil
+}
+
+func validateAllocation(inst *schedule.Instance, views []TaskView, alloc []float64) error {
+	if len(alloc) != len(views) {
+		return fmt.Errorf("allocation has %d entries for %d alive tasks", len(alloc), len(views))
+	}
+	var total float64
+	for k, a := range alloc {
+		if a < -1e-9 || math.IsNaN(a) {
+			return fmt.Errorf("negative allocation %g for task %d", a, views[k].ID)
+		}
+		if a > views[k].Delta+1e-6 {
+			return fmt.Errorf("allocation %g for task %d exceeds its degree bound %g", a, views[k].ID, views[k].Delta)
+		}
+		total += a
+	}
+	if total > inst.P+1e-6 {
+		return fmt.Errorf("allocation total %g exceeds the platform capacity %g", total, inst.P)
+	}
+	return nil
+}

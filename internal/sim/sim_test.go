@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/numeric"
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+func mustInstance(t *testing.T, p float64, tasks []schedule.Task) *schedule.Instance {
+	t.Helper()
+	inst, err := schedule.NewInstance(p, tasks)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+func randomInstance(rng *rand.Rand, n int, p float64) *schedule.Instance {
+	tasks := make([]schedule.Task, n)
+	for i := range tasks {
+		tasks[i] = schedule.Task{
+			Weight: 0.05 + 0.95*rng.Float64(),
+			Volume: 0.05 + 0.95*rng.Float64(),
+			Delta:  0.05 + (p-0.05)*rng.Float64(),
+		}
+	}
+	return &schedule.Instance{P: p, Tasks: tasks}
+}
+
+func TestRunWDEQPolicyMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomInstance(rng, 1+rng.Intn(6), float64(1+rng.Intn(4)))
+		res, err := Run(inst, WDEQPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("invalid: %v", err)
+		}
+		direct, err := core.RunWDEQ(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.ApproxEqualTol(res.Schedule.WeightedCompletionTime(), direct.WeightedCompletionTime(), 1e-6) {
+			t.Errorf("engine %g vs direct %g", res.Schedule.WeightedCompletionTime(), direct.WeightedCompletionTime())
+		}
+	}
+}
+
+func TestRunRecordsDecisions(t *testing.T) {
+	inst := mustInstance(t, 2, []schedule.Task{
+		{Weight: 1, Volume: 2, Delta: 2},
+		{Weight: 1, Volume: 2, Delta: 2},
+	})
+	res, err := Run(inst, DEQPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) == 0 || res.Decisions[0].Time != 0 {
+		t.Errorf("decisions = %+v", res.Decisions)
+	}
+	if res.Policy != "DEQ" {
+		t.Errorf("policy name = %q", res.Policy)
+	}
+}
+
+func TestPriorityPolicy(t *testing.T) {
+	inst := mustInstance(t, 2, []schedule.Task{
+		{Weight: 1, Volume: 2, Delta: 2},
+		{Weight: 1, Volume: 2, Delta: 2},
+	})
+	// Task 1 has the highest priority (rank 0).
+	res, err := Run(inst, PriorityPolicy{Priority: []int{1, 0}, Label: "prio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if !numeric.ApproxEqual(res.Schedule.CompletionTime(1), 1) || !numeric.ApproxEqual(res.Schedule.CompletionTime(0), 2) {
+		t.Errorf("completions = %v, want task 1 first", res.Schedule.CompletionTimes())
+	}
+	if res.Policy != "prio" {
+		t.Errorf("label not used: %q", res.Policy)
+	}
+	if (PriorityPolicy{}).Name() != "priority" {
+		t.Errorf("default name wrong")
+	}
+}
+
+// badPolicy violates the capacity constraint to exercise the engine's guard.
+type badPolicy struct{}
+
+func (badPolicy) Name() string { return "bad" }
+func (badPolicy) Allocate(p float64, alive []TaskView) []float64 {
+	out := make([]float64, len(alive))
+	for i := range out {
+		out[i] = p // every task asks for the whole platform
+	}
+	return out
+}
+
+// starvingPolicy allocates nothing, which must be detected as starvation.
+type starvingPolicy struct{}
+
+func (starvingPolicy) Name() string { return "starve" }
+func (starvingPolicy) Allocate(p float64, alive []TaskView) []float64 {
+	return make([]float64, len(alive))
+}
+
+func TestRunRejectsBadPolicies(t *testing.T) {
+	inst := mustInstance(t, 2, []schedule.Task{
+		{Weight: 1, Volume: 1, Delta: 2},
+		{Weight: 1, Volume: 1, Delta: 2},
+	})
+	if _, err := Run(inst, badPolicy{}); err == nil {
+		t.Errorf("over-allocation not detected")
+	}
+	if _, err := Run(inst, starvingPolicy{}); err == nil {
+		t.Errorf("starvation not detected")
+	}
+}
+
+func TestSimulateBandwidth(t *testing.T) {
+	scenario, err := workload.NewBandwidthScenario(4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := scenario.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wdeq, err := core.RunWDEQ(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateBandwidth(scenario, "WDEQ", wdeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksProcessed <= 0 {
+		t.Errorf("no tasks processed")
+	}
+	// The explicit sweep matches the closed-form Σ rate·(T-C) whenever all
+	// completions are within the horizon.
+	if gap := res.ThroughputIdentityGap(scenario); gap > 1e-6 {
+		t.Errorf("identity gap = %g", gap)
+	}
+}
+
+func TestCompareBandwidthStrategies(t *testing.T) {
+	scenario, err := workload.NewBandwidthScenario(5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := scenario.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wdeq, err := core.RunWDEQ(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := core.BestGreedy(inst, rand.New(rand.NewSource(1)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmax, err := core.CmaxOptimal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := CompareBandwidthStrategies(scenario, map[string]*schedule.ColumnSchedule{
+		"WDEQ":         wdeq,
+		"best greedy":  best.Schedule,
+		"Cmax optimal": cmax,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("expected 3 results, got %d", len(results))
+	}
+	// Results are sorted by decreasing throughput; the best greedy (lowest
+	// ΣwC) must process at least as many tasks as the others.
+	for _, r := range results {
+		if r.Strategy == "best greedy" && r.TasksProcessed+1e-9 < results[0].TasksProcessed {
+			t.Errorf("best greedy is not among the top strategies: %+v", results)
+		}
+	}
+}
+
+func TestSimulateBandwidthSizeMismatch(t *testing.T) {
+	scenario, _ := workload.NewBandwidthScenario(3, 1)
+	otherInst := mustInstance(t, 2, []schedule.Task{{Weight: 1, Volume: 1, Delta: 1}})
+	s, err := core.CmaxOptimal(otherInst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateBandwidth(scenario, "x", s); err == nil {
+		t.Errorf("size mismatch accepted")
+	}
+}
+
+// Property: the non-clairvoyant engine with the WDEQ policy and the direct
+// WDEQ implementation agree on every completion time, for any instance.
+func TestQuickEngineEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 1+rng.Intn(6), float64(1+rng.Intn(4)))
+		res, err := Run(inst, WDEQPolicy{})
+		if err != nil {
+			return false
+		}
+		direct, err := core.RunWDEQ(inst)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < inst.N(); i++ {
+			if !numeric.ApproxEqualTol(res.Schedule.CompletionTime(i), direct.CompletionTime(i), 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a priority policy driven by Smith's order is never better than
+// the offline best greedy but always yields a valid schedule and respects the
+// degree bounds (checked through schedule validation).
+func TestQuickPriorityPolicyValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 1+rng.Intn(6), float64(1+rng.Intn(4)))
+		priority := make([]int, inst.N())
+		for rank, task := range inst.SmithOrder() {
+			priority[task] = rank
+		}
+		res, err := Run(inst, PriorityPolicy{Priority: priority, Label: "smith"})
+		if err != nil {
+			return false
+		}
+		return res.Schedule.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

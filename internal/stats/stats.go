@@ -1,0 +1,155 @@
+// Package stats provides the small descriptive-statistics helpers used by the
+// experiment drivers to summarize ratios, gaps and counts across many random
+// instances.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of the sample. An empty sample yields a zero
+// Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	var sum numeric.KahanSum
+	for _, x := range sorted {
+		sum.Add(x)
+	}
+	mean := sum.Value() / float64(len(sorted))
+	var sq numeric.KahanSum
+	for _, x := range sorted {
+		d := x - mean
+		sq.Add(d * d)
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(sq.Value() / float64(len(sorted)-1))
+	}
+	return Summary{
+		Count:  len(sorted),
+		Mean:   mean,
+		StdDev: std,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    Quantile(sorted, 0.50),
+		P90:    Quantile(sorted, 0.90),
+		P99:    Quantile(sorted, 0.99),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already sorted sample,
+// using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g std=%.3g min=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g",
+		s.Count, s.Mean, s.StdDev, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); observations outside the
+// range are clamped into the first or last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram creates a histogram with the given number of bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || !(hi > lo) {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	bin := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.Total++
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// String renders the histogram as a compact bar chart.
+func (h *Histogram) String() string {
+	out := ""
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := ""
+		if h.Total > 0 {
+			for k := 0; k < int(40*float64(c)/float64(h.Total)+0.5); k++ {
+				bar += "#"
+			}
+		}
+		out += fmt.Sprintf("[%8.3g,%8.3g) %6d %s\n", h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, bar)
+	}
+	return out
+}
+
+// MaxRatio returns max(a_i/b_i) over the paired samples, skipping pairs with
+// non-positive denominator. It returns 0 for empty input.
+func MaxRatio(num, den []float64) float64 {
+	m := 0.0
+	for i := range num {
+		if i >= len(den) || den[i] <= 0 {
+			continue
+		}
+		if r := num[i] / den[i]; r > m {
+			m = r
+		}
+	}
+	return m
+}

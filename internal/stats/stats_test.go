@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/malleable-sched/malleable/internal/numeric"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || !numeric.ApproxEqual(s.Mean, 3) || !numeric.ApproxEqual(s.Min, 1) ||
+		!numeric.ApproxEqual(s.Max, 5) || !numeric.ApproxEqual(s.P50, 3) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !numeric.ApproxEqual(s.StdDev, math.Sqrt(2.5)) {
+		t.Errorf("StdDev = %g, want %g", s.StdDev, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeEmptyAndSingleton(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Mean != 7 || s.StdDev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if Quantile(sorted, 0) != 0 || Quantile(sorted, 1) != 9 {
+		t.Errorf("extreme quantiles wrong")
+	}
+	if !numeric.ApproxEqual(Quantile(sorted, 0.5), 4.5) {
+		t.Errorf("median = %g", Quantile(sorted, 0.5))
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Errorf("empty quantile should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(-5) // clamped to first bin
+	h.Add(50) // clamped to last bin
+	if h.Total != 12 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.Counts[0] != 3 || h.Counts[4] != 3 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+	if !numeric.ApproxEqual(h.Fraction(0), 0.25) {
+		t.Errorf("Fraction = %g", h.Fraction(0))
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Errorf("String missing bars")
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 3)
+}
+
+func TestMaxRatio(t *testing.T) {
+	if r := MaxRatio([]float64{1, 4, 9}, []float64{1, 2, 3}); !numeric.ApproxEqual(r, 3) {
+		t.Errorf("MaxRatio = %g", r)
+	}
+	if r := MaxRatio([]float64{1}, []float64{0}); r != 0 {
+		t.Errorf("MaxRatio with zero denominator = %g", r)
+	}
+	if MaxRatio(nil, nil) != 0 {
+		t.Errorf("empty MaxRatio")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if !strings.Contains(Summarize([]float64{1, 2}).String(), "mean") {
+		t.Errorf("String missing fields")
+	}
+}
+
+// Property: mean lies between min and max, quantiles are monotone, and the
+// summary of a sample is invariant under shuffling.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-numeric.Eps || s.Mean > s.Max+numeric.Eps {
+			return false
+		}
+		if s.P50 > s.P90+numeric.Eps || s.P90 > s.P99+numeric.Eps {
+			return false
+		}
+		shuffled := append([]float64(nil), xs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		s2 := Summarize(shuffled)
+		return numeric.ApproxEqual(s.Mean, s2.Mean) && s.Min == s2.Min && s.Max == s2.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles of a sorted sample are non-decreasing in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-numeric.Eps {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package malleable
+
+import (
+	"math/rand"
+
+	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/exact"
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+// Task is a work-preserving malleable task: volume V (sequential work),
+// weight w, degree bound δ (maximum simultaneous processors) and an optional
+// due date.
+type Task = schedule.Task
+
+// Instance is a scheduling problem: P identical processors and a task set.
+type Instance = schedule.Instance
+
+// Schedule is a column-based fractional schedule (the MWCT-CB-F formulation
+// of the paper): between two consecutive completion times every task holds a
+// constant, possibly fractional, number of processors.
+type Schedule = schedule.ColumnSchedule
+
+// ProcessorSchedule is an integral schedule: each processor executes a
+// sequence of task segments. It is obtained from a Schedule via
+// ToProcessorSchedule (Theorem 3 of the paper).
+type ProcessorSchedule = schedule.ProcessorAssignment
+
+// GreedyResult pairs a greedy schedule with the task order that produced it.
+type GreedyResult = core.GreedyResult
+
+// OptimalResult describes an optimal schedule found by the exact solver.
+type OptimalResult = exact.OrderSolution
+
+// NewInstance builds and validates an instance.
+func NewInstance(p float64, tasks []Task) (*Instance, error) {
+	return schedule.NewInstance(p, tasks)
+}
+
+// WDEQ runs the non-clairvoyant weighted dynamic equipartition algorithm
+// (Algorithm 1 of the paper) and returns the resulting schedule. WDEQ never
+// looks at task volumes when taking decisions and is a 2-approximation of the
+// optimal weighted completion time (Theorem 4).
+func WDEQ(inst *Instance) (*Schedule, error) { return core.RunWDEQ(inst) }
+
+// DEQ runs the unweighted dynamic equipartition baseline.
+func DEQ(inst *Instance) (*Schedule, error) { return core.RunDEQ(inst) }
+
+// WaterFill rebuilds a valid schedule in which task i completes exactly at
+// completions[i], or reports that no such schedule exists (Algorithm WF,
+// Theorem 8 of the paper). The result is the paper's normal form.
+func WaterFill(inst *Instance, completions []float64) (*Schedule, error) {
+	return core.WaterFill(inst, completions)
+}
+
+// Feasible reports whether some valid schedule meets the given per-task
+// completion times.
+func Feasible(inst *Instance, completions []float64) bool {
+	return core.WaterFillFeasible(inst, completions)
+}
+
+// Normalize rebuilds the normal form of an arbitrary valid schedule from its
+// completion times, preserving the objective value.
+func Normalize(s *Schedule) (*Schedule, error) { return core.Normalize(s) }
+
+// Greedy builds the greedy schedule for the given task order (Algorithm 3 of
+// the paper): each task, in order, receives as much of the remaining capacity
+// as its degree bound allows, as early as possible.
+func Greedy(inst *Instance, order []int) (*Schedule, error) { return core.Greedy(inst, order) }
+
+// GreedySmith runs Greedy with Smith's ordering (non-decreasing V_i/w_i).
+func GreedySmith(inst *Instance) (*GreedyResult, error) { return core.GreedySmith(inst) }
+
+// BestGreedy searches for the best greedy schedule: exhaustively over all
+// orders for small instances, over a heuristic portfolio plus extraRandom
+// random orders otherwise. rng may be nil for a deterministic default.
+func BestGreedy(inst *Instance, rng *rand.Rand, extraRandom int) (*GreedyResult, error) {
+	return core.BestGreedy(inst, rng, extraRandom)
+}
+
+// Optimal computes an optimal schedule for small instances by enumerating
+// completion orders and solving the linear program of Corollary 1 for each.
+func Optimal(inst *Instance) (*OptimalResult, error) {
+	return exact.Optimal(inst, exact.Options{BuildSchedule: true})
+}
+
+// OptimalObjective returns only the optimal objective value.
+func OptimalObjective(inst *Instance) (float64, error) { return exact.OptimalObjective(inst) }
+
+// CmaxOptimal builds a schedule with the optimal makespan
+// max(ΣV_i/P, max_i V_i/δ_i), stretching every task to that common deadline.
+func CmaxOptimal(inst *Instance) (*Schedule, error) { return core.CmaxOptimal(inst) }
+
+// MinimizeMaxLateness computes a schedule minimizing max_i (C_i − Due_i)
+// using the water-filling feasibility test, and returns the optimal lateness.
+func MinimizeMaxLateness(inst *Instance) (*Schedule, float64, error) {
+	return core.MinimizeMaxLateness(inst)
+}
+
+// SquashedAreaBound returns A(I), the optimal objective when degree bounds
+// are ignored (Smith's rule on the squashed platform); it is a lower bound of
+// the optimum.
+func SquashedAreaBound(inst *Instance) float64 { return core.SquashedAreaBound(inst) }
+
+// HeightBound returns H(I) = Σ w_i·V_i/δ_i, the optimal objective on an
+// unbounded platform; it is a lower bound of the optimum.
+func HeightBound(inst *Instance) float64 { return core.HeightBound(inst) }
+
+// LowerBound returns max(A(I), H(I)).
+func LowerBound(inst *Instance) float64 { return core.LowerBound(inst) }
+
+// ToProcessorSchedule converts a fractional column-based schedule into an
+// integral per-processor schedule with the same completion times, following
+// the constructive proof of Theorem 3. The instance must have an integer
+// number of processors.
+func ToProcessorSchedule(s *Schedule) (*ProcessorSchedule, error) {
+	return schedule.FromColumns(s)
+}

@@ -1,0 +1,159 @@
+package malleable_test
+
+import (
+	"math/rand"
+	"testing"
+
+	malleable "github.com/malleable-sched/malleable"
+	"github.com/malleable-sched/malleable/internal/numeric"
+)
+
+// exampleInstance is the small running example used by the facade tests:
+// three tasks on two processors.
+func exampleInstance(t *testing.T) *malleable.Instance {
+	t.Helper()
+	inst, err := malleable.NewInstance(2, []malleable.Task{
+		{Name: "render", Weight: 3, Volume: 2, Delta: 2, Due: 2},
+		{Name: "encode", Weight: 1, Volume: 2, Delta: 1, Due: 3},
+		{Name: "upload", Weight: 2, Volume: 1, Delta: 2, Due: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+func TestFacadeAlgorithmsProduceValidSchedules(t *testing.T) {
+	inst := exampleInstance(t)
+
+	wdeq, err := malleable.WDEQ(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deq, err := malleable.DEQ(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smith, err := malleable.GreedySmith(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := malleable.BestGreedy(inst, rand.New(rand.NewSource(1)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmax, err := malleable.CmaxOptimal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*malleable.Schedule{
+		"WDEQ": wdeq, "DEQ": deq, "GreedySmith": smith.Schedule, "BestGreedy": best.Schedule, "CmaxOptimal": cmax,
+	} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s schedule invalid: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeOptimalAndBounds(t *testing.T) {
+	inst := exampleInstance(t)
+	opt, err := malleable.Optimal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Schedule.Validate(); err != nil {
+		t.Fatalf("optimal schedule invalid: %v", err)
+	}
+	obj, err := malleable.OptimalObjective(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqualTol(obj, opt.Objective, 1e-9) {
+		t.Errorf("OptimalObjective = %g, Optimal().Objective = %g", obj, opt.Objective)
+	}
+	lb := malleable.LowerBound(inst)
+	if lb > opt.Objective+1e-6 {
+		t.Errorf("lower bound %g exceeds the optimum %g", lb, opt.Objective)
+	}
+	if malleable.SquashedAreaBound(inst) > lb+1e-9 || malleable.HeightBound(inst) > lb+1e-9 {
+		t.Errorf("LowerBound is not the max of A and H")
+	}
+
+	wdeq, err := malleable.WDEQ(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wdeq.WeightedCompletionTime() > 2*opt.Objective+1e-6 {
+		t.Errorf("WDEQ breaks its 2-approximation guarantee")
+	}
+
+	best, err := malleable.BestGreedy(inst, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqualTol(best.Objective, opt.Objective, 1e-5) {
+		t.Errorf("best greedy %g differs from the optimum %g (Conjecture 12)", best.Objective, opt.Objective)
+	}
+}
+
+func TestFacadeNormalFormAndConversion(t *testing.T) {
+	inst := exampleInstance(t)
+	wdeq, err := malleable.WDEQ(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !malleable.Feasible(inst, wdeq.CompletionTimes()) {
+		t.Errorf("completion times of a valid schedule reported infeasible")
+	}
+	norm, err := malleable.Normalize(wdeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqualTol(norm.WeightedCompletionTime(), wdeq.WeightedCompletionTime(), 1e-6) {
+		t.Errorf("normalization changed the objective")
+	}
+	wf, err := malleable.WaterFill(inst, wdeq.CompletionTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := malleable.ToProcessorSchedule(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Validate(); err != nil {
+		t.Errorf("processor schedule invalid: %v", err)
+	}
+	// Infeasible targets are rejected.
+	tight := make([]float64, inst.N())
+	for i := range tight {
+		tight[i] = 0.01
+	}
+	if malleable.Feasible(inst, tight) {
+		t.Errorf("absurdly tight completion times reported feasible")
+	}
+}
+
+func TestFacadeGreedyAndLateness(t *testing.T) {
+	inst := exampleInstance(t)
+	g, err := malleable.Greedy(inst, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("greedy schedule invalid: %v", err)
+	}
+	s, lmax, err := malleable.MinimizeMaxLateness(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("lateness schedule invalid: %v", err)
+	}
+	if s.MaxLateness() > lmax+1e-6 {
+		t.Errorf("schedule lateness %g exceeds reported optimum %g", s.MaxLateness(), lmax)
+	}
+	// No schedule can beat the reported optimal lateness.
+	if g.MaxLateness() < lmax-1e-6 {
+		t.Errorf("a greedy schedule beats the reported optimal lateness (%g < %g)", g.MaxLateness(), lmax)
+	}
+}
