@@ -427,6 +427,80 @@ func BenchmarkSchedulePipeline(b *testing.B) {
 	}
 }
 
+// --- online engine benchmarks (the sustained-load scenario family) ---
+
+func onlineArrivals(b *testing.B, n int, seed int64) []malleable.Arrival {
+	b.Helper()
+	arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Class:   workload.Uniform,
+		P:       8,
+		Process: workload.Poisson,
+		Rate:    8,
+	}, n, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return arrivals
+}
+
+// BenchmarkEngineWDEQPoisson exercises the discrete-event loop end to end:
+// Poisson arrivals, incremental alive-set maintenance, one WDEQ invocation
+// per event.
+func BenchmarkEngineWDEQPoisson(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		arrivals := onlineArrivals(b, n, 17)
+		policy, err := malleable.OnlinePolicyByName("wdeq")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := malleable.RunOnline(8, policy, arrivals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnginePolicies compares the per-event cost of the bundled online
+// policies on the same arrival stream.
+func BenchmarkEnginePolicies(b *testing.B) {
+	arrivals := onlineArrivals(b, 1024, 23)
+	for _, name := range []string{"wdeq", "deq", "weight-greedy", "smith-ratio"} {
+		policy, err := malleable.OnlinePolicyByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := malleable.RunOnline(8, policy, arrivals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSharded measures the concurrent multi-shard driver: four
+// engines on four goroutines plus the deterministic merge.
+func BenchmarkEngineSharded(b *testing.B) {
+	policy, err := malleable.OnlinePolicyByName("wdeq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.ArrivalConfig{Class: workload.Uniform, P: 8, Process: workload.Poisson, Rate: 8}
+	source := func(shard int, seed int64) ([]malleable.Arrival, error) {
+		return workload.GenerateArrivals(cfg, 512, seed)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := malleable.RunOnlineShards(8, policy, source, 4, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func sizeName(n int) string {
 	return fmt.Sprintf("n=%03d", n)
 }

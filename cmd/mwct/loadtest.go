@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// loadtestSpec is the full parameterization of a sharded online load test.
+// It is shared by `mwct loadtest` and the POST /v1/loadtest endpoint of
+// `mwct serve`.
+type loadtestSpec struct {
+	// Policy is one of engine.PolicyNames.
+	Policy string `json:"policy"`
+	// Class is a workload instance-class name (see `mwct gen -class`).
+	Class string `json:"class"`
+	// Process is the arrival process: poisson or bursty.
+	Process string `json:"process"`
+	// Rate is the per-shard arrival rate (tasks per unit time).
+	Rate float64 `json:"rate"`
+	// Burst is the mean burst size of the bursty process.
+	Burst float64 `json:"burst,omitempty"`
+	// Tasks is the total number of tasks across all shards.
+	Tasks int `json:"tasks"`
+	// Shards is the number of concurrent engine instances.
+	Shards int `json:"shards"`
+	// P is the per-shard platform capacity.
+	P float64 `json:"p"`
+	// Seed is the base seed; per-shard seeds are derived from it.
+	Seed int64 `json:"seed"`
+	// Tenants is a name:weight:share list, e.g. "gold:4:0.2,bronze:1:0.8".
+	Tenants string `json:"tenants,omitempty"`
+}
+
+// runLoadtestSpec generates the per-shard arrival streams, runs the sharded
+// engine and returns the merged result plus the parsed tenant mix (so the
+// report prints the same tenants the workload actually ran with).
+func runLoadtestSpec(spec loadtestSpec) (*engine.LoadResult, []workload.TenantSpec, error) {
+	if spec.Tasks <= 0 {
+		return nil, nil, fmt.Errorf("loadtest: need a positive task count, got %d", spec.Tasks)
+	}
+	if spec.Shards <= 0 {
+		return nil, nil, fmt.Errorf("loadtest: need a positive shard count, got %d", spec.Shards)
+	}
+	if spec.Tasks < spec.Shards {
+		return nil, nil, fmt.Errorf("loadtest: need at least one task per shard, got %d tasks over %d shards", spec.Tasks, spec.Shards)
+	}
+	policy, err := engine.PolicyByName(spec.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	class, err := workload.ParseClass(spec.Class)
+	if err != nil {
+		return nil, nil, err
+	}
+	process, err := workload.ParseProcess(spec.Process)
+	if err != nil {
+		return nil, nil, err
+	}
+	tenants, err := workload.ParseTenants(spec.Tenants)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := workload.ArrivalConfig{
+		Class:     class,
+		P:         spec.P,
+		Process:   process,
+		Rate:      spec.Rate,
+		MeanBurst: spec.Burst,
+		Tenants:   tenants,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// Spread the task budget over the shards; the first Tasks%Shards shards
+	// absorb the remainder.
+	perShard := func(shard int) int {
+		n := spec.Tasks / spec.Shards
+		if shard < spec.Tasks%spec.Shards {
+			n++
+		}
+		return n
+	}
+	source := func(shard int, seed int64) ([]engine.Arrival, error) {
+		return workload.GenerateArrivals(cfg, perShard(shard), seed)
+	}
+	res, err := engine.RunShards(spec.P, policy, source, spec.Shards, spec.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tenants, nil
+}
+
+// loadtestReport runs the spec and renders the deterministic text report:
+// the same spec always produces byte-identical output.
+func loadtestReport(w io.Writer, spec loadtestSpec) error {
+	res, tenants, err := runLoadtestSpec(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "loadtest: policy=%s class=%s process=%s rate=%g tasks=%d shards=%d p=%g seed=%d\n",
+		res.Policy, spec.Class, spec.Process, spec.Rate, spec.Tasks, spec.Shards, spec.P, spec.Seed)
+	for _, run := range res.Shards {
+		r := run.Result
+		fmt.Fprintf(w, "shard %d: tasks=%d events=%d max-alive=%d makespan=%.6g weighted-flow=%.6g mean-flow=%.6g throughput=%.6g\n",
+			run.Shard, len(r.Tasks), r.Events, r.MaxAlive, r.Makespan, r.WeightedFlow, r.MeanFlow(), r.Throughput())
+	}
+	fmt.Fprintf(w, "aggregate: tasks=%d events=%d makespan=%.6g weighted-flow=%.6g throughput=%.6g\n",
+		res.TotalTasks, res.Events, res.Makespan, res.WeightedFlow, res.Throughput)
+	fmt.Fprintf(w, "flow: %s\n", res.Flow)
+	for _, tm := range res.PerTenant {
+		name := fmt.Sprintf("tenant-%d", tm.Tenant)
+		if tm.Tenant < len(tenants) {
+			name = tenants[tm.Tenant].Name
+		}
+		fmt.Fprintf(w, "tenant %s: tasks=%d mean-flow=%.6g std-flow=%.3g max-flow=%.6g weighted-flow=%.6g\n",
+			name, tm.Tasks, tm.MeanFlow, tm.StdFlow, tm.MaxFlow, tm.WeightedFlow)
+	}
+	return nil
+}
+
+// runLoadtest implements `mwct loadtest`.
+func runLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	policy := fs.String("policy", "wdeq", "policy: wdeq, deq, weight-greedy, smith-ratio")
+	class := fs.String("class", "uniform", "instance class for the task shapes (see `mwct gen`)")
+	process := fs.String("process", "poisson", "arrival process: poisson or bursty")
+	rate := fs.Float64("rate", 8, "per-shard arrival rate (tasks per unit time)")
+	burst := fs.Float64("burst", 4, "mean burst size of the bursty process")
+	tasks := fs.Int("n", 10000, "total number of tasks across all shards")
+	shards := fs.Int("shards", 4, "number of concurrent engine shards")
+	p := fs.Float64("p", 8, "per-shard platform capacity (processors)")
+	seed := fs.Int64("seed", 1, "base random seed (per-shard seeds are derived)")
+	tenants := fs.String("tenants", "", "tenant mix as name:weight:share,... (empty = single tenant)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return loadtestReport(os.Stdout, loadtestSpec{
+		Policy:  *policy,
+		Class:   *class,
+		Process: *process,
+		Rate:    *rate,
+		Burst:   *burst,
+		Tasks:   *tasks,
+		Shards:  *shards,
+		P:       *p,
+		Seed:    *seed,
+		Tenants: *tenants,
+	})
+}

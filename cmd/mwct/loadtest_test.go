@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testSpec() loadtestSpec {
+	return loadtestSpec{
+		Policy:  "wdeq",
+		Class:   "uniform",
+		Process: "poisson",
+		Rate:    8,
+		Burst:   4,
+		Tasks:   400,
+		Shards:  4,
+		P:       8,
+		Seed:    1,
+	}
+}
+
+// The determinism contract of the acceptance criteria: the same spec must
+// render a byte-identical report.
+func TestLoadtestReportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := loadtestReport(&a, testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadtestReport(&b, testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("reports differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{"loadtest: policy=WDEQ", "shard 3:", "aggregate: tasks=400", "flow: n=400", "tenant default:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadtestReportTenantsAndPolicies(t *testing.T) {
+	spec := testSpec()
+	spec.Tenants = "gold:4:0.2,bronze:1:0.8"
+	spec.Process = "bursty"
+	for _, policy := range []string{"deq", "weight-greedy", "smith-ratio"} {
+		spec.Policy = policy
+		var buf bytes.Buffer
+		if err := loadtestReport(&buf, spec); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !strings.Contains(buf.String(), "tenant gold:") || !strings.Contains(buf.String(), "tenant bronze:") {
+			t.Errorf("%s: missing tenant rows:\n%s", policy, buf.String())
+		}
+	}
+}
+
+func TestLoadtestSpecValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*loadtestSpec){
+		"bad policy":  func(s *loadtestSpec) { s.Policy = "nope" },
+		"bad class":   func(s *loadtestSpec) { s.Class = "nope" },
+		"bad process": func(s *loadtestSpec) { s.Process = "nope" },
+		"bad tenants": func(s *loadtestSpec) { s.Tenants = "gold" },
+		"zero tasks":  func(s *loadtestSpec) { s.Tasks = 0 },
+		"zero shards": func(s *loadtestSpec) { s.Shards = 0 },
+		"zero rate":   func(s *loadtestSpec) { s.Rate = 0 },
+	} {
+		spec := testSpec()
+		mutate(&spec)
+		if _, _, err := runLoadtestSpec(spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	srv := httptest.NewServer(newServeMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeSolve(t *testing.T) {
+	srv := httptest.NewServer(newServeMux())
+	defer srv.Close()
+	body := `{"processors": 2, "tasks": [{"weight": 1, "volume": 2, "delta": 1}, {"weight": 2, "volume": 1, "delta": 2}]}`
+	resp, err := http.Post(srv.URL+"/v1/solve?algo=wdeq", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Algorithm   string    `json:"algorithm"`
+		Objective   float64   `json:"objective"`
+		Completions []float64 `json:"completions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "wdeq" || out.Objective <= 0 || len(out.Completions) != 2 {
+		t.Errorf("solve response = %+v", out)
+	}
+
+	bad, err := http.Post(srv.URL+"/v1/solve?algo=nope", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown algo status = %d, want 400", bad.StatusCode)
+	}
+}
+
+func TestServeLoadtest(t *testing.T) {
+	srv := httptest.NewServer(newServeMux())
+	defer srv.Close()
+	spec, _ := json.Marshal(testSpec())
+	resp, err := http.Post(srv.URL+"/v1/loadtest", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("loadtest status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Policy     string           `json:"policy"`
+		TotalTasks int              `json:"totalTasks"`
+		Throughput float64          `json:"throughput"`
+		Shards     []map[string]any `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Policy != "WDEQ" || out.TotalTasks != 400 || out.Throughput <= 0 || len(out.Shards) != 4 {
+		t.Errorf("loadtest response = %+v", out)
+	}
+
+	bad, err := http.Post(srv.URL+"/v1/loadtest", "application/json", strings.NewReader(`{"policy": "nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad policy status = %d, want 422", bad.StatusCode)
+	}
+}

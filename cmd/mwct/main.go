@@ -10,6 +10,8 @@
 //	mwct compare    -input instance.json
 //	mwct experiment -name e1 [-full]
 //	mwct bandwidth  -workers 8 -seed 7
+//	mwct loadtest   -policy wdeq -n 10000 -shards 4 -rate 8 -seed 1
+//	mwct serve      -addr :8080
 //
 // Instances are read and written as JSON (see `mwct gen` for the format).
 package main
@@ -36,6 +38,10 @@ func main() {
 		err = runExperiment(os.Args[2:])
 	case "bandwidth":
 		err = runBandwidth(os.Args[2:])
+	case "loadtest":
+		err = runLoadtest(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -58,6 +64,11 @@ Commands:
   compare     run all applicable algorithms on an instance and compare them
   experiment  reproduce one of the paper's experiments (e1..e9, f1, all)
   bandwidth   run the Figure-1 master-worker bandwidth-sharing scenario
+  loadtest    drive the online arrival-driven engine under sustained
+              multi-tenant load across concurrent shards (WDEQ, DEQ,
+              weight-greedy, smith-ratio; see examples/onlineload for a
+              runnable WDEQ-vs-DEQ comparison)
+  serve       expose solve and loadtest over an HTTP API
 
 Run "mwct <command> -h" for the flags of each command.
 `)

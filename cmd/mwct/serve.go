@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	malleable "github.com/malleable-sched/malleable"
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+// newServeMux builds the HTTP API of `mwct serve`:
+//
+//	GET  /healthz              liveness probe
+//	POST /v1/solve?algo=NAME   schedule a JSON instance, return completions
+//	POST /v1/loadtest          run a sharded online load test (loadtestSpec)
+//
+// The handler is pure (no global state), so tests drive it through
+// net/http/httptest.
+func newServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/solve", handleSolve)
+	mux.HandleFunc("POST /v1/loadtest", handleLoadtest)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// handleSolve schedules a posted instance with one of the offline algorithms
+// and returns the completion times and objective.
+func handleSolve(w http.ResponseWriter, r *http.Request) {
+	algo := r.URL.Query().Get("algo")
+	if algo == "" {
+		algo = "wdeq"
+	}
+	var inst schedule.Instance
+	if err := json.NewDecoder(r.Body).Decode(&inst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding instance: %w", err))
+		return
+	}
+	var (
+		s   *schedule.ColumnSchedule
+		err error
+	)
+	switch algo {
+	case "wdeq":
+		s, err = malleable.WDEQ(&inst)
+	case "deq":
+		s, err = malleable.DEQ(&inst)
+	case "smith-greedy":
+		var g *malleable.GreedyResult
+		g, err = malleable.GreedySmith(&inst)
+		if err == nil {
+			s = g.Schedule
+		}
+	case "cmax":
+		s, err = malleable.CmaxOptimal(&inst)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (want wdeq, deq, smith-greedy or cmax)", algo))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	// Report both metrics: "objective" is ΣwC (what wdeq/deq/smith-greedy
+	// optimize); cmax optimizes the makespan, so clients comparing algorithms
+	// must read the field their algorithm actually targets.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"algorithm":   algo,
+		"objective":   s.WeightedCompletionTime(),
+		"makespan":    s.Makespan(),
+		"completions": s.CompletionTimes(),
+	})
+}
+
+// Limits on network-submitted load tests: a local `mwct loadtest` may be as
+// large as the operator likes, but an HTTP client must not be able to pin
+// every core or exhaust memory with a single request.
+const (
+	maxServeLoadtestTasks  = 1_000_000
+	maxServeLoadtestShards = 256
+	maxServeBodyBytes      = 1 << 20
+)
+
+// handleLoadtest runs a sharded online load test described by a JSON
+// loadtestSpec body and returns the merged engine.LoadResult (without the
+// per-task rows, which would dwarf the response).
+func handleLoadtest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxServeBodyBytes)
+	spec := loadtestSpec{
+		Policy:  "wdeq",
+		Class:   "uniform",
+		Process: "poisson",
+		Rate:    8,
+		Burst:   4,
+		Tasks:   1000,
+		Shards:  4,
+		P:       8,
+		Seed:    1,
+	}
+	// An empty body runs the defaults above.
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding loadtest spec: %w", err))
+		return
+	}
+	if spec.Tasks > maxServeLoadtestTasks {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("tasks %d exceeds the server limit %d", spec.Tasks, maxServeLoadtestTasks))
+		return
+	}
+	if spec.Shards > maxServeLoadtestShards {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("shards %d exceeds the server limit %d", spec.Shards, maxServeLoadtestShards))
+		return
+	}
+	res, _, err := runLoadtestSpec(spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	// Strip the per-task metrics before serializing; keep the aggregates.
+	shards := make([]map[string]any, len(res.Shards))
+	for i, run := range res.Shards {
+		shards[i] = map[string]any{
+			"shard":        run.Shard,
+			"seed":         run.Seed,
+			"tasks":        len(run.Result.Tasks),
+			"events":       run.Result.Events,
+			"maxAlive":     run.Result.MaxAlive,
+			"makespan":     run.Result.Makespan,
+			"weightedFlow": run.Result.WeightedFlow,
+			"meanFlow":     run.Result.MeanFlow(),
+			"throughput":   run.Result.Throughput(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policy":       res.Policy,
+		"p":            res.P,
+		"totalTasks":   res.TotalTasks,
+		"events":       res.Events,
+		"makespan":     res.Makespan,
+		"weightedFlow": res.WeightedFlow,
+		"throughput":   res.Throughput,
+		"flow":         res.Flow,
+		"perTenant":    res.PerTenant,
+		"shards":       shards,
+	})
+}
+
+// runServe implements `mwct serve`.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mwct: serving on %s\n", *addr)
+	// Explicit timeouts so slow clients cannot hold connections (and their
+	// goroutines) open indefinitely.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServeMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute, // large load tests take a while to run
+	}
+	return srv.ListenAndServe()
+}

@@ -27,12 +27,23 @@
 //   - Optimal, the exact solver for small instances (order enumeration plus
 //     the linear program of Corollary 1, solved by a built-in simplex);
 //   - the lower bounds A(I) (squashed area), H(I) (height) and their mixed
-//     combination, plus makespan- and lateness-oriented helpers.
+//     combination, plus makespan- and lateness-oriented helpers;
+//   - RunOnline and RunOnlineShards, the online arrival-driven engine: tasks
+//     carry release dates (Arrival), a discrete-event loop re-invokes an
+//     OnlinePolicy at every arrival and completion, and per-task flow-time
+//     metrics are reported. OnlinePolicyByName resolves the bundled policies
+//     (wdeq, deq, weight-greedy and the clairvoyant smith-ratio baseline),
+//     and the sharded variant runs many independent engines concurrently
+//     with reproducible per-shard seeds — the sustained-load, weighted
+//     flow-time setting the paper's non-clairvoyant algorithms were designed
+//     for.
 //
 // The heavy lifting lives in internal packages (internal/core,
-// internal/schedule, internal/lp, ...); this package is the stable facade a
-// downstream user imports. The cmd/mwct command exposes the same
-// functionality on the command line, the examples/ directory contains
-// runnable scenarios, and bench_test.go regenerates every quantitative result
-// of the paper (see DESIGN.md and EXPERIMENTS.md).
+// internal/schedule, internal/engine, internal/lp, ...); this package is the
+// stable facade a downstream user imports. The cmd/mwct command exposes the
+// same functionality on the command line (including `mwct loadtest`, the
+// multi-tenant load generator over the engine, and `mwct serve`, its HTTP
+// front end), the examples/ directory contains runnable scenarios, and
+// bench_test.go regenerates every quantitative result of the paper (see
+// DESIGN.md and EXPERIMENTS.md).
 package malleable

@@ -1,0 +1,78 @@
+// Online load: weighted flow time under sustained Poisson arrivals.
+//
+// The example drives the arrival-driven engine with the same multi-tenant
+// Poisson workload under four policies — the paper's non-clairvoyant WDEQ,
+// its unweighted ancestor DEQ, the non-clairvoyant weight-greedy priority
+// policy, and the clairvoyant Smith-ratio baseline — and compares their
+// weighted flow times. WDEQ's weight awareness is exactly what protects the
+// heavy (gold) tenant once the platform is contended: DEQ treats every alive
+// task the same and lets the gold tenant's flow times drift toward the
+// fleet average.
+//
+// Run with:
+//
+//	go run ./examples/onlineload
+//
+// The same scenario at scale is available as `mwct loadtest`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	malleable "github.com/malleable-sched/malleable"
+)
+
+func main() {
+	const (
+		processors = 4
+		tasks      = 4000
+		rate       = 6 // ~75% offered load on the uniform class
+		seed       = 2024
+	)
+	arrivals, err := malleable.GenerateArrivals(malleable.OnlineWorkload{
+		Class:   "uniform",
+		P:       processors,
+		Process: "poisson",
+		Rate:    rate,
+		Tenants: []malleable.TenantSpec{
+			{Name: "gold", Weight: 4, Share: 0.2},
+			{Name: "bronze", Weight: 1, Share: 0.8},
+		},
+	}, tasks, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("online load: %d tasks, Poisson rate %g, P=%d, tenants gold(w=4, 20%%) bronze(w=1, 80%%)\n\n",
+		tasks, float64(rate), processors)
+	fmt.Printf("%-14s %14s %12s %12s %14s %14s\n",
+		"policy", "Σw·flow", "mean flow", "p99 flow", "gold mean", "bronze mean")
+	for _, name := range []string{"wdeq", "deq", "weight-greedy", "smith-ratio"} {
+		policy, err := malleable.OnlinePolicyByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := malleable.RunOnline(processors, policy, arrivals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tenants := res.PerTenant()
+		fmt.Printf("%-14s %14.6g %12.4g %12.4g %14.4g %14.4g\n",
+			res.Policy, res.WeightedFlow, res.MeanFlow(), p99(res.FlowTimes()),
+			tenants[0].MeanFlow, tenants[1].MeanFlow)
+	}
+	fmt.Println("\nWDEQ needs no volume information yet keeps the weighted flow within a few")
+	fmt.Println("percent of the clairvoyant Smith-ratio baseline, and serves the gold tenant")
+	fmt.Println("noticeably better than the weight-blind DEQ.")
+}
+
+func p99(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[int(0.99*float64(len(sorted)-1))]
+}

@@ -1,0 +1,3 @@
+module github.com/malleable-sched/malleable
+
+go 1.24

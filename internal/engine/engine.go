@@ -1,0 +1,396 @@
+// Package engine provides the online, arrival-driven scheduling engine of the
+// library: a discrete-event loop that accepts a stream of task arrivals
+// (release dates), maintains the alive set incrementally, re-invokes a
+// scheduling policy only at events (arrivals and completions), and records
+// per-task flow-time metrics plus aggregate throughput.
+//
+// Where internal/sim replays a static instance whose tasks all exist at time
+// zero, this package models the genuine online setting of the paper's
+// non-clairvoyant algorithms: tasks appear over time, the policy never sees
+// the future, and the platform runs under sustained load. The multi-shard
+// driver in shard.go runs many independent engines concurrently and merges
+// their statistics deterministically.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/sim"
+	"github.com/malleable-sched/malleable/internal/stats"
+)
+
+// Arrival is one task of an online workload: the task itself, the time it
+// becomes available, and the tenant that submitted it. It lives in the data
+// model (internal/schedule) so that load generators do not depend on the
+// engine; this alias is the name the rest of the library uses.
+type Arrival = schedule.Arrival
+
+// TaskState is what an online policy observes about an alive task. The
+// Remaining field is clairvoyant information: non-clairvoyant policies
+// (everything reached through Adapt) never see it.
+type TaskState struct {
+	// ID is the index of the task in the arrival stream.
+	ID int
+	// Tenant is the submitting tenant.
+	Tenant int
+	// Release is the task's arrival time.
+	Release float64
+	// Weight and Delta are the task's weight and effective degree bound
+	// (already capped at the platform capacity).
+	Weight, Delta float64
+	// Processed is the volume processed so far (observable in reality).
+	Processed float64
+	// Remaining is the remaining volume. Only clairvoyant baselines such as
+	// SmithRatioPolicy may use it.
+	Remaining float64
+}
+
+// Policy is an online allocation policy. The returned slice must be aligned
+// with alive; entries must be non-negative, at most the task's Delta, and sum
+// to at most p. The engine validates these conditions and aborts the run if a
+// policy violates them. Policies must be safe for concurrent use by multiple
+// engine shards; all bundled policies are stateless values.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Allocate computes the allocation for the alive tasks.
+	Allocate(p float64, alive []TaskState) []float64
+}
+
+// Adapt lifts a non-clairvoyant sim.Policy into an engine Policy. The adapter
+// projects TaskState down to sim.TaskView, so the wrapped policy can never
+// observe remaining volumes — the non-clairvoyant model is preserved by
+// construction.
+func Adapt(p sim.Policy) Policy { return simAdapter{inner: p} }
+
+type simAdapter struct{ inner sim.Policy }
+
+func (a simAdapter) Name() string { return a.inner.Name() }
+
+func (a simAdapter) Allocate(p float64, alive []TaskState) []float64 {
+	views := make([]sim.TaskView, len(alive))
+	for i, t := range alive {
+		views[i] = sim.TaskView{ID: t.ID, Weight: t.Weight, Delta: t.Delta, Processed: t.Processed}
+	}
+	return a.inner.Allocate(p, views)
+}
+
+// Decision records one policy invocation of a run.
+type Decision struct {
+	// Time is when the decision was taken.
+	Time float64
+	// Alive lists the IDs of the tasks alive at that time.
+	Alive []int
+	// Alloc gives the allocation of each alive task, aligned with Alive.
+	Alloc []float64
+}
+
+// TaskMetrics is the per-task outcome of an online run.
+type TaskMetrics struct {
+	// ID is the index of the task in the arrival stream.
+	ID int `json:"id"`
+	// Tenant is the submitting tenant.
+	Tenant int `json:"tenant"`
+	// Weight is the task's weight.
+	Weight float64 `json:"weight"`
+	// Release and Completion bound the task's residence in the system.
+	Release    float64 `json:"release"`
+	Completion float64 `json:"completion"`
+	// Flow is Completion - Release, the task's flow (response) time.
+	Flow float64 `json:"flow"`
+}
+
+// TenantMetrics aggregates the tasks of one tenant.
+type TenantMetrics struct {
+	// Tenant is the tenant index.
+	Tenant int `json:"tenant"`
+	// Tasks is the number of completed tasks.
+	Tasks int `json:"tasks"`
+	// WeightedFlow is Σ w_i·F_i over the tenant's tasks.
+	WeightedFlow float64 `json:"weightedFlow"`
+	// MeanFlow, StdFlow and MaxFlow summarize the tenant's flow times.
+	MeanFlow float64 `json:"meanFlow"`
+	StdFlow  float64 `json:"stdFlow"`
+	MaxFlow  float64 `json:"maxFlow"`
+}
+
+// Result is the outcome of an online run.
+type Result struct {
+	// Policy is the name of the policy that produced the run.
+	Policy string `json:"policy"`
+	// P is the platform capacity.
+	P float64 `json:"p"`
+	// Tasks holds the per-task metrics, indexed by arrival-stream position.
+	Tasks []TaskMetrics `json:"tasks,omitempty"`
+	// Events is the number of policy invocations.
+	Events int `json:"events"`
+	// MaxAlive is the largest alive-set size observed (the peak backlog).
+	MaxAlive int `json:"maxAlive"`
+	// Makespan is the completion time of the last task.
+	Makespan float64 `json:"makespan"`
+	// WeightedFlow is Σ w_i·(C_i - r_i), the weighted flow time.
+	WeightedFlow float64 `json:"weightedFlow"`
+	// WeightedCompletion is Σ w_i·C_i, the objective of the offline paper.
+	WeightedCompletion float64 `json:"weightedCompletion"`
+	// TotalFlow is Σ (C_i - r_i).
+	TotalFlow float64 `json:"totalFlow"`
+	// Decisions is the recorded decision trace (only with RecordDecisions).
+	Decisions []Decision `json:"-"`
+}
+
+// Throughput returns completed tasks per unit of (virtual) time.
+func (r *Result) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(r.Tasks)) / r.Makespan
+}
+
+// MeanFlow returns the mean flow time.
+func (r *Result) MeanFlow() float64 {
+	if len(r.Tasks) == 0 {
+		return 0
+	}
+	return r.TotalFlow / float64(len(r.Tasks))
+}
+
+// FlowTimes returns the flow time of every task, in arrival-stream order.
+func (r *Result) FlowTimes() []float64 {
+	out := make([]float64, len(r.Tasks))
+	for i, t := range r.Tasks {
+		out[i] = t.Flow
+	}
+	return out
+}
+
+// PerTenant aggregates the per-task metrics by tenant, sorted by tenant index.
+func (r *Result) PerTenant() []TenantMetrics {
+	flows, weighted := r.tenantAccumulators()
+	return tenantMetrics(flows, weighted)
+}
+
+// tenantAccumulators folds the per-task flow times into one accumulator (and
+// one weighted-flow sum) per tenant. The sharded driver calls this inside
+// each shard's goroutine and merges the partials in shard order.
+func (r *Result) tenantAccumulators() (map[int]*stats.Accumulator, map[int]float64) {
+	flows := map[int]*stats.Accumulator{}
+	weighted := map[int]float64{}
+	for _, t := range r.Tasks {
+		acc := flows[t.Tenant]
+		if acc == nil {
+			acc = &stats.Accumulator{}
+			flows[t.Tenant] = acc
+		}
+		acc.Add(t.Flow)
+		weighted[t.Tenant] += t.Weight * t.Flow
+	}
+	return flows, weighted
+}
+
+// tenantMetrics renders per-tenant accumulators as a sorted metrics slice.
+func tenantMetrics(flows map[int]*stats.Accumulator, weighted map[int]float64) []TenantMetrics {
+	out := make([]TenantMetrics, 0, len(flows))
+	for tenant, acc := range flows {
+		out = append(out, TenantMetrics{
+			Tenant:       tenant,
+			Tasks:        acc.Count(),
+			WeightedFlow: weighted[tenant],
+			MeanFlow:     acc.Mean(),
+			StdFlow:      acc.StdDev(),
+			MaxFlow:      acc.Max(),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Tenant < out[b].Tenant })
+	return out
+}
+
+// Options tunes a run.
+type Options struct {
+	// RecordDecisions keeps the full decision trace in the result. Off by
+	// default: under sustained load the trace dominates memory.
+	RecordDecisions bool
+	// MaxEvents bounds the number of policy invocations; 0 means the default
+	// 4n+64 safety bound (a correct run needs at most 3n+1).
+	MaxEvents int
+}
+
+// Run executes the policy on the arrival stream with default options.
+func Run(p float64, policy Policy, arrivals []Arrival) (*Result, error) {
+	return RunWithOptions(p, policy, arrivals, Options{})
+}
+
+// RunWithOptions executes the policy on the arrival stream.
+//
+// The loop advances from event to event: at every arrival or completion the
+// alive set is updated and the policy is re-invoked once — simultaneous
+// arrivals and completions at the same instant are coalesced into a single
+// event, which is the event granularity of the paper's model. Between events
+// every alive task i processes alloc_i·dt units of work.
+func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) (*Result, error) {
+	if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
+		return nil, fmt.Errorf("engine: platform capacity must be positive and finite, got %g", p)
+	}
+	n := len(arrivals)
+	if n == 0 {
+		return nil, fmt.Errorf("engine: empty arrival stream")
+	}
+	for i, a := range arrivals {
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: arrival %d: %w", i, err)
+		}
+	}
+
+	// Process arrivals in release order; ties broken by stream position so
+	// runs are deterministic.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return arrivals[order[a]].Release < arrivals[order[b]].Release
+	})
+
+	maxEvents := opts.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = 4*n + 64
+	}
+
+	remaining := make([]float64, n)
+	processed := make([]float64, n)
+	for i, a := range arrivals {
+		remaining[i] = a.Task.Volume
+	}
+	tol := func(i int) float64 { return 1e-9 * math.Max(1, arrivals[i].Task.Volume) }
+
+	res := &Result{Policy: policy.Name(), P: p, Tasks: make([]TaskMetrics, n)}
+	alive := make([]int, 0, n)
+	now := 0.0
+	next := 0 // index into order of the next pending arrival
+	done := 0
+
+	for next < n || len(alive) > 0 {
+		// Admit every arrival released by now, then retire every task whose
+		// volume is exhausted (including zero-volume tasks that were just
+		// admitted). Doing both before the policy call coalesces simultaneous
+		// arrivals and completions into one event.
+		for next < n && arrivals[order[next]].Release <= now {
+			alive = append(alive, order[next])
+			next++
+		}
+		stillAlive := alive[:0]
+		for _, i := range alive {
+			if remaining[i] <= tol(i) {
+				a := arrivals[i]
+				res.Tasks[i] = TaskMetrics{
+					ID:         i,
+					Tenant:     a.Tenant,
+					Weight:     a.Task.Weight,
+					Release:    a.Release,
+					Completion: now,
+					Flow:       now - a.Release,
+				}
+				res.WeightedFlow += a.Task.Weight * (now - a.Release)
+				res.WeightedCompletion += a.Task.Weight * now
+				res.TotalFlow += now - a.Release
+				if now > res.Makespan {
+					res.Makespan = now
+				}
+				done++
+			} else {
+				stillAlive = append(stillAlive, i)
+			}
+		}
+		alive = stillAlive
+		if len(alive) > res.MaxAlive {
+			res.MaxAlive = len(alive)
+		}
+		if len(alive) == 0 {
+			if next >= n {
+				break
+			}
+			now = arrivals[order[next]].Release
+			continue
+		}
+
+		res.Events++
+		if res.Events > maxEvents {
+			return nil, fmt.Errorf("engine: policy %q did not finish after %d events (%d of %d tasks done at time %g)",
+				policy.Name(), res.Events, done, n, now)
+		}
+		states := make([]TaskState, len(alive))
+		for k, i := range alive {
+			states[k] = TaskState{
+				ID:        i,
+				Tenant:    arrivals[i].Tenant,
+				Release:   arrivals[i].Release,
+				Weight:    arrivals[i].Task.Weight,
+				Delta:     math.Min(arrivals[i].Task.Delta, p),
+				Processed: processed[i],
+				Remaining: remaining[i],
+			}
+		}
+		alloc := policy.Allocate(p, states)
+		if err := validateAllocation(p, states, alloc); err != nil {
+			return nil, fmt.Errorf("engine: policy %q: %w", policy.Name(), err)
+		}
+		if opts.RecordDecisions {
+			res.Decisions = append(res.Decisions, Decision{
+				Time:  now,
+				Alive: append([]int(nil), alive...),
+				Alloc: append([]float64(nil), alloc...),
+			})
+		}
+
+		// Advance to the next event: the earliest completion under the
+		// current allocation or the next arrival, whichever comes first.
+		dt := math.Inf(1)
+		for k, i := range alive {
+			if alloc[k] <= 0 {
+				continue
+			}
+			if d := remaining[i] / alloc[k]; d < dt {
+				dt = d
+			}
+		}
+		if next < n {
+			if d := arrivals[order[next]].Release - now; d < dt {
+				dt = d
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("engine: policy %q starves all remaining tasks at time %g with no pending arrivals", policy.Name(), now)
+		}
+		for k, i := range alive {
+			if alloc[k] <= 0 {
+				continue
+			}
+			remaining[i] -= alloc[k] * dt
+			processed[i] += alloc[k] * dt
+		}
+		now += dt
+	}
+	return res, nil
+}
+
+func validateAllocation(p float64, states []TaskState, alloc []float64) error {
+	if len(alloc) != len(states) {
+		return fmt.Errorf("allocation has %d entries for %d alive tasks", len(alloc), len(states))
+	}
+	var total float64
+	for k, a := range alloc {
+		if a < -1e-9 || math.IsNaN(a) {
+			return fmt.Errorf("negative allocation %g for task %d", a, states[k].ID)
+		}
+		if a > states[k].Delta+1e-6 {
+			return fmt.Errorf("allocation %g for task %d exceeds its degree bound %g", a, states[k].ID, states[k].Delta)
+		}
+		total += a
+	}
+	if total > p+1e-6 {
+		return fmt.Errorf("allocation total %g exceeds the platform capacity %g", total, p)
+	}
+	return nil
+}

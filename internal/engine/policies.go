@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/malleable-sched/malleable/internal/sim"
+)
+
+// WeightGreedyPolicy is the online analogue of a greedy schedule ordered by
+// weight: the heaviest alive task receives min(δ, what is left), then the
+// next, and so on. Ties go to the earlier release, then to the lower ID. It
+// is non-clairvoyant (it never looks at volumes).
+type WeightGreedyPolicy struct{}
+
+// Name implements Policy.
+func (WeightGreedyPolicy) Name() string { return "weight-greedy" }
+
+// Allocate implements Policy.
+func (WeightGreedyPolicy) Allocate(p float64, alive []TaskState) []float64 {
+	return greedyByRank(p, alive, func(a, b TaskState) bool {
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.Release != b.Release {
+			return a.Release < b.Release
+		}
+		return a.ID < b.ID
+	})
+}
+
+// SmithRatioPolicy is a clairvoyant baseline: it serves alive tasks greedily
+// in non-decreasing order of remaining-volume over weight (the online
+// counterpart of Smith's rule). Because it reads TaskState.Remaining it has
+// strictly more information than the paper's non-clairvoyant model allows; it
+// exists to measure how much WDEQ loses to clairvoyance under load.
+type SmithRatioPolicy struct{}
+
+// Name implements Policy.
+func (SmithRatioPolicy) Name() string { return "smith-ratio" }
+
+// Allocate implements Policy.
+func (SmithRatioPolicy) Allocate(p float64, alive []TaskState) []float64 {
+	return greedyByRank(p, alive, func(a, b TaskState) bool {
+		ra, rb := a.Remaining/a.Weight, b.Remaining/b.Weight
+		if ra != rb {
+			return ra < rb
+		}
+		return a.ID < b.ID
+	})
+}
+
+// greedyByRank hands out the capacity following the order induced by less:
+// each task in turn receives min(δ, remaining capacity).
+func greedyByRank(p float64, alive []TaskState, less func(a, b TaskState) bool) []float64 {
+	idx := make([]int, len(alive))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(alive[idx[a]], alive[idx[b]]) })
+	alloc := make([]float64, len(alive))
+	capacity := p
+	for _, i := range idx {
+		a := math.Min(alive[i].Delta, capacity)
+		if a < 0 {
+			a = 0
+		}
+		alloc[i] = a
+		capacity -= a
+	}
+	return alloc
+}
+
+// PolicyNames lists the policy names accepted by PolicyByName.
+func PolicyNames() []string {
+	return []string{"wdeq", "deq", "weight-greedy", "smith-ratio"}
+}
+
+// PolicyByName resolves a policy name: "wdeq" and "deq" are the
+// non-clairvoyant equipartition policies of the paper (adapted from
+// internal/sim), "weight-greedy" is the non-clairvoyant greedy priority
+// policy, and "smith-ratio" is the clairvoyant Smith-rule baseline.
+func PolicyByName(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "wdeq":
+		return Adapt(sim.WDEQPolicy{}), nil
+	case "deq":
+		return Adapt(sim.DEQPolicy{}), nil
+	case "weight-greedy":
+		return WeightGreedyPolicy{}, nil
+	case "smith-ratio":
+		return SmithRatioPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown policy %q (want one of %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+}

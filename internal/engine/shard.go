@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/malleable-sched/malleable/internal/stats"
+)
+
+// ArrivalSource produces the arrival stream of one shard. The seed passed in
+// is already derived from the base seed and the shard index (see ShardSeed),
+// so a source only has to be deterministic in (shard, seed) for the whole
+// sharded run to be reproducible.
+type ArrivalSource func(shard int, seed int64) ([]Arrival, error)
+
+// ShardRun is the outcome of one shard of a sharded run.
+type ShardRun struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Seed is the derived seed the shard's arrival stream was drawn with.
+	Seed int64 `json:"seed"`
+	// Result is the shard's engine result.
+	Result *Result `json:"result"`
+}
+
+// LoadResult merges the outcomes of a sharded run. All aggregates are
+// computed in shard order, so two runs with the same inputs produce
+// byte-identical reports.
+type LoadResult struct {
+	// Policy is the policy name, P the per-shard platform capacity.
+	Policy string  `json:"policy"`
+	P      float64 `json:"p"`
+	// Shards holds the per-shard outcomes, indexed by shard.
+	Shards []ShardRun `json:"shards"`
+	// TotalTasks is the number of tasks completed across all shards.
+	TotalTasks int `json:"totalTasks"`
+	// Events is the total number of policy invocations.
+	Events int `json:"events"`
+	// Makespan is the largest shard makespan.
+	Makespan float64 `json:"makespan"`
+	// WeightedFlow is Σ w_i·F_i across all shards.
+	WeightedFlow float64 `json:"weightedFlow"`
+	// Throughput is TotalTasks divided by Makespan: the aggregate completion
+	// rate of the fleet while the slowest shard was still draining.
+	Throughput float64 `json:"throughput"`
+	// Flow summarizes the flow times of every task of every shard.
+	Flow stats.Summary `json:"flow"`
+	// PerTenant aggregates tenants across shards, sorted by tenant index.
+	PerTenant []TenantMetrics `json:"perTenant"`
+}
+
+// ShardSeed derives a per-shard seed from the base seed with a splitmix64
+// step, so neighbouring shards get decorrelated streams while the mapping
+// stays a pure function of (base, shard).
+func ShardSeed(base int64, shard int) int64 {
+	z := uint64(base) + uint64(shard+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// RunShards runs `shards` independent engine instances concurrently, one
+// goroutine per shard, each over its own arrival stream drawn with a seed
+// derived from baseSeed, and merges the statistics deterministically. The
+// policy is shared across shards and must therefore be safe for concurrent
+// use (all bundled policies are stateless values).
+func RunShards(p float64, policy Policy, source ArrivalSource, shards int, baseSeed int64) (*LoadResult, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("engine: need at least one shard, got %d", shards)
+	}
+	runs := make([]ShardRun, shards)
+	// Per-shard tenant partials, folded inside the shard goroutines so the
+	// merge goroutine only combines accumulators.
+	tenantParts := make([]map[int]*stats.Accumulator, shards)
+	weightedParts := make([]map[int]float64, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			// A panicking source or policy must surface as this shard's
+			// error, not abort the whole process (mwct serve runs shards on
+			// behalf of network clients).
+			defer func() {
+				if r := recover(); r != nil {
+					errs[s] = fmt.Errorf("shard %d: panic: %v", s, r)
+				}
+			}()
+			seed := ShardSeed(baseSeed, s)
+			arrivals, err := source(s, seed)
+			if err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+			res, err := Run(p, policy, arrivals)
+			if err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+			runs[s] = ShardRun{Shard: s, Seed: seed, Result: res}
+			tenantParts[s], weightedParts[s] = res.tenantAccumulators()
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	return mergeShards(p, policy.Name(), runs, tenantParts, weightedParts), nil
+}
+
+// mergeShards folds the per-shard results into a LoadResult. Everything is
+// iterated in shard order, so the merge is deterministic: flow samples
+// concatenate for exact quantiles, and the tenant partials produced by the
+// shard goroutines combine through Accumulator.Merge.
+func mergeShards(p float64, policy string, runs []ShardRun, tenantParts []map[int]*stats.Accumulator, weightedParts []map[int]float64) *LoadResult {
+	out := &LoadResult{Policy: policy, P: p, Shards: runs}
+	var flows []float64
+	tenantAcc := map[int]*stats.Accumulator{}
+	tenantWF := map[int]float64{}
+	for s, run := range runs {
+		r := run.Result
+		out.TotalTasks += len(r.Tasks)
+		out.Events += r.Events
+		out.WeightedFlow += r.WeightedFlow
+		if r.Makespan > out.Makespan {
+			out.Makespan = r.Makespan
+		}
+		flows = append(flows, r.FlowTimes()...)
+		// Visit the shard's tenants in ascending order so the floating-point
+		// merge sequence is a pure function of the inputs.
+		tenants := make([]int, 0, len(tenantParts[s]))
+		for t := range tenantParts[s] {
+			tenants = append(tenants, t)
+		}
+		sort.Ints(tenants)
+		for _, t := range tenants {
+			if tenantAcc[t] == nil {
+				tenantAcc[t] = &stats.Accumulator{}
+			}
+			tenantAcc[t].Merge(tenantParts[s][t])
+			tenantWF[t] += weightedParts[s][t]
+		}
+	}
+	if out.Makespan > 0 {
+		out.Throughput = float64(out.TotalTasks) / out.Makespan
+	}
+	out.Flow = stats.Summarize(flows)
+	out.PerTenant = tenantMetrics(tenantAcc, tenantWF)
+	return out
+}

@@ -1,0 +1,39 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arrival is one task of an online workload: the task itself, the time it
+// becomes available, and the tenant that submitted it. It is the unit of the
+// arrival streams consumed by the online engine (internal/engine) and
+// produced by the load generators (internal/workload).
+type Arrival struct {
+	// Task carries the weight, volume and degree bound. Unlike a task of a
+	// static Instance, a zero volume is legal in the online setting: the task
+	// completes the instant it is admitted (its flow time is zero).
+	Task Task `json:"task"`
+	// Release is the arrival time r_i >= 0.
+	Release float64 `json:"release"`
+	// Tenant identifies the submitting tenant in multi-tenant workloads.
+	Tenant int `json:"tenant,omitempty"`
+}
+
+// Validate checks that the arrival is well formed: positive weight and degree
+// bound, non-negative finite volume and release date.
+func (a Arrival) Validate() error {
+	if !(a.Task.Weight > 0) || math.IsNaN(a.Task.Weight) || math.IsInf(a.Task.Weight, 0) {
+		return fmt.Errorf("schedule: arrival has non-positive weight %g", a.Task.Weight)
+	}
+	if a.Task.Volume < 0 || math.IsNaN(a.Task.Volume) || math.IsInf(a.Task.Volume, 0) {
+		return fmt.Errorf("schedule: arrival has negative volume %g", a.Task.Volume)
+	}
+	if !(a.Task.Delta > 0) || math.IsNaN(a.Task.Delta) || math.IsInf(a.Task.Delta, 0) {
+		return fmt.Errorf("schedule: arrival has non-positive degree bound %g", a.Task.Delta)
+	}
+	if a.Release < 0 || math.IsNaN(a.Release) || math.IsInf(a.Release, 0) {
+		return fmt.Errorf("schedule: arrival has invalid release date %g", a.Release)
+	}
+	return nil
+}

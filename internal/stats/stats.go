@@ -139,6 +139,79 @@ func (h *Histogram) String() string {
 	return out
 }
 
+// Accumulator is a streaming, mergeable moment accumulator (Welford's
+// algorithm with the parallel combination of Chan et al.). It lets many
+// engine shards summarize their observations independently and merge the
+// partial results exactly — counts, means and variances combine without
+// revisiting the samples. The zero value is an empty accumulator.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// Merge folds another accumulator into this one; the result is identical (up
+// to floating-point rounding) to having Added all of b's observations.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	n := float64(a.n + b.n)
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/n
+	a.mean += d * float64(b.n) / n
+	a.n += b.n
+}
+
+// Count returns the number of observations.
+func (a *Accumulator) Count() int { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// observations).
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Min and Max return the extremes (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 when empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
 // MaxRatio returns max(a_i/b_i) over the paired samples, skipping pairs with
 // non-positive denominator. It returns 0 for empty input.
 func MaxRatio(num, den []float64) float64 {

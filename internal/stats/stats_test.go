@@ -144,3 +144,78 @@ func TestQuickQuantileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 500)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		acc.Add(xs[i])
+	}
+	s := Summarize(xs)
+	if acc.Count() != s.Count {
+		t.Errorf("count %d vs %d", acc.Count(), s.Count)
+	}
+	if !numeric.ApproxEqualTol(acc.Mean(), s.Mean, 1e-9) {
+		t.Errorf("mean %g vs %g", acc.Mean(), s.Mean)
+	}
+	if !numeric.ApproxEqualTol(acc.StdDev(), s.StdDev, 1e-9) {
+		t.Errorf("std %g vs %g", acc.StdDev(), s.StdDev)
+	}
+	if acc.Min() != s.Min || acc.Max() != s.Max {
+		t.Errorf("extremes %g/%g vs %g/%g", acc.Min(), acc.Max(), s.Min, s.Max)
+	}
+}
+
+func TestAccumulatorMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var whole Accumulator
+	parts := make([]Accumulator, 4)
+	for i := 0; i < 1000; i++ {
+		x := rng.ExpFloat64()
+		whole.Add(x)
+		parts[i%4].Add(x)
+	}
+	var merged Accumulator
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() {
+		t.Errorf("count %d vs %d", merged.Count(), whole.Count())
+	}
+	if !numeric.ApproxEqualTol(merged.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("mean %g vs %g", merged.Mean(), whole.Mean())
+	}
+	if !numeric.ApproxEqualTol(merged.StdDev(), whole.StdDev(), 1e-9) {
+		t.Errorf("std %g vs %g", merged.StdDev(), whole.StdDev())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Errorf("extremes %g/%g vs %g/%g", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestAccumulatorEmptyAndSingleton(t *testing.T) {
+	var empty Accumulator
+	if empty.Count() != 0 || empty.Mean() != 0 || empty.StdDev() != 0 {
+		t.Errorf("empty accumulator not zero: %+v", empty)
+	}
+	var one Accumulator
+	one.Add(5)
+	if one.StdDev() != 0 || one.Mean() != 5 || one.Min() != 5 || one.Max() != 5 {
+		t.Errorf("singleton accumulator broken: %+v", one)
+	}
+	// Merging an empty accumulator is a no-op in both directions.
+	var a Accumulator
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(&empty)
+	if a != before {
+		t.Errorf("merge with empty changed the accumulator")
+	}
+	empty.Merge(&a)
+	if empty.Count() != 2 || empty.Mean() != 2 {
+		t.Errorf("empty.Merge(a) = %+v", empty)
+	}
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+// ArrivalProcess selects how release dates are drawn by GenerateArrivals.
+type ArrivalProcess int
+
+const (
+	// Poisson draws i.i.d. exponential inter-arrival times: the open-loop
+	// memoryless traffic model.
+	Poisson ArrivalProcess = iota
+	// Bursty draws Poisson-spaced bursts whose sizes are geometric with mean
+	// MeanBurst; every task of a burst shares the same release date. The
+	// long-run arrival rate still equals Rate.
+	Bursty
+)
+
+// String returns the process name used in reports and flags.
+func (p ArrivalProcess) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("ArrivalProcess(%d)", int(p))
+	}
+}
+
+// ParseProcess converts a process name (as produced by String) back to an
+// ArrivalProcess.
+func ParseProcess(name string) (ArrivalProcess, error) {
+	for _, p := range []ArrivalProcess{Poisson, Bursty} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown arrival process %q", name)
+}
+
+// TenantSpec describes one tenant of a multi-tenant workload: its share of
+// the arriving traffic and the weight multiplier applied to its tasks (a
+// heavier tenant buys shorter flow times under weight-aware policies).
+type TenantSpec struct {
+	// Name identifies the tenant in reports.
+	Name string
+	// Weight multiplies the base task weight. Must be positive.
+	Weight float64
+	// Share is the tenant's fraction of the arriving traffic. Shares are
+	// normalized, so only their relative sizes matter. Must be positive.
+	Share float64
+}
+
+// DefaultTenants is the single-tenant workload: every task keeps its base
+// weight.
+func DefaultTenants() []TenantSpec {
+	return []TenantSpec{{Name: "default", Weight: 1, Share: 1}}
+}
+
+// ParseTenants parses a comma-separated list of name:weight:share triples,
+// e.g. "gold:4:0.2,silver:2:0.3,bronze:1:0.5". An empty string yields
+// DefaultTenants.
+func ParseTenants(spec string) ([]TenantSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return DefaultTenants(), nil
+	}
+	var out []TenantSpec
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("workload: tenant %q is not name:weight:share", part)
+		}
+		w, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: tenant %q: bad weight: %w", part, err)
+		}
+		s, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: tenant %q: bad share: %w", part, err)
+		}
+		out = append(out, TenantSpec{Name: fields[0], Weight: w, Share: s})
+	}
+	return out, nil
+}
+
+// ArrivalConfig parameterizes an online workload: task shapes come from one
+// of the static instance classes, release dates from an arrival process, and
+// weights from a multi-tenant mix.
+type ArrivalConfig struct {
+	// Class selects the task-shape distribution (weights, volumes, degree
+	// bounds) — the same classes the offline experiments use.
+	Class Class
+	// P is the platform capacity the degree bounds are drawn against.
+	P float64
+	// Process selects the arrival process.
+	Process ArrivalProcess
+	// Rate is the long-run arrival rate (tasks per unit time). The offered
+	// load of the uniform class is roughly Rate·E[V]/P = Rate/(2P).
+	Rate float64
+	// MeanBurst is the mean burst size of the Bursty process (>= 1; ignored
+	// by Poisson).
+	MeanBurst float64
+	// Tenants is the tenant mix; nil means DefaultTenants.
+	Tenants []TenantSpec
+}
+
+// Validate checks the configuration.
+func (c *ArrivalConfig) Validate() error {
+	if !(c.Rate > 0) || math.IsInf(c.Rate, 0) {
+		return fmt.Errorf("workload: arrival rate must be positive and finite, got %g", c.Rate)
+	}
+	if c.Process == Bursty && (c.MeanBurst < 1 || math.IsInf(c.MeanBurst, 0)) {
+		return fmt.Errorf("workload: mean burst size must be at least 1 and finite, got %g", c.MeanBurst)
+	}
+	if c.Class != UnitClass && (!(c.P > 0) || math.IsInf(c.P, 0)) {
+		return fmt.Errorf("workload: need a positive finite processor count, got %g", c.P)
+	}
+	for i, t := range c.Tenants {
+		if !(t.Weight > 0) {
+			return fmt.Errorf("workload: tenant %d (%s) has non-positive weight %g", i, t.Name, t.Weight)
+		}
+		if !(t.Share > 0) {
+			return fmt.Errorf("workload: tenant %d (%s) has non-positive share %g", i, t.Name, t.Share)
+		}
+	}
+	return nil
+}
+
+// GenerateArrivals draws n arrivals deterministically from the seed: task
+// shapes from the configured instance class, release dates from the arrival
+// process, and tenants by share. The stream is sorted by release date.
+func GenerateArrivals(cfg ArrivalConfig, n int, seed int64) ([]schedule.Arrival, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need at least one arrival, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tenants := cfg.Tenants
+	if len(tenants) == 0 {
+		tenants = DefaultTenants()
+	}
+	var shareSum float64
+	for _, t := range tenants {
+		shareSum += t.Share
+	}
+	// Two decorrelated streams off the same seed: one for task shapes (via
+	// the existing instance generator), one for the arrival process and the
+	// tenant draw. Everything is a pure function of (cfg, n, seed).
+	shapes, err := NewGenerator(cfg.Class, 1, cfg.P, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+
+	out := make([]schedule.Arrival, 0, n)
+	now := 0.0
+	for len(out) < n {
+		burst := 1
+		switch cfg.Process {
+		case Poisson:
+			now += rng.ExpFloat64() / cfg.Rate
+		case Bursty:
+			// Bursts arrive at rate Rate/MeanBurst; sizes are geometric with
+			// mean MeanBurst, so the long-run task rate stays Rate.
+			now += rng.ExpFloat64() * cfg.MeanBurst / cfg.Rate
+			for rng.Float64() >= 1/cfg.MeanBurst {
+				burst++
+			}
+		default:
+			return nil, fmt.Errorf("workload: unknown arrival process %d", int(cfg.Process))
+		}
+		for b := 0; b < burst && len(out) < n; b++ {
+			task := shapes.Next().Tasks[0]
+			tenant := 0
+			u := rng.Float64() * shareSum
+			for i, t := range tenants {
+				if u < t.Share || i == len(tenants)-1 {
+					tenant = i
+					break
+				}
+				u -= t.Share
+			}
+			task.Weight *= tenants[tenant].Weight
+			task.Name = tenants[tenant].Name
+			out = append(out, schedule.Arrival{Task: task, Release: now, Tenant: tenant})
+		}
+	}
+	return out, nil
+}

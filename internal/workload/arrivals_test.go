@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func arrivalConfig() ArrivalConfig {
+	return ArrivalConfig{Class: Uniform, P: 4, Process: Poisson, Rate: 8}
+}
+
+func TestGenerateArrivalsDeterministic(t *testing.T) {
+	a, err := GenerateArrivals(arrivalConfig(), 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateArrivals(arrivalConfig(), 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c, err := GenerateArrivals(arrivalConfig(), 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateArrivalsPoissonShape(t *testing.T) {
+	arrivals, err := GenerateArrivals(arrivalConfig(), 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0.0
+	for i, a := range arrivals {
+		if a.Release < last {
+			t.Fatalf("arrival %d: releases not sorted (%g after %g)", i, a.Release, last)
+		}
+		last = a.Release
+		if err := a.Validate(); err != nil {
+			t.Fatalf("arrival %d: %v", i, err)
+		}
+	}
+	// The empirical rate must be near the configured one (Poisson with
+	// n=4000: the relative error of the mean is ~1.6%).
+	rate := float64(len(arrivals)) / last
+	if math.Abs(rate-8)/8 > 0.1 {
+		t.Errorf("empirical rate %g, want about 8", rate)
+	}
+}
+
+func TestGenerateArrivalsBursty(t *testing.T) {
+	cfg := arrivalConfig()
+	cfg.Process = Bursty
+	cfg.MeanBurst = 5
+	arrivals, err := GenerateArrivals(cfg, 3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bursts share release dates, so there must be far fewer distinct release
+	// times than tasks.
+	distinct := 1
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i].Release != arrivals[i-1].Release {
+			distinct++
+		}
+	}
+	if distinct >= len(arrivals)*2/5 {
+		t.Errorf("bursty stream has %d distinct releases for %d tasks; bursts are degenerate", distinct, len(arrivals))
+	}
+	// The long-run rate is preserved.
+	rate := float64(len(arrivals)) / arrivals[len(arrivals)-1].Release
+	if math.Abs(rate-8)/8 > 0.2 {
+		t.Errorf("empirical bursty rate %g, want about 8", rate)
+	}
+}
+
+func TestGenerateArrivalsTenants(t *testing.T) {
+	cfg := arrivalConfig()
+	cfg.Tenants = []TenantSpec{
+		{Name: "gold", Weight: 4, Share: 0.25},
+		{Name: "bronze", Weight: 1, Share: 0.75},
+	}
+	arrivals, err := GenerateArrivals(cfg, 4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, a := range arrivals {
+		counts[a.Tenant]++
+		if name := cfg.Tenants[a.Tenant].Name; a.Task.Name != name {
+			t.Fatalf("tenant %d task named %q, want %q", a.Tenant, a.Task.Name, name)
+		}
+	}
+	gold := float64(counts[0]) / float64(len(arrivals))
+	if math.Abs(gold-0.25) > 0.05 {
+		t.Errorf("gold share %g, want about 0.25", gold)
+	}
+}
+
+func TestGenerateArrivalsValidation(t *testing.T) {
+	if _, err := GenerateArrivals(arrivalConfig(), 0, 1); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	cfg := arrivalConfig()
+	cfg.Rate = 0
+	if _, err := GenerateArrivals(cfg, 10, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	cfg = arrivalConfig()
+	cfg.Process = Bursty
+	cfg.MeanBurst = 0.5
+	if _, err := GenerateArrivals(cfg, 10, 1); err == nil {
+		t.Error("sub-unit burst accepted")
+	}
+	cfg = arrivalConfig()
+	cfg.Tenants = []TenantSpec{{Name: "t", Weight: 0, Share: 1}}
+	if _, err := GenerateArrivals(cfg, 10, 1); err == nil {
+		t.Error("zero tenant weight accepted")
+	}
+	cfg = arrivalConfig()
+	cfg.Tenants = []TenantSpec{{Name: "t", Weight: 1, Share: 0}}
+	if _, err := GenerateArrivals(cfg, 10, 1); err == nil {
+		t.Error("zero tenant share accepted")
+	}
+}
+
+func TestParseProcessRoundTrip(t *testing.T) {
+	for _, p := range []ArrivalProcess{Poisson, Bursty} {
+		got, err := ParseProcess(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip of %v failed: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseProcess("storm"); err == nil {
+		t.Error("unknown process accepted")
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	got, err := ParseTenants("gold:4:0.2,silver:2:0.3,bronze:1:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TenantSpec{
+		{Name: "gold", Weight: 4, Share: 0.2},
+		{Name: "silver", Weight: 2, Share: 0.3},
+		{Name: "bronze", Weight: 1, Share: 0.5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseTenants = %+v, want %+v", got, want)
+	}
+	if got, err := ParseTenants(""); err != nil || !reflect.DeepEqual(got, DefaultTenants()) {
+		t.Errorf("empty spec = %+v, %v; want default tenants", got, err)
+	}
+	for _, bad := range []string{"gold:4", "gold:x:0.2", "gold:4:y"} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+// A fractional (or huge) P with the heterogeneous class used to panic inside
+// rand.Intn; it must either generate safely or be rejected, never panic.
+func TestHeterogeneousFractionalPDoesNotPanic(t *testing.T) {
+	cfg := ArrivalConfig{Class: Heterogeneous, P: 0.5, Process: Poisson, Rate: 4}
+	arrivals, err := GenerateArrivals(cfg, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arrivals {
+		if err := a.Validate(); err != nil {
+			t.Fatalf("arrival %d: %v", i, err)
+		}
+	}
+	cfg.P = math.Inf(1)
+	if _, err := GenerateArrivals(cfg, 5, 1); err == nil {
+		t.Error("infinite P accepted")
+	}
+	cfg.P = 4
+	cfg.Rate = math.Inf(1)
+	if _, err := GenerateArrivals(cfg, 5, 1); err == nil {
+		t.Error("infinite rate accepted")
+	}
+}

@@ -8,6 +8,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/malleable-sched/malleable/internal/schedule"
@@ -118,12 +119,19 @@ func (g *Generator) Next() *schedule.Instance {
 		}
 		return &schedule.Instance{P: g.P, Tasks: tasks}
 	case Heterogeneous:
+		// Integer degree bounds in [1, P]. Clamp the Intn argument so a
+		// fractional P (< 1) or a P beyond int range cannot panic rand.Intn;
+		// EffectiveDelta caps the bound at P during scheduling anyway.
+		maxDelta := 1
+		if g.P >= 2 {
+			maxDelta = int(math.Min(g.P, 1<<30))
+		}
 		tasks := make([]schedule.Task, g.N)
 		for i := range tasks {
 			tasks[i] = schedule.Task{
 				Weight: uniform(0.1, 10),
 				Volume: uniform(0.1, 20),
-				Delta:  float64(1 + g.rng.Intn(int(g.P))),
+				Delta:  float64(1 + g.rng.Intn(maxDelta)),
 			}
 		}
 		return &schedule.Instance{P: g.P, Tasks: tasks}

@@ -4,8 +4,10 @@ import (
 	"math/rand"
 
 	"github.com/malleable-sched/malleable/internal/core"
+	"github.com/malleable-sched/malleable/internal/engine"
 	"github.com/malleable-sched/malleable/internal/exact"
 	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/workload"
 )
 
 // Task is a work-preserving malleable task: volume V (sequential work),
@@ -108,6 +110,103 @@ func HeightBound(inst *Instance) float64 { return core.HeightBound(inst) }
 
 // LowerBound returns max(A(I), H(I)).
 func LowerBound(inst *Instance) float64 { return core.LowerBound(inst) }
+
+// Arrival is one task of an online workload: the task itself, its release
+// date and the tenant that submitted it. Streams of arrivals drive the online
+// engine (RunOnline); unlike a task of a static Instance, a zero volume is
+// legal and completes the instant it is admitted.
+type Arrival = engine.Arrival
+
+// OnlinePolicy is an online allocation policy for the arrival-driven engine.
+// Use OnlinePolicyByName for the bundled policies (WDEQ, DEQ, weight-greedy,
+// smith-ratio) or implement the interface for a custom one.
+type OnlinePolicy = engine.Policy
+
+// OnlineResult is the outcome of an online run: per-task flow times plus
+// aggregate weighted-flow, makespan and throughput metrics.
+type OnlineResult = engine.Result
+
+// OnlineLoadResult merges the outcomes of a sharded online run.
+type OnlineLoadResult = engine.LoadResult
+
+// OnlinePolicyByName resolves one of the bundled online policies: "wdeq" and
+// "deq" (the paper's non-clairvoyant equipartition algorithms), the
+// non-clairvoyant "weight-greedy" priority policy, or the clairvoyant
+// "smith-ratio" baseline.
+func OnlinePolicyByName(name string) (OnlinePolicy, error) { return engine.PolicyByName(name) }
+
+// RunOnline executes an online policy on an arrival stream over a platform of
+// capacity p: the discrete-event engine admits tasks at their release dates,
+// re-invokes the policy at every arrival and completion, and reports per-task
+// flow metrics. This is the genuine online setting the paper's non-clairvoyant
+// algorithms were designed for.
+func RunOnline(p float64, policy OnlinePolicy, arrivals []Arrival) (*OnlineResult, error) {
+	return engine.Run(p, policy, arrivals)
+}
+
+// RunOnlineShards runs shards independent online engines concurrently — one
+// goroutine each, with per-shard seeds derived from baseSeed — and merges
+// their statistics deterministically. The source callback produces the
+// arrival stream of each shard.
+func RunOnlineShards(p float64, policy OnlinePolicy, source func(shard int, seed int64) ([]Arrival, error), shards int, baseSeed int64) (*OnlineLoadResult, error) {
+	return engine.RunShards(p, policy, source, shards, baseSeed)
+}
+
+// TenantSpec describes one tenant of a multi-tenant online workload: its
+// share of the arriving traffic and the weight multiplier applied to its
+// tasks.
+type TenantSpec = workload.TenantSpec
+
+// OnlineWorkload parameterizes GenerateArrivals.
+type OnlineWorkload struct {
+	// Class names the task-shape distribution (the classes of `mwct gen`:
+	// uniform, constant-weight, constant-weight-volume, large-delta,
+	// unit-class, heterogeneous). Empty means uniform.
+	Class string
+	// P is the platform capacity the degree bounds are drawn against.
+	P float64
+	// Process names the arrival process, poisson or bursty. Empty means
+	// poisson.
+	Process string
+	// Rate is the long-run arrival rate (tasks per unit time).
+	Rate float64
+	// MeanBurst is the mean burst size of the bursty process (>= 1).
+	MeanBurst float64
+	// Tenants is the tenant mix; nil means a single unit-weight tenant.
+	Tenants []TenantSpec
+}
+
+// GenerateArrivals draws n arrivals deterministically from the seed: task
+// shapes from the named instance class, release dates from the arrival
+// process, tenants by share (each task's weight is multiplied by its
+// tenant's weight). The stream is sorted by release date and ready for
+// RunOnline.
+func GenerateArrivals(w OnlineWorkload, n int, seed int64) ([]Arrival, error) {
+	className := w.Class
+	if className == "" {
+		className = "uniform"
+	}
+	class, err := workload.ParseClass(className)
+	if err != nil {
+		return nil, err
+	}
+	processName := w.Process
+	if processName == "" {
+		processName = "poisson"
+	}
+	process, err := workload.ParseProcess(processName)
+	if err != nil {
+		return nil, err
+	}
+	return workload.GenerateArrivals(workload.ArrivalConfig{
+		Class:     class,
+		P:         w.P,
+		Process:   process,
+		Rate:      w.Rate,
+		MeanBurst: w.MeanBurst,
+		Tenants:   w.Tenants,
+	}, n, seed)
+}
 
 // ToProcessorSchedule converts a fractional column-based schedule into an
 // integral per-processor schedule with the same completion times, following

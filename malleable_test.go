@@ -157,3 +157,89 @@ func TestFacadeGreedyAndLateness(t *testing.T) {
 		t.Errorf("a greedy schedule beats the reported optimal lateness (%g < %g)", g.MaxLateness(), lmax)
 	}
 }
+
+func TestRunOnlineFacade(t *testing.T) {
+	policy, err := malleable.OnlinePolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := []malleable.Arrival{
+		{Task: malleable.Task{Name: "boot", Weight: 2, Volume: 1, Delta: 1}, Release: 0},
+		{Task: malleable.Task{Name: "serve", Weight: 1, Volume: 1, Delta: 1}, Release: 0.5},
+	}
+	res, err := malleable.RunOnline(1, policy, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline: %v", err)
+	}
+	if res.Policy != "WDEQ" || len(res.Tasks) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	for i, tm := range res.Tasks {
+		if tm.Completion < arrivals[i].Release || tm.Flow <= 0 {
+			t.Errorf("task %d: completion %g flow %g", i, tm.Completion, tm.Flow)
+		}
+	}
+	if res.WeightedFlow <= 0 || res.Throughput() <= 0 {
+		t.Errorf("weighted flow %g, throughput %g", res.WeightedFlow, res.Throughput())
+	}
+	if _, err := malleable.OnlinePolicyByName("bogus"); err == nil {
+		t.Error("unknown online policy accepted")
+	}
+}
+
+func TestRunOnlineShardsFacade(t *testing.T) {
+	policy, err := malleable.OnlinePolicyByName("deq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := func(shard int, seed int64) ([]malleable.Arrival, error) {
+		rng := rand.New(rand.NewSource(seed))
+		arrivals := make([]malleable.Arrival, 30)
+		now := 0.0
+		for i := range arrivals {
+			now += rng.ExpFloat64() / 4
+			arrivals[i] = malleable.Arrival{
+				Task:    malleable.Task{Weight: 1, Volume: 0.2 + rng.Float64(), Delta: 1},
+				Release: now,
+			}
+		}
+		return arrivals, nil
+	}
+	res, err := malleable.RunOnlineShards(2, policy, source, 3, 7)
+	if err != nil {
+		t.Fatalf("RunOnlineShards: %v", err)
+	}
+	if res.TotalTasks != 90 || len(res.Shards) != 3 || res.Throughput <= 0 {
+		t.Errorf("load result = tasks %d, shards %d, throughput %g", res.TotalTasks, len(res.Shards), res.Throughput)
+	}
+}
+
+func TestGenerateArrivalsFacade(t *testing.T) {
+	arrivals, err := malleable.GenerateArrivals(malleable.OnlineWorkload{
+		P:    2,
+		Rate: 4,
+		Tenants: []malleable.TenantSpec{
+			{Name: "gold", Weight: 4, Share: 0.5},
+			{Name: "bronze", Weight: 1, Share: 0.5},
+		},
+	}, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 50 {
+		t.Fatalf("got %d arrivals, want 50", len(arrivals))
+	}
+	policy, err := malleable.OnlinePolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := malleable.RunOnline(2, policy, arrivals); err != nil {
+		t.Fatalf("generated stream not runnable: %v", err)
+	}
+	if _, err := malleable.GenerateArrivals(malleable.OnlineWorkload{Class: "nope", P: 2, Rate: 1}, 5, 1); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := malleable.GenerateArrivals(malleable.OnlineWorkload{Process: "nope", P: 2, Rate: 1}, 5, 1); err == nil {
+		t.Error("unknown process accepted")
+	}
+}
