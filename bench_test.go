@@ -501,6 +501,40 @@ func BenchmarkEngineSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSteadyState is the headline number of the zero-allocation
+// refactor: a warmed OnlineRunner re-executing the same Poisson workload into
+// a reused result. Allocations are reported (the steady state must show
+// 0 allocs/op) together with a custom tasks/sec metric so benchstat can track
+// throughput directly across commits.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	policy, err := malleable.OnlinePolicyByName("wdeq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		arrivals := onlineArrivals(b, n, 29)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runner := malleable.NewOnlineRunner()
+			res := &malleable.OnlineResult{}
+			// Warm the scratch outside the timer.
+			if err := runner.RunInto(res, 8, policy, arrivals, malleable.OnlineOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runner.RunInto(res, 8, policy, arrivals, malleable.OnlineOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(n*b.N)/elapsed, "tasks/sec")
+			}
+		})
+	}
+}
+
 func sizeName(n int) string {
 	return fmt.Sprintf("n=%03d", n)
 }

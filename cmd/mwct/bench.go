@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/malleable-sched/malleable/internal/perf"
+)
+
+// runBench implements `mwct bench`: execute the pinned performance scenarios
+// (or a named subset), write the JSON report, and — when a baseline is given
+// — fail with a non-zero exit if CompareRuns flags a regression beyond the
+// threshold. CI runs this on every push with the checked-in
+// BENCH_baseline.json.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonPath := fs.String("json", "-", "write the report JSON to this file (- = stdout)")
+	budget := fs.Duration("budget", 200*time.Millisecond, "wall budget per scenario")
+	scenarios := fs.String("scenarios", "", "comma-separated scenario names (empty = all: "+strings.Join(perf.ScenarioNames(), ",")+")")
+	baseline := fs.String("baseline", "", "baseline report JSON to compare against (empty = no gate)")
+	maxRegress := fs.Float64("max-regress", 0.25, "regression threshold as a fraction (0.25 = 25%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var names []string
+	if strings.TrimSpace(*scenarios) != "" {
+		for _, name := range strings.Split(*scenarios, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	}
+	return benchReport(os.Stderr, *jsonPath, names, *budget, *baseline, *maxRegress)
+}
+
+// benchReport is the testable core of `mwct bench`. Progress and comparison
+// verdicts go to log (stderr in production); only the report JSON goes to the
+// -json destination, so `mwct bench -json -` pipes cleanly.
+func benchReport(log io.Writer, jsonPath string, names []string, budget time.Duration, baselinePath string, maxRegress float64) error {
+	report, err := perf.RunAll(names, budget)
+	if err != nil {
+		return err
+	}
+	for _, res := range report.Results {
+		fmt.Fprintf(log, "bench %-20s %10.0f ns/op %12.1f allocs/op %12.0f tasks/sec  flow p50=%.4g p99=%.4g (%d runs)\n",
+			res.Scenario, res.NsPerOp, res.AllocsPerOp, res.TasksPerSec, res.FlowP50, res.FlowP99, res.Runs)
+	}
+	if err := perf.WriteFile(jsonPath, report); err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := perf.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	regressions, err := perf.CompareRuns(base, report, maxRegress)
+	if err != nil {
+		return err
+	}
+	if len(regressions) == 0 {
+		fmt.Fprintf(log, "bench: no regression beyond %.0f%% against %s\n", 100*maxRegress, baselinePath)
+		return nil
+	}
+	for _, reg := range regressions {
+		fmt.Fprintf(log, "bench: REGRESSION %s\n", reg)
+	}
+	return fmt.Errorf("bench: %d regression(s) beyond %.0f%% against %s", len(regressions), 100*maxRegress, baselinePath)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/malleable-sched/malleable/internal/perf"
+)
+
+func TestBenchReportWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var log bytes.Buffer
+	if err := benchReport(&log, out, []string{"online-poisson"}, time.Millisecond, "", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "online-poisson") {
+		t.Errorf("log missing scenario line: %q", log.String())
+	}
+	rep, err := perf.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Scenario != "online-poisson" {
+		t.Errorf("report = %+v", rep.Results)
+	}
+}
+
+func TestBenchReportBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	baseline := filepath.Join(dir, "baseline.json")
+	var log bytes.Buffer
+	// First run becomes the baseline. Comparing a second run against it
+	// exercises the gate plumbing; the threshold is deliberately huge (10 =
+	// 1000%) because two tiny-budget timed runs can differ a lot on a noisy
+	// machine (CI, race detector) and this test is about the wiring, not
+	// about machine stability.
+	if err := benchReport(&log, baseline, []string{"online-poisson"}, 5*time.Millisecond, "", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchReport(&log, out, []string{"online-poisson"}, 5*time.Millisecond, baseline, 10); err != nil {
+		t.Fatalf("self-comparison failed the gate: %v", err)
+	}
+	if !strings.Contains(log.String(), "no regression") {
+		t.Errorf("log missing verdict: %q", log.String())
+	}
+
+	// A doctored baseline that claims far higher throughput must trip the
+	// gate with a non-nil error naming the regression.
+	base, err := perf.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Results {
+		base.Results[i].TasksPerSec *= 100
+	}
+	doctored := filepath.Join(dir, "doctored.json")
+	if err := perf.WriteFile(doctored, base); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	err = benchReport(&log, out, []string{"online-poisson"}, time.Millisecond, doctored, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("err = %v, want regression failure", err)
+	}
+	if !strings.Contains(log.String(), "REGRESSION") {
+		t.Errorf("log missing REGRESSION line: %q", log.String())
+	}
+}
+
+func TestBenchReportUnknownScenario(t *testing.T) {
+	var log bytes.Buffer
+	if err := benchReport(&log, os.DevNull, []string{"nope"}, time.Millisecond, "", 0.25); err == nil {
+		t.Errorf("unknown scenario accepted")
+	}
+}

@@ -11,6 +11,7 @@
 //	mwct experiment -name e1 [-full]
 //	mwct bandwidth  -workers 8 -seed 7
 //	mwct loadtest   -policy wdeq -n 10000 -shards 4 -rate 8 -seed 1
+//	mwct bench      -json BENCH_2026-07-30.json -baseline BENCH_baseline.json
 //	mwct serve      -addr :8080
 //
 // Instances are read and written as JSON (see `mwct gen` for the format).
@@ -40,6 +41,8 @@ func main() {
 		err = runBandwidth(os.Args[2:])
 	case "loadtest":
 		err = runLoadtest(os.Args[2:])
+	case "bench":
+		err = runBench(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "help", "-h", "--help":
@@ -68,6 +71,9 @@ Commands:
               multi-tenant load across concurrent shards (WDEQ, DEQ,
               weight-greedy, smith-ratio; see examples/onlineload for a
               runnable WDEQ-vs-DEQ comparison)
+  bench       run the pinned performance scenarios, write the JSON report,
+              and optionally gate on a baseline (-baseline BENCH_baseline.json
+              -max-regress 0.25); CI runs this on every push
   serve       expose solve and loadtest over an HTTP API
 
 Run "mwct <command> -h" for the flags of each command.

@@ -19,56 +19,89 @@ import (
 // combinatorial (it never looks at volumes), which is what makes WDEQ
 // non-clairvoyant.
 func ShareAllocation(p float64, weights, deltas []float64) []float64 {
-	n := len(weights)
-	alloc := make([]float64, n)
-	if n == 0 {
-		return alloc
+	return ShareAllocationInto(make([]float64, 0, len(weights)), p, weights, deltas)
+}
+
+// ShareAllocationInto is ShareAllocation with the append-into-dst convention
+// of the hot engine loop: the n shares are appended to dst and the extended
+// slice is returned. When cap(dst) >= len(dst)+n no allocation is performed,
+// so callers that thread the same buffer through every event run
+// allocation-free in steady state.
+func ShareAllocationInto(dst []float64, p float64, weights, deltas []float64) []float64 {
+	return ShareAllocationFunc(dst, p, len(weights),
+		func(i int) float64 { return weights[i] },
+		func(i int) float64 { return deltas[i] })
+}
+
+// unpinned marks a task whose share is still being negotiated by the
+// fixed-point loop of ShareAllocationFunc. Real allocations are never
+// negative, so the sentinel doubles as the "pinned" flag and the usual
+// separate bool scratch slice disappears.
+const unpinned = -1
+
+// ShareAllocationFunc is the accessor form of the sharing rule: the weights
+// and degree bounds of the n active tasks are read through weight(i) and
+// delta(i) instead of materialized slices, and the shares are appended to
+// dst. Policies that observe task structs (engine.TaskState, sim.TaskView)
+// call this directly so no per-event weight/delta slices exist at all.
+func ShareAllocationFunc(dst []float64, p float64, n int, weight, delta func(int) float64) []float64 {
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, unpinned)
 	}
-	pinned := make([]bool, n)
+	alloc := dst[base:]
 	remaining := p
 	for {
 		var weightSum float64
-		for i := range weights {
-			if !pinned[i] {
-				weightSum += weights[i]
+		for i := 0; i < n; i++ {
+			if alloc[i] == unpinned {
+				weightSum += weight(i)
 			}
 		}
 		if weightSum <= 0 {
+			for i := 0; i < n; i++ {
+				if alloc[i] == unpinned {
+					alloc[i] = 0
+				}
+			}
 			break
 		}
 		changed := false
-		for i := range weights {
-			if pinned[i] {
+		for i := 0; i < n; i++ {
+			if alloc[i] != unpinned {
 				continue
 			}
-			share := weights[i] * remaining / weightSum
-			if deltas[i] < share {
-				alloc[i] = deltas[i]
-				remaining -= deltas[i]
-				pinned[i] = true
+			share := weight(i) * remaining / weightSum
+			if d := delta(i); d < share {
+				alloc[i] = d
+				remaining -= d
 				changed = true
 			}
 		}
 		if !changed {
-			for i := range weights {
-				if !pinned[i] {
-					alloc[i] = weights[i] * remaining / weightSum
+			for i := 0; i < n; i++ {
+				if alloc[i] == unpinned {
+					alloc[i] = weight(i) * remaining / weightSum
 				}
 			}
 			break
 		}
 	}
-	return alloc
+	return dst
 }
 
 // EquipartitionAllocation is the unweighted DEQ sharing rule: every active
 // task has weight one.
 func EquipartitionAllocation(p float64, deltas []float64) []float64 {
-	weights := make([]float64, len(deltas))
-	for i := range weights {
-		weights[i] = 1
-	}
-	return ShareAllocation(p, weights, deltas)
+	return EquipartitionAllocationInto(make([]float64, 0, len(deltas)), p, deltas)
+}
+
+// EquipartitionAllocationInto is EquipartitionAllocation with the
+// append-into-dst convention of ShareAllocationInto.
+func EquipartitionAllocationInto(dst []float64, p float64, deltas []float64) []float64 {
+	return ShareAllocationFunc(dst, p, len(deltas),
+		func(int) float64 { return 1 },
+		func(i int) float64 { return deltas[i] })
 }
 
 // RunWDEQ simulates the non-clairvoyant WDEQ algorithm (Algorithm 1 of the
@@ -102,18 +135,26 @@ func runEquipartition(inst *schedule.Instance, ignoreWeights bool) (*schedule.Co
 		profiles[i] = stepfunc.Constant(0)
 	}
 	now := 0.0
+	// Scratch threaded through every decision point so the simulation loop
+	// does not allocate per event (the append-into-dst contract of
+	// ShareAllocationInto).
+	weights := make([]float64, 0, n)
+	deltas := make([]float64, 0, n)
+	var allocBuf []float64
 	for len(active) > 0 {
-		weights := make([]float64, len(active))
-		deltas := make([]float64, len(active))
-		for k, i := range active {
-			if ignoreWeights {
-				weights[k] = 1
-			} else {
-				weights[k] = inst.Tasks[i].Weight
+		weights, deltas = weights[:0], deltas[:0]
+		for _, i := range active {
+			if !ignoreWeights {
+				weights = append(weights, inst.Tasks[i].Weight)
 			}
-			deltas[k] = inst.EffectiveDelta(i)
+			deltas = append(deltas, inst.EffectiveDelta(i))
 		}
-		alloc := ShareAllocation(inst.P, weights, deltas)
+		if ignoreWeights {
+			allocBuf = EquipartitionAllocationInto(allocBuf[:0], inst.P, deltas)
+		} else {
+			allocBuf = ShareAllocationInto(allocBuf[:0], inst.P, weights, deltas)
+		}
+		alloc := allocBuf
 
 		// Next event: the earliest completion under the current allocation.
 		dt := math.Inf(1)

@@ -236,3 +236,54 @@ func TestQuickWDEQWithinTwiceBestGreedy(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The append-into-dst variants must agree exactly with the allocating API
+// (same floating-point sequence) and respect the append base offset.
+func TestShareAllocationIntoMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		p := 1 + 7*rng.Float64()
+		weights := make([]float64, n)
+		deltas := make([]float64, n)
+		for i := range weights {
+			weights[i] = 0.1 + rng.Float64()
+			deltas[i] = 0.1 + p*rng.Float64()
+		}
+		want := ShareAllocation(p, weights, deltas)
+		prefix := []float64{-7, -8}
+		got := ShareAllocationInto(append([]float64(nil), prefix...), p, weights, deltas)
+		if len(got) != len(prefix)+n {
+			t.Fatalf("trial %d: got length %d, want %d", trial, len(got), len(prefix)+n)
+		}
+		if got[0] != -7 || got[1] != -8 {
+			t.Fatalf("trial %d: prefix clobbered: %v", trial, got[:2])
+		}
+		for i := range want {
+			if got[len(prefix)+i] != want[i] {
+				t.Errorf("trial %d: entry %d = %g, want %g", trial, i, got[len(prefix)+i], want[i])
+			}
+		}
+		eqWant := EquipartitionAllocation(p, deltas)
+		eqGot := EquipartitionAllocationInto(nil, p, deltas)
+		for i := range eqWant {
+			if eqGot[i] != eqWant[i] {
+				t.Errorf("trial %d: equipartition entry %d = %g, want %g", trial, i, eqGot[i], eqWant[i])
+			}
+		}
+	}
+}
+
+// The dst-threaded fixed point must not allocate when dst has capacity: this
+// is the contract the engine's zero-allocation hot loop is built on.
+func TestShareAllocationIntoZeroAlloc(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	deltas := []float64{1, 1, 2, 8}
+	dst := make([]float64, 0, len(weights))
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = ShareAllocationInto(dst[:0], 4, weights, deltas)
+	})
+	if allocs != 0 {
+		t.Errorf("ShareAllocationInto allocated %.3g times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/sim"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// allocArrivals draws a fixed Poisson stream large enough that per-event
+// behavior dominates any per-run bookkeeping.
+func allocArrivals(t testing.TB, n int, seed int64) []Arrival {
+	t.Helper()
+	arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Class:   workload.Uniform,
+		P:       8,
+		Process: workload.Poisson,
+		Rate:    8,
+	}, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arrivals
+}
+
+// The tentpole property of the zero-allocation refactor: once a Runner's
+// scratch has been warmed by one run, re-running the same workload into a
+// reused Result performs no heap allocation at all — zero allocs per run,
+// hence zero allocs per steady-state event — for the non-clairvoyant WDEQ
+// and weight-greedy policies.
+func TestSteadyStateZeroAllocsPerEvent(t *testing.T) {
+	arrivals := allocArrivals(t, 512, 99)
+	for _, name := range []string{"wdeq", "weight-greedy"} {
+		t.Run(name, func(t *testing.T) {
+			policy, err := PolicyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner := NewRunner()
+			res := &Result{}
+			var runErr error
+			run := func() {
+				if err := runner.RunInto(res, 8, policy, arrivals, Options{}); err != nil {
+					runErr = err
+				}
+			}
+			run() // warm the scratch buffers
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+			events := res.Events
+			if events < len(arrivals) {
+				t.Fatalf("events = %d, want at least one per task (%d)", events, len(arrivals))
+			}
+			allocs := testing.AllocsPerRun(10, run)
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+			if allocs != 0 {
+				t.Errorf("steady-state run allocated %.3g times (%d events, %.3g allocs/event); want 0",
+					allocs, events, allocs/float64(events))
+			}
+		})
+	}
+}
+
+// Tracing is the documented exception to the zero-allocation contract: with
+// TraceDecisions on, each event copies the alive set and allocation. The
+// default must stay off and record nothing.
+func TestTraceDecisionsGate(t *testing.T) {
+	arrivals := allocArrivals(t, 32, 5)
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWithOptions(8, policy, arrivals, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 0 {
+		t.Errorf("default run recorded %d decisions, want 0", len(res.Decisions))
+	}
+	traced, err := RunWithOptions(8, policy, arrivals, Options{TraceDecisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Decisions) != traced.Events {
+		t.Errorf("traced run recorded %d decisions for %d events", len(traced.Decisions), traced.Events)
+	}
+	// The deprecated alias must keep enabling the trace.
+	legacy, err := RunWithOptions(8, policy, arrivals, Options{RecordDecisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Decisions) != legacy.Events {
+		t.Errorf("RecordDecisions alias recorded %d decisions for %d events", len(legacy.Decisions), legacy.Events)
+	}
+}
+
+// A reused Runner must reproduce the one-shot package-level Run exactly, for
+// every bundled policy, including across policy switches (which invalidate
+// the cached per-run policy clone).
+func TestRunnerReuseMatchesFreshRuns(t *testing.T) {
+	arrivals := allocArrivals(t, 256, 11)
+	runner := NewRunner()
+	res := &Result{}
+	for pass := 0; pass < 2; pass++ {
+		for _, name := range PolicyNames() {
+			policy, err := PolicyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Run(8, policy, arrivals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := runner.RunInto(res, 8, policy, arrivals, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if res.WeightedFlow != fresh.WeightedFlow || res.Makespan != fresh.Makespan ||
+				res.Events != fresh.Events || res.MaxAlive != fresh.MaxAlive {
+				t.Errorf("pass %d, %s: reused runner (wf=%g mk=%g ev=%d ma=%d) differs from fresh run (wf=%g mk=%g ev=%d ma=%d)",
+					pass, name, res.WeightedFlow, res.Makespan, res.Events, res.MaxAlive,
+					fresh.WeightedFlow, fresh.Makespan, fresh.Events, fresh.MaxAlive)
+			}
+			for i := range res.Tasks {
+				if res.Tasks[i] != fresh.Tasks[i] {
+					t.Fatalf("pass %d, %s: task %d metrics differ: %+v vs %+v", pass, name, i, res.Tasks[i], fresh.Tasks[i])
+				}
+			}
+		}
+	}
+}
+
+// A reused Runner must not panic when the policy wraps an uncomparable value
+// (the clone cache compares policy values to detect reuse; comparability is a
+// property of the dynamic value, not just the type).
+func TestRunnerReuseUncomparablePolicy(t *testing.T) {
+	arrivals := allocArrivals(t, 16, 8)
+	// sim.PriorityPolicy holds a slice, so the adapted value is uncomparable
+	// even though the adapter struct's type is comparable.
+	policy := Adapt(sim.PriorityPolicy{Priority: []int{0, 1, 2}})
+	runner := NewRunner()
+	for i := 0; i < 3; i++ {
+		if _, err := runner.Run(8, policy, arrivals); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}
+
+// A LegacyPolicy wrapped with AdaptLegacy must behave identically to its
+// dst-convention counterpart.
+func TestAdaptLegacyMatches(t *testing.T) {
+	arrivals := allocArrivals(t, 128, 3)
+	modern, err := Run(8, WeightGreedyPolicy{}, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Run(8, AdaptLegacy(legacyWeightGreedy{}), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modern.WeightedFlow != legacy.WeightedFlow || modern.Events != legacy.Events {
+		t.Errorf("legacy shim diverges: wf %g vs %g, events %d vs %d",
+			legacy.WeightedFlow, modern.WeightedFlow, legacy.Events, modern.Events)
+	}
+}
+
+// legacyWeightGreedy implements the old allocating signature on purpose.
+type legacyWeightGreedy struct{}
+
+func (legacyWeightGreedy) Name() string { return "legacy-weight-greedy" }
+
+func (legacyWeightGreedy) Allocate(p float64, alive []TaskState) []float64 {
+	return WeightGreedyPolicy{}.Allocate(p, alive, nil)
+}
+
+// Unsorted arrival streams must be handled (sorted internally) and produce
+// the same outcome as the pre-sorted stream.
+func TestUnsortedArrivalsSorted(t *testing.T) {
+	arrivals := allocArrivals(t, 64, 21)
+	shuffled := make([]Arrival, len(arrivals))
+	// Reverse is the worst case for the presorted fast path.
+	for i := range arrivals {
+		shuffled[i] = arrivals[len(arrivals)-1-i]
+	}
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(8, policy, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(8, policy, shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WeightedFlow != b.WeightedFlow || a.Makespan != b.Makespan || a.Events != b.Events {
+		t.Errorf("reversed stream diverges: wf %g vs %g, mk %g vs %g, events %d vs %d",
+			b.WeightedFlow, a.WeightedFlow, b.Makespan, a.Makespan, b.Events, a.Events)
+	}
+}

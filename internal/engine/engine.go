@@ -15,6 +15,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 
 	"github.com/malleable-sched/malleable/internal/schedule"
@@ -48,16 +49,57 @@ type TaskState struct {
 	Remaining float64
 }
 
-// Policy is an online allocation policy. The returned slice must be aligned
-// with alive; entries must be non-negative, at most the task's Delta, and sum
-// to at most p. The engine validates these conditions and aborts the run if a
-// policy violates them. Policies must be safe for concurrent use by multiple
-// engine shards; all bundled policies are stateless values.
+// Policy is an online allocation policy. Allocate follows the append-into-dst
+// convention of the zero-allocation hot path: the engine passes a reusable
+// buffer re-sliced to length zero, the policy appends one entry per alive
+// task and returns the extended slice, aligned with alive. Entries must be
+// non-negative, at most the task's Delta, and sum to at most p. The engine
+// validates these conditions and aborts the run if a policy violates them.
+//
+// Policies must be safe for concurrent use by multiple engine shards; all
+// bundled policies are stateless values. A policy that needs internal scratch
+// buffers should stay stateless and additionally implement RunCloner: the
+// engine then clones it once per run and hands the scratch-holding clone to
+// that run only.
 type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Allocate appends the allocation of the alive tasks to dst and returns
+	// the extended slice.
+	Allocate(p float64, alive []TaskState, dst []float64) []float64
+}
+
+// RunCloner is an optional interface for policies that keep internal scratch:
+// CloneForRun returns a fresh policy value with its own buffers, which the
+// engine uses for exactly one run at a time. The original value therefore
+// stays safe to share across concurrent shards even though its clones are
+// stateful.
+type RunCloner interface {
+	CloneForRun() Policy
+}
+
+// LegacyPolicy is the pre-dst policy signature (Allocate returning a freshly
+// allocated slice per event). It is kept as a compatibility shim: wrap values
+// with AdaptLegacy to use them with the engine.
+type LegacyPolicy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Allocate computes the allocation for the alive tasks.
 	Allocate(p float64, alive []TaskState) []float64
+}
+
+// AdaptLegacy lifts a LegacyPolicy into the append-into-dst Policy interface.
+// The wrapped policy keeps allocating one slice per event — the shim copies
+// it into dst — so legacy policies work unchanged but do not benefit from the
+// zero-allocation hot path.
+func AdaptLegacy(p LegacyPolicy) Policy { return legacyAdapter{inner: p} }
+
+type legacyAdapter struct{ inner LegacyPolicy }
+
+func (a legacyAdapter) Name() string { return a.inner.Name() }
+
+func (a legacyAdapter) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	return append(dst, a.inner.Allocate(p, alive)...)
 }
 
 // Adapt lifts a non-clairvoyant sim.Policy into an engine Policy. The adapter
@@ -70,12 +112,28 @@ type simAdapter struct{ inner sim.Policy }
 
 func (a simAdapter) Name() string { return a.inner.Name() }
 
-func (a simAdapter) Allocate(p float64, alive []TaskState) []float64 {
-	views := make([]sim.TaskView, len(alive))
-	for i, t := range alive {
-		views[i] = sim.TaskView{ID: t.ID, Weight: t.Weight, Delta: t.Delta, Processed: t.Processed}
+func (a simAdapter) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	scratch := simAdapterRun{inner: a.inner}
+	return scratch.Allocate(p, alive, dst)
+}
+
+// CloneForRun implements RunCloner: the clone owns the view-projection
+// scratch, making the adapted policy allocation-free inside a run.
+func (a simAdapter) CloneForRun() Policy { return &simAdapterRun{inner: a.inner} }
+
+type simAdapterRun struct {
+	inner sim.Policy
+	views []sim.TaskView
+}
+
+func (a *simAdapterRun) Name() string { return a.inner.Name() }
+
+func (a *simAdapterRun) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	a.views = a.views[:0]
+	for _, t := range alive {
+		a.views = append(a.views, sim.TaskView{ID: t.ID, Weight: t.Weight, Delta: t.Delta, Processed: t.Processed})
 	}
-	return a.inner.Allocate(p, views)
+	return a.inner.Allocate(p, a.views, dst)
 }
 
 // Decision records one policy invocation of a run.
@@ -137,7 +195,8 @@ type Result struct {
 	WeightedCompletion float64 `json:"weightedCompletion"`
 	// TotalFlow is Σ (C_i - r_i).
 	TotalFlow float64 `json:"totalFlow"`
-	// Decisions is the recorded decision trace (only with RecordDecisions).
+	// Decisions is the recorded decision trace (only with
+	// Options.TraceDecisions).
 	Decisions []Decision `json:"-"`
 }
 
@@ -209,120 +268,238 @@ func tenantMetrics(flows map[int]*stats.Accumulator, weighted map[int]float64) [
 
 // Options tunes a run.
 type Options struct {
-	// RecordDecisions keeps the full decision trace in the result. Off by
-	// default: under sustained load the trace dominates memory.
+	// TraceDecisions keeps the full decision trace in the result. It is off
+	// by default — and that default matters: each traced event copies the
+	// alive set and the allocation to the heap, so under sustained load the
+	// trace both dominates memory and breaks the zero-allocation steady
+	// state. Turn it on only for debugging or small replays.
+	TraceDecisions bool
+	// RecordDecisions is the former name of TraceDecisions and is still
+	// honored (either flag enables the trace).
+	//
+	// Deprecated: set TraceDecisions instead.
 	RecordDecisions bool
 	// MaxEvents bounds the number of policy invocations; 0 means the default
 	// 4n+64 safety bound (a correct run needs at most 3n+1).
 	MaxEvents int
 }
 
+// traceEnabled resolves the canonical flag and its deprecated alias.
+func (o Options) traceEnabled() bool { return o.TraceDecisions || o.RecordDecisions }
+
 // Run executes the policy on the arrival stream with default options.
 func Run(p float64, policy Policy, arrivals []Arrival) (*Result, error) {
 	return RunWithOptions(p, policy, arrivals, Options{})
 }
 
-// RunWithOptions executes the policy on the arrival stream.
+// RunWithOptions executes the policy on the arrival stream using a fresh
+// Runner. Callers that execute many runs (benchmarks, load tests, servers)
+// should hold a Runner and call its methods instead, so the scratch buffers
+// amortize across runs.
+func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) (*Result, error) {
+	return NewRunner().RunWithOptions(p, policy, arrivals, opts)
+}
+
+// Runner owns the reusable scratch of the engine event loop: the arrival
+// order, per-task progress vectors, the alive index, the policy's view of the
+// alive set and the allocation output buffer. After a first run has grown the
+// buffers, subsequent runs of similar size perform zero heap allocations per
+// event in steady state (and zero per run when combined with RunInto).
+//
+// A Runner is NOT safe for concurrent use; create one per goroutine (the
+// sharded driver does exactly that). The zero value is ready to use.
+type Runner struct {
+	order     []int
+	remaining []float64
+	processed []float64
+	alive     []int
+	states    []TaskState
+	alloc     []float64
+	sorter    arrivalSorter
+
+	// policySrc/policyRun cache the per-run clone of scratch-holding
+	// policies (RunCloner), so repeated runs with the same policy value skip
+	// the clone allocation too.
+	policySrc Policy
+	policyRun Policy
+}
+
+// NewRunner returns an empty Runner. The zero value works too; the
+// constructor exists for symmetry with the rest of the library.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run executes the policy on the arrival stream with default options.
+func (r *Runner) Run(p float64, policy Policy, arrivals []Arrival) (*Result, error) {
+	return r.RunWithOptions(p, policy, arrivals, Options{})
+}
+
+// RunWithOptions executes the policy on the arrival stream and returns a
+// freshly allocated Result.
+func (r *Runner) RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) (*Result, error) {
+	res := &Result{}
+	if err := r.RunInto(res, p, policy, arrivals, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// instantiate resolves the policy value used for one run: scratch-holding
+// policies are cloned via RunCloner (cached while the same policy value is
+// passed again), stateless policies are used as-is.
+func (r *Runner) instantiate(policy Policy) Policy {
+	c, ok := policy.(RunCloner)
+	if !ok {
+		return policy
+	}
+	// Value-level comparability: a policy struct whose type is comparable
+	// can still wrap an uncomparable dynamic value (e.g. Adapt over a
+	// sim.Policy holding a slice), and == would panic on it.
+	if r.policyRun != nil && reflect.ValueOf(policy).Comparable() &&
+		reflect.ValueOf(r.policySrc).Comparable() && r.policySrc == policy {
+		return r.policyRun
+	}
+	r.policySrc = policy
+	r.policyRun = c.CloneForRun()
+	return r.policyRun
+}
+
+// RunInto executes the policy on the arrival stream, writing the outcome into
+// res. Any previous contents of res are discarded, but its Tasks (and
+// Decisions) storage is reused, so a warmed Runner driving the same res
+// performs no heap allocation at all for untraced runs.
 //
 // The loop advances from event to event: at every arrival or completion the
 // alive set is updated and the policy is re-invoked once — simultaneous
 // arrivals and completions at the same instant are coalesced into a single
 // event, which is the event granularity of the paper's model. Between events
-// every alive task i processes alloc_i·dt units of work.
-func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) (*Result, error) {
+// every alive task i processes alloc_i·dt units of work. Completed tasks are
+// retired from the alive index by swap-delete: order within the index is not
+// meaningful (policies rank tasks themselves), so compaction is O(1) per
+// completion instead of an O(alive) rebuild.
+func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arrival, opts Options) error {
 	if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
-		return nil, fmt.Errorf("engine: platform capacity must be positive and finite, got %g", p)
+		return fmt.Errorf("engine: platform capacity must be positive and finite, got %g", p)
 	}
 	n := len(arrivals)
 	if n == 0 {
-		return nil, fmt.Errorf("engine: empty arrival stream")
+		return fmt.Errorf("engine: empty arrival stream")
 	}
 	for i, a := range arrivals {
 		if err := a.Validate(); err != nil {
-			return nil, fmt.Errorf("engine: arrival %d: %w", i, err)
+			return fmt.Errorf("engine: arrival %d: %w", i, err)
 		}
 	}
 
-	// Process arrivals in release order; ties broken by stream position so
-	// runs are deterministic.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	// Reset the result, keeping the storage it already owns.
+	tasks := res.Tasks
+	if cap(tasks) < n {
+		tasks = make([]TaskMetrics, n)
+	} else {
+		tasks = tasks[:n]
+		for i := range tasks {
+			tasks[i] = TaskMetrics{}
+		}
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return arrivals[order[a]].Release < arrivals[order[b]].Release
-	})
+	*res = Result{Policy: policy.Name(), P: p, Tasks: tasks, Decisions: res.Decisions[:0]}
+	trace := opts.traceEnabled()
+
+	runPolicy := r.instantiate(policy)
+
+	// Process arrivals in release order; ties broken by stream position so
+	// runs are deterministic. Generators emit sorted streams, so the sort is
+	// skipped entirely in the common case.
+	r.order = r.order[:0]
+	for i := 0; i < n; i++ {
+		r.order = append(r.order, i)
+	}
+	presorted := true
+	for i := 1; i < n; i++ {
+		if arrivals[i].Release < arrivals[i-1].Release {
+			presorted = false
+			break
+		}
+	}
+	if !presorted {
+		// The comparator is a total order (ties fall back to the stream
+		// position), so the unstable sort is deterministic.
+		r.sorter = arrivalSorter{order: r.order, arrivals: arrivals}
+		sort.Sort(&r.sorter)
+		r.sorter.arrivals = nil
+	}
 
 	maxEvents := opts.MaxEvents
 	if maxEvents <= 0 {
 		maxEvents = 4*n + 64
 	}
 
-	remaining := make([]float64, n)
-	processed := make([]float64, n)
-	for i, a := range arrivals {
-		remaining[i] = a.Task.Volume
+	r.remaining = r.remaining[:0]
+	r.processed = r.processed[:0]
+	for i := range arrivals {
+		r.remaining = append(r.remaining, arrivals[i].Task.Volume)
+		r.processed = append(r.processed, 0)
 	}
+	remaining, processed := r.remaining, r.processed
 	tol := func(i int) float64 { return 1e-9 * math.Max(1, arrivals[i].Task.Volume) }
 
-	res := &Result{Policy: policy.Name(), P: p, Tasks: make([]TaskMetrics, n)}
-	alive := make([]int, 0, n)
+	r.alive = r.alive[:0]
 	now := 0.0
 	next := 0 // index into order of the next pending arrival
 	done := 0
 
-	for next < n || len(alive) > 0 {
+	for next < n || len(r.alive) > 0 {
 		// Admit every arrival released by now, then retire every task whose
 		// volume is exhausted (including zero-volume tasks that were just
 		// admitted). Doing both before the policy call coalesces simultaneous
 		// arrivals and completions into one event.
-		for next < n && arrivals[order[next]].Release <= now {
-			alive = append(alive, order[next])
+		for next < n && arrivals[r.order[next]].Release <= now {
+			r.alive = append(r.alive, r.order[next])
 			next++
 		}
-		stillAlive := alive[:0]
-		for _, i := range alive {
-			if remaining[i] <= tol(i) {
-				a := arrivals[i]
-				res.Tasks[i] = TaskMetrics{
-					ID:         i,
-					Tenant:     a.Tenant,
-					Weight:     a.Task.Weight,
-					Release:    a.Release,
-					Completion: now,
-					Flow:       now - a.Release,
-				}
-				res.WeightedFlow += a.Task.Weight * (now - a.Release)
-				res.WeightedCompletion += a.Task.Weight * now
-				res.TotalFlow += now - a.Release
-				if now > res.Makespan {
-					res.Makespan = now
-				}
-				done++
-			} else {
-				stillAlive = append(stillAlive, i)
+		for k := 0; k < len(r.alive); {
+			i := r.alive[k]
+			if remaining[i] > tol(i) {
+				k++
+				continue
 			}
+			a := arrivals[i]
+			res.Tasks[i] = TaskMetrics{
+				ID:         i,
+				Tenant:     a.Tenant,
+				Weight:     a.Task.Weight,
+				Release:    a.Release,
+				Completion: now,
+				Flow:       now - a.Release,
+			}
+			res.WeightedFlow += a.Task.Weight * (now - a.Release)
+			res.WeightedCompletion += a.Task.Weight * now
+			res.TotalFlow += now - a.Release
+			if now > res.Makespan {
+				res.Makespan = now
+			}
+			done++
+			last := len(r.alive) - 1
+			r.alive[k] = r.alive[last]
+			r.alive = r.alive[:last]
 		}
-		alive = stillAlive
-		if len(alive) > res.MaxAlive {
-			res.MaxAlive = len(alive)
+		if len(r.alive) > res.MaxAlive {
+			res.MaxAlive = len(r.alive)
 		}
-		if len(alive) == 0 {
+		if len(r.alive) == 0 {
 			if next >= n {
 				break
 			}
-			now = arrivals[order[next]].Release
+			now = arrivals[r.order[next]].Release
 			continue
 		}
 
 		res.Events++
 		if res.Events > maxEvents {
-			return nil, fmt.Errorf("engine: policy %q did not finish after %d events (%d of %d tasks done at time %g)",
+			return fmt.Errorf("engine: policy %q did not finish after %d events (%d of %d tasks done at time %g)",
 				policy.Name(), res.Events, done, n, now)
 		}
-		states := make([]TaskState, len(alive))
-		for k, i := range alive {
-			states[k] = TaskState{
+		r.states = r.states[:0]
+		for _, i := range r.alive {
+			r.states = append(r.states, TaskState{
 				ID:        i,
 				Tenant:    arrivals[i].Tenant,
 				Release:   arrivals[i].Release,
@@ -330,16 +507,17 @@ func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) 
 				Delta:     math.Min(arrivals[i].Task.Delta, p),
 				Processed: processed[i],
 				Remaining: remaining[i],
-			}
+			})
 		}
-		alloc := policy.Allocate(p, states)
-		if err := validateAllocation(p, states, alloc); err != nil {
-			return nil, fmt.Errorf("engine: policy %q: %w", policy.Name(), err)
+		r.alloc = runPolicy.Allocate(p, r.states, r.alloc[:0])
+		alloc := r.alloc
+		if err := validateAllocation(p, r.states, alloc); err != nil {
+			return fmt.Errorf("engine: policy %q: %w", policy.Name(), err)
 		}
-		if opts.RecordDecisions {
+		if trace {
 			res.Decisions = append(res.Decisions, Decision{
 				Time:  now,
-				Alive: append([]int(nil), alive...),
+				Alive: append([]int(nil), r.alive...),
 				Alloc: append([]float64(nil), alloc...),
 			})
 		}
@@ -347,7 +525,7 @@ func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) 
 		// Advance to the next event: the earliest completion under the
 		// current allocation or the next arrival, whichever comes first.
 		dt := math.Inf(1)
-		for k, i := range alive {
+		for k, i := range r.alive {
 			if alloc[k] <= 0 {
 				continue
 			}
@@ -356,14 +534,14 @@ func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) 
 			}
 		}
 		if next < n {
-			if d := arrivals[order[next]].Release - now; d < dt {
+			if d := arrivals[r.order[next]].Release - now; d < dt {
 				dt = d
 			}
 		}
 		if math.IsInf(dt, 1) {
-			return nil, fmt.Errorf("engine: policy %q starves all remaining tasks at time %g with no pending arrivals", policy.Name(), now)
+			return fmt.Errorf("engine: policy %q starves all remaining tasks at time %g with no pending arrivals", policy.Name(), now)
 		}
-		for k, i := range alive {
+		for k, i := range r.alive {
 			if alloc[k] <= 0 {
 				continue
 			}
@@ -372,7 +550,25 @@ func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) 
 		}
 		now += dt
 	}
-	return res, nil
+	return nil
+}
+
+// arrivalSorter orders the index slice by (release date, stream position). It
+// lives in the Runner so sorting reuses one sort.Interface value instead of a
+// fresh closure per run.
+type arrivalSorter struct {
+	order    []int
+	arrivals []Arrival
+}
+
+func (s *arrivalSorter) Len() int      { return len(s.order) }
+func (s *arrivalSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+func (s *arrivalSorter) Less(i, j int) bool {
+	a, b := s.order[i], s.order[j]
+	if s.arrivals[a].Release != s.arrivals[b].Release {
+		return s.arrivals[a].Release < s.arrivals[b].Release
+	}
+	return a < b
 }
 
 func validateAllocation(p float64, states []TaskState, alloc []float64) error {

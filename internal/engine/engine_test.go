@@ -60,7 +60,7 @@ func TestSimultaneousArrivalAndCompletionTie(t *testing.T) {
 		{Task: task(1, 1, 1), Release: 0}, // completes exactly at t=1 on P=1
 		{Task: task(1, 1, 1), Release: 1}, // arrives exactly at t=1
 	}
-	res, err := RunWithOptions(1, Adapt(sim.WDEQPolicy{}), arrivals, Options{RecordDecisions: true})
+	res, err := RunWithOptions(1, Adapt(sim.WDEQPolicy{}), arrivals, Options{TraceDecisions: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,8 +149,11 @@ func TestIdleGapBetweenArrivals(t *testing.T) {
 type starvingPolicy struct{}
 
 func (starvingPolicy) Name() string { return "starve" }
-func (starvingPolicy) Allocate(p float64, alive []TaskState) []float64 {
-	return make([]float64, len(alive))
+func (starvingPolicy) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	for range alive {
+		dst = append(dst, 0)
+	}
+	return dst
 }
 
 func TestStarvationDetected(t *testing.T) {
@@ -163,12 +166,11 @@ func TestStarvationDetected(t *testing.T) {
 type overAllocatingPolicy struct{}
 
 func (overAllocatingPolicy) Name() string { return "over" }
-func (overAllocatingPolicy) Allocate(p float64, alive []TaskState) []float64 {
-	alloc := make([]float64, len(alive))
-	for i := range alloc {
-		alloc[i] = alive[i].Delta
+func (overAllocatingPolicy) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	for i := range alive {
+		dst = append(dst, alive[i].Delta)
 	}
-	return alloc
+	return dst
 }
 
 func TestOverAllocationRejected(t *testing.T) {

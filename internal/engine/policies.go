@@ -18,17 +18,27 @@ type WeightGreedyPolicy struct{}
 // Name implements Policy.
 func (WeightGreedyPolicy) Name() string { return "weight-greedy" }
 
-// Allocate implements Policy.
-func (WeightGreedyPolicy) Allocate(p float64, alive []TaskState) []float64 {
-	return greedyByRank(p, alive, func(a, b TaskState) bool {
-		if a.Weight != b.Weight {
-			return a.Weight > b.Weight
-		}
-		if a.Release != b.Release {
-			return a.Release < b.Release
-		}
-		return a.ID < b.ID
-	})
+// Allocate implements Policy. This stateless form allocates rank scratch per
+// call; the engine's run loop uses the scratch-holding clone from CloneForRun
+// instead, which is allocation-free in steady state.
+func (WeightGreedyPolicy) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	g := greedyRun{name: "weight-greedy", less: weightGreedyLess}
+	return g.Allocate(p, alive, dst)
+}
+
+// CloneForRun implements RunCloner.
+func (WeightGreedyPolicy) CloneForRun() Policy {
+	return &greedyRun{name: "weight-greedy", less: weightGreedyLess}
+}
+
+func weightGreedyLess(a, b TaskState) bool {
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	return a.ID < b.ID
 }
 
 // SmithRatioPolicy is a clairvoyant baseline: it serves alive tasks greedily
@@ -41,28 +51,58 @@ type SmithRatioPolicy struct{}
 // Name implements Policy.
 func (SmithRatioPolicy) Name() string { return "smith-ratio" }
 
-// Allocate implements Policy.
-func (SmithRatioPolicy) Allocate(p float64, alive []TaskState) []float64 {
-	return greedyByRank(p, alive, func(a, b TaskState) bool {
-		ra, rb := a.Remaining/a.Weight, b.Remaining/b.Weight
-		if ra != rb {
-			return ra < rb
-		}
-		return a.ID < b.ID
-	})
+// Allocate implements Policy. See WeightGreedyPolicy.Allocate for the
+// stateless-versus-cloned trade-off.
+func (SmithRatioPolicy) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	g := greedyRun{name: "smith-ratio", less: smithRatioLess}
+	return g.Allocate(p, alive, dst)
 }
 
-// greedyByRank hands out the capacity following the order induced by less:
-// each task in turn receives min(δ, remaining capacity).
-func greedyByRank(p float64, alive []TaskState, less func(a, b TaskState) bool) []float64 {
-	idx := make([]int, len(alive))
-	for i := range idx {
-		idx[i] = i
+// CloneForRun implements RunCloner.
+func (SmithRatioPolicy) CloneForRun() Policy {
+	return &greedyRun{name: "smith-ratio", less: smithRatioLess}
+}
+
+func smithRatioLess(a, b TaskState) bool {
+	ra, rb := a.Remaining/a.Weight, b.Remaining/b.Weight
+	if ra != rb {
+		return ra < rb
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return less(alive[idx[a]], alive[idx[b]]) })
-	alloc := make([]float64, len(alive))
+	return a.ID < b.ID
+}
+
+// greedyRun hands out the capacity following the order induced by less: each
+// task in turn receives min(δ, remaining capacity). It owns the rank-index
+// scratch, so one clone serves a whole run without allocating.
+type greedyRun struct {
+	name   string
+	less   func(a, b TaskState) bool
+	sorter rankSorter
+}
+
+// Name implements Policy.
+func (g *greedyRun) Name() string { return g.name }
+
+// Allocate implements Policy.
+func (g *greedyRun) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	s := &g.sorter
+	s.idx = s.idx[:0]
+	for i := range alive {
+		s.idx = append(s.idx, i)
+	}
+	s.alive, s.less = alive, g.less
+	// Every comparator breaks ties by ID, so the order is total and the
+	// unstable sort is deterministic.
+	sort.Sort(s)
+	s.alive = nil
+
+	base := len(dst)
+	for range alive {
+		dst = append(dst, 0)
+	}
+	alloc := dst[base:]
 	capacity := p
-	for _, i := range idx {
+	for _, i := range s.idx {
 		a := math.Min(alive[i].Delta, capacity)
 		if a < 0 {
 			a = 0
@@ -70,8 +110,20 @@ func greedyByRank(p float64, alive []TaskState, less func(a, b TaskState) bool) 
 		alloc[i] = a
 		capacity -= a
 	}
-	return alloc
+	return dst
 }
+
+// rankSorter sorts a task-index slice by a TaskState comparator without the
+// closure and reflection overhead of sort.Slice.
+type rankSorter struct {
+	idx   []int
+	alive []TaskState
+	less  func(a, b TaskState) bool
+}
+
+func (s *rankSorter) Len() int           { return len(s.idx) }
+func (s *rankSorter) Swap(i, j int)      { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *rankSorter) Less(i, j int) bool { return s.less(s.alive[s.idx[i]], s.alive[s.idx[j]]) }
 
 // PolicyNames lists the policy names accepted by PolicyByName.
 func PolicyNames() []string {

@@ -94,7 +94,10 @@ func RunShards(p float64, policy Policy, source ArrivalSource, shards int, baseS
 				errs[s] = fmt.Errorf("shard %d: %w", s, err)
 				return
 			}
-			res, err := Run(p, policy, arrivals)
+			// One Runner per shard goroutine: the scratch buffers are not
+			// safe to share, and per-goroutine reuse keeps the hot loop
+			// allocation-free.
+			res, err := NewRunner().Run(p, policy, arrivals)
 			if err != nil {
 				errs[s] = fmt.Errorf("shard %d: %w", s, err)
 				return

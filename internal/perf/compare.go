@@ -1,0 +1,93 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regression is one flagged metric of one scenario.
+type Regression struct {
+	// Scenario and Metric name what regressed.
+	Scenario string `json:"scenario"`
+	Metric   string `json:"metric"`
+	// Baseline and Current are the compared values.
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Change quantifies the regression: for the relative metrics
+	// (tasksPerSec, nsPerOp) it is the fractional change in the "worse"
+	// direction; for allocsPerOp it is the absolute increase in allocations
+	// per run, which keeps a zero-allocation baseline meaningful (a relative
+	// change against zero is undefined).
+	Change float64 `json:"change"`
+}
+
+func (r Regression) String() string {
+	if r.Metric == "allocsPerOp" {
+		return fmt.Sprintf("%s: %s %.6g -> %.6g (+%.6g allocs/run)", r.Scenario, r.Metric, r.Baseline, r.Current, r.Change)
+	}
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (%+.1f%%)", r.Scenario, r.Metric, r.Baseline, r.Current, 100*r.Change)
+}
+
+// allocSlack is the absolute allocs-per-run increase tolerated before the
+// allocsPerOp metric is flagged. It absorbs measurement noise (a stray GC
+// bookkeeping allocation) without letting a real per-event regression —
+// which costs at least one alloc per event, i.e. thousands per run — slip
+// through.
+const allocSlack = 64.0
+
+// CompareRuns diffs a current report against a baseline and flags every
+// scenario whose throughput dropped, whose time per run grew by more than
+// maxRegress (a fraction: 0.25 flags changes beyond 25%), or whose
+// allocations per run grew by more than an absolute slack.
+//
+// Every scenario of the baseline must be present in the current report — a
+// missing scenario is an error, not a silently skipped comparison, because a
+// renamed or dropped scenario would otherwise disable its regression gate.
+// Scenarios only present in the current report are ignored (adding scenarios
+// is always safe). A zero baseline value disables the relative comparisons
+// for that scenario (they would be meaningless), which makes an all-zero
+// placeholder baseline a no-op gate rather than a permanent build failure.
+func CompareRuns(baseline, current *Report, maxRegress float64) ([]Regression, error) {
+	if baseline == nil || current == nil {
+		return nil, fmt.Errorf("perf: CompareRuns needs two non-nil reports")
+	}
+	if !(maxRegress > 0) {
+		return nil, fmt.Errorf("perf: regression threshold must be positive, got %g", maxRegress)
+	}
+	var out []Regression
+	for _, base := range baseline.Results {
+		cur, ok := current.ResultByScenario(base.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("perf: scenario %q present in baseline but missing from the current report", base.Scenario)
+		}
+		if base.TasksPerSec > 0 {
+			if drop := (base.TasksPerSec - cur.TasksPerSec) / base.TasksPerSec; drop > maxRegress {
+				out = append(out, Regression{
+					Scenario: base.Scenario, Metric: "tasksPerSec",
+					Baseline: base.TasksPerSec, Current: cur.TasksPerSec, Change: -drop,
+				})
+			}
+		}
+		if base.NsPerOp > 0 {
+			if grow := (cur.NsPerOp - base.NsPerOp) / base.NsPerOp; grow > maxRegress {
+				out = append(out, Regression{
+					Scenario: base.Scenario, Metric: "nsPerOp",
+					Baseline: base.NsPerOp, Current: cur.NsPerOp, Change: grow,
+				})
+			}
+		}
+		if inc := cur.AllocsPerOp - base.AllocsPerOp; inc > allocSlack {
+			out = append(out, Regression{
+				Scenario: base.Scenario, Metric: "allocsPerOp",
+				Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp, Change: inc,
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Scenario != out[b].Scenario {
+			return out[a].Scenario < out[b].Scenario
+		}
+		return out[a].Metric < out[b].Metric
+	})
+	return out, nil
+}

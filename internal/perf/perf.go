@@ -1,0 +1,313 @@
+// Package perf is the library's standing benchmark and regression harness: a
+// pinned set of named scenarios (static WDEQ batch, online Poisson, bursty
+// multi-tenant, sharded fleet) executed for a fixed wall budget, reported as
+// ns/op, allocs/op, tasks/sec and flow-time quantiles, and serialized under a
+// stable JSON schema so two runs — today's and a checked-in baseline — can be
+// diffed mechanically by CompareRuns. `mwct bench` is the command-line front
+// end; CI runs it on every push and fails the build on large regressions, so
+// the performance trajectory of the engine is a tracked artifact rather than
+// a one-off number.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/stats"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// ProcessStatic is the pseudo arrival process of batch scenarios: the
+// workload is drawn like a Poisson stream and every release date is then
+// forced to zero, turning the run into the paper's static setting.
+const ProcessStatic = "static"
+
+// Scenario is one named benchmark configuration. All fields are pure data so
+// a scenario can round-trip through the JSON report and reproduce the exact
+// run.
+type Scenario struct {
+	// Name identifies the scenario in reports and on the command line.
+	Name string `json:"name"`
+	// Policy is one of engine.PolicyNames.
+	Policy string `json:"policy"`
+	// Class is the instance class of the task shapes (see `mwct gen`).
+	Class string `json:"class"`
+	// Process is "poisson", "bursty", or ProcessStatic.
+	Process string `json:"process"`
+	// Rate is the arrival rate (tasks per unit of virtual time).
+	Rate float64 `json:"rate"`
+	// Burst is the mean burst size of the bursty process.
+	Burst float64 `json:"burst,omitempty"`
+	// Tenants is a name:weight:share list; empty means a single tenant.
+	Tenants string `json:"tenants,omitempty"`
+	// Tasks is the number of tasks per run (total across shards).
+	Tasks int `json:"tasks"`
+	// Shards is the number of concurrent engines; 1 runs a single engine on
+	// the calling goroutine.
+	Shards int `json:"shards"`
+	// P is the per-shard platform capacity.
+	P float64 `json:"p"`
+	// Seed makes the workload deterministic.
+	Seed int64 `json:"seed"`
+}
+
+// Scenarios returns the pinned scenario set CI benchmarks on every push. The
+// set is append-only by convention: renaming or removing a scenario silently
+// invalidates every stored baseline, so new shapes get new names.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "static-wdeq", Policy: "wdeq", Class: "uniform",
+			Process: ProcessStatic, Rate: 8, Tasks: 2048, Shards: 1, P: 8, Seed: 401,
+		},
+		{
+			Name: "online-poisson", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 8, Tasks: 4096, Shards: 1, P: 8, Seed: 402,
+		},
+		{
+			Name: "bursty-multitenant", Policy: "wdeq", Class: "uniform",
+			Process: "bursty", Rate: 8, Burst: 8,
+			Tenants: "gold:4:0.2,silver:2:0.3,bronze:1:0.5",
+			Tasks: 4096, Shards: 1, P: 8, Seed: 403,
+		},
+		{
+			Name: "sharded", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 8, Tasks: 4096, Shards: 4, P: 8, Seed: 404,
+		},
+	}
+}
+
+// ScenarioNames lists the names of the pinned set, in run order.
+func ScenarioNames() []string {
+	all := Scenarios()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ScenarioByName resolves a pinned scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("perf: unknown scenario %q (want one of %v)", name, ScenarioNames())
+}
+
+// arrivalConfig translates the scenario into a workload configuration.
+func (s Scenario) arrivalConfig() (workload.ArrivalConfig, error) {
+	class, err := workload.ParseClass(s.Class)
+	if err != nil {
+		return workload.ArrivalConfig{}, err
+	}
+	processName := s.Process
+	if processName == ProcessStatic {
+		processName = "poisson"
+	}
+	process, err := workload.ParseProcess(processName)
+	if err != nil {
+		return workload.ArrivalConfig{}, err
+	}
+	tenants, err := workload.ParseTenants(s.Tenants)
+	if err != nil {
+		return workload.ArrivalConfig{}, err
+	}
+	return workload.ArrivalConfig{
+		Class:     class,
+		P:         s.P,
+		Process:   process,
+		Rate:      s.Rate,
+		MeanBurst: s.Burst,
+		Tenants:   tenants,
+	}, nil
+}
+
+// generate draws one shard's arrival stream.
+func (s Scenario) generate(cfg workload.ArrivalConfig, n int, seed int64) ([]engine.Arrival, error) {
+	arrivals, err := workload.GenerateArrivals(cfg, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	if s.Process == ProcessStatic {
+		for i := range arrivals {
+			arrivals[i].Release = 0
+		}
+	}
+	return arrivals, nil
+}
+
+// RunScenario executes the scenario repeatedly until the wall budget is
+// exhausted (at least once) and reports averaged metrics. Workload generation
+// happens before the clock starts; the timed region is exactly the engine
+// work, so allocs/op of the single-shard scenarios reflects the
+// zero-allocation steady state of the event loop.
+func RunScenario(s Scenario, budget time.Duration) (Result, error) {
+	if s.Tasks <= 0 {
+		return Result{}, fmt.Errorf("perf: scenario %q: need a positive task count, got %d", s.Name, s.Tasks)
+	}
+	if s.Shards <= 0 {
+		return Result{}, fmt.Errorf("perf: scenario %q: need a positive shard count, got %d", s.Name, s.Shards)
+	}
+	policy, err := engine.PolicyByName(s.Policy)
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	cfg, err := s.arrivalConfig()
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	if s.Shards == 1 {
+		return runSingle(s, policy, cfg, budget)
+	}
+	return runSharded(s, policy, cfg, budget)
+}
+
+// measurement is what timedLoop observes about the budget-bounded loop.
+type measurement struct {
+	runs        int
+	elapsed     time.Duration
+	allocsPerOp float64
+	bytesPerOp  float64
+}
+
+// timedLoop is the shared measurement scaffolding of every scenario kind:
+// force a GC so the Mallocs window is clean, then re-execute run until the
+// wall budget is spent (at least once) and average the allocation counters
+// over the runs. The caller warms and validates run before the clock starts.
+func timedLoop(budget time.Duration, run func() error) (measurement, error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var m measurement
+	start := time.Now()
+	for m.elapsed < budget || m.runs == 0 {
+		if err := run(); err != nil {
+			return measurement{}, err
+		}
+		m.runs++
+		m.elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&ms1)
+	m.allocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(m.runs)
+	m.bytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(m.runs)
+	return m, nil
+}
+
+// runSingle benchmarks one engine on the calling goroutine with a reused
+// Runner and Result — the zero-allocation path.
+func runSingle(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, budget time.Duration) (Result, error) {
+	arrivals, err := s.generate(cfg, s.Tasks, s.Seed)
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	runner := engine.NewRunner()
+	res := &engine.Result{}
+	run := func() error { return runner.RunInto(res, s.P, policy, arrivals, engine.Options{}) }
+	// Warm the scratch buffers (and validate the run) outside the clock.
+	if err := run(); err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	events := res.Events
+	m, err := timedLoop(budget, run)
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	return newResult(s, m, events, stats.Summarize(res.FlowTimes())), nil
+}
+
+// runSharded benchmarks the concurrent multi-shard driver end to end,
+// including stream generation and the deterministic merge — the figure a
+// capacity planner cares about.
+func runSharded(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, budget time.Duration) (Result, error) {
+	perShard := func(shard int) int {
+		n := s.Tasks / s.Shards
+		if shard < s.Tasks%s.Shards {
+			n++
+		}
+		return n
+	}
+	source := func(shard int, seed int64) ([]engine.Arrival, error) {
+		return s.generate(cfg, perShard(shard), seed)
+	}
+	var load *engine.LoadResult
+	run := func() error {
+		var err error
+		load, err = engine.RunShards(s.P, policy, source, s.Shards, s.Seed)
+		return err
+	}
+	// Warm/validate once outside the clock.
+	if err := run(); err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	events := load.Events
+	m, err := timedLoop(budget, run)
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	return newResult(s, m, events, load.Flow), nil
+}
+
+func newResult(s Scenario, m measurement, events int, flows stats.Summary) Result {
+	wall := m.elapsed.Nanoseconds()
+	r := Result{
+		Scenario:    s.Name,
+		Policy:      s.Policy,
+		Runs:        m.runs,
+		Tasks:       s.Tasks,
+		Events:      events,
+		WallNs:      wall,
+		NsPerOp:     float64(wall) / float64(m.runs),
+		AllocsPerOp: m.allocsPerOp,
+		BytesPerOp:  m.bytesPerOp,
+		FlowP50:     flows.P50,
+		FlowP99:     flows.P99,
+	}
+	if wall > 0 {
+		r.TasksPerSec = float64(s.Tasks*m.runs) / (float64(wall) / 1e9)
+	}
+	return r
+}
+
+// RunAll executes the named scenarios (nil or empty means the whole pinned
+// set) with the given per-scenario wall budget and assembles the report.
+func RunAll(names []string, budget time.Duration) (*Report, error) {
+	var scenarios []Scenario
+	if len(names) == 0 {
+		scenarios = Scenarios()
+	} else {
+		for _, name := range names {
+			s, err := ScenarioByName(name)
+			if err != nil {
+				return nil, err
+			}
+			scenarios = append(scenarios, s)
+		}
+	}
+	report := &Report{
+		Schema:    SchemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		BudgetNs:  budget.Nanoseconds(),
+	}
+	for _, s := range scenarios {
+		res, err := RunScenario(s, budget)
+		if err != nil {
+			return nil, err
+		}
+		report.Results = append(report.Results, res)
+	}
+	sort.Slice(report.Results, func(a, b int) bool {
+		return report.Results[a].Scenario < report.Results[b].Scenario
+	})
+	return report, nil
+}

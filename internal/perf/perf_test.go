@@ -1,0 +1,236 @@
+package perf
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenReport is a hand-built report with fixed values, so the golden file
+// pins the JSON schema (field names, nesting, formatting) rather than any
+// measurement.
+func goldenReport() *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		BudgetNs:  int64(100 * time.Millisecond),
+		Results: []Result{
+			{
+				Scenario: "online-poisson", Policy: "wdeq",
+				Runs: 12, Tasks: 4096, Events: 8191, WallNs: 120000000,
+				NsPerOp: 10000000, AllocsPerOp: 0, BytesPerOp: 0,
+				TasksPerSec: 409600, FlowP50: 1.5, FlowP99: 9.25,
+			},
+			{
+				Scenario: "sharded", Policy: "wdeq",
+				Runs: 5, Tasks: 4096, Events: 8200, WallNs: 110000000,
+				NsPerOp: 22000000, AllocsPerOp: 8234.5, BytesPerOp: 1.25e6,
+				TasksPerSec: 186181.81818181818, FlowP50: 1.25, FlowP99: 8.5,
+			},
+		},
+	}
+}
+
+// The JSON schema is a contract with checked-in baselines and CI artifacts:
+// any unintentional change to field names or formatting must fail this test.
+// Refresh the golden file deliberately with UPDATE_GOLDEN=1.
+func TestReportJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report JSON drifted from the golden schema.\ngot:\n%s\nwant:\n%s\n(run with UPDATE_GOLDEN=1 to accept)", buf.Bytes(), want)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	want := goldenReport()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != want.Schema || len(got.Results) != len(want.Results) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range want.Results {
+		if got.Results[i] != want.Results[i] {
+			t.Errorf("result %d: %+v != %+v", i, got.Results[i], want.Results[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsWrongSchema(t *testing.T) {
+	r := goldenReport()
+	r.Schema = SchemaVersion + 1
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(&buf); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("err = %v, want schema mismatch", err)
+	}
+}
+
+func report(results ...Result) *Report {
+	return &Report{Schema: SchemaVersion, Results: results}
+}
+
+func TestCompareRunsFlagsThroughputRegression(t *testing.T) {
+	base := report(Result{Scenario: "a", TasksPerSec: 1000, NsPerOp: 100})
+	cur := report(Result{Scenario: "a", TasksPerSec: 700, NsPerOp: 100})
+	regs, err := CompareRuns(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "tasksPerSec" {
+		t.Fatalf("regressions = %+v, want one tasksPerSec entry", regs)
+	}
+	if regs[0].Change >= 0 || regs[0].String() == "" {
+		t.Errorf("bad regression rendering: %+v -> %s", regs[0], regs[0])
+	}
+	// A drop within the threshold passes.
+	ok := report(Result{Scenario: "a", TasksPerSec: 800, NsPerOp: 100})
+	regs, err = CompareRuns(base, ok, 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Errorf("regs = %+v, err = %v; want clean pass", regs, err)
+	}
+	// Improvements never flag.
+	better := report(Result{Scenario: "a", TasksPerSec: 5000, NsPerOp: 10})
+	regs, err = CompareRuns(base, better, 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Errorf("regs = %+v, err = %v; improvement flagged", regs, err)
+	}
+}
+
+func TestCompareRunsFlagsTimeAndAllocRegressions(t *testing.T) {
+	base := report(Result{Scenario: "a", TasksPerSec: 1000, NsPerOp: 100, AllocsPerOp: 0})
+	cur := report(Result{Scenario: "a", TasksPerSec: 1000, NsPerOp: 200, AllocsPerOp: 9000})
+	regs, err := CompareRuns(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want nsPerOp and allocsPerOp", regs)
+	}
+	if regs[0].Metric != "allocsPerOp" || regs[1].Metric != "nsPerOp" {
+		t.Errorf("metrics = %s, %s (sorted order expected)", regs[0].Metric, regs[1].Metric)
+	}
+	// The absolute alloc slack tolerates noise against a zero baseline.
+	noisy := report(Result{Scenario: "a", TasksPerSec: 1000, NsPerOp: 100, AllocsPerOp: 3})
+	regs, err = CompareRuns(base, noisy, 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Errorf("regs = %+v, err = %v; alloc noise flagged", regs, err)
+	}
+}
+
+func TestCompareRunsMissingScenarioIsError(t *testing.T) {
+	base := report(Result{Scenario: "a", TasksPerSec: 1000}, Result{Scenario: "b", TasksPerSec: 1000})
+	cur := report(Result{Scenario: "a", TasksPerSec: 1000})
+	if _, err := CompareRuns(base, cur, 0.25); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("err = %v, want missing-scenario error", err)
+	}
+	// Extra scenarios in the current report are fine.
+	if _, err := CompareRuns(cur, base, 0.25); err != nil {
+		t.Errorf("extra scenario rejected: %v", err)
+	}
+}
+
+func TestCompareRunsZeroBaselineSkipsRelativeMetrics(t *testing.T) {
+	base := report(Result{Scenario: "a"}) // all-zero placeholder
+	cur := report(Result{Scenario: "a", TasksPerSec: 1, NsPerOp: 1e12, AllocsPerOp: 10})
+	regs, err := CompareRuns(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("regs = %+v; zero baseline must disable relative comparisons", regs)
+	}
+}
+
+func TestCompareRunsRejectsBadInputs(t *testing.T) {
+	if _, err := CompareRuns(nil, report(), 0.25); err == nil {
+		t.Errorf("nil baseline accepted")
+	}
+	if _, err := CompareRuns(report(), report(), 0); err == nil {
+		t.Errorf("zero threshold accepted")
+	}
+}
+
+// End-to-end smoke: every pinned scenario must run under a tiny budget and
+// produce sane, internally consistent numbers.
+func TestRunAllPinnedScenarios(t *testing.T) {
+	rep, err := RunAll(nil, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaVersion || len(rep.Results) != len(Scenarios()) {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, res := range rep.Results {
+		if res.Runs < 1 || res.NsPerOp <= 0 || res.TasksPerSec <= 0 {
+			t.Errorf("%s: implausible measurement %+v", res.Scenario, res)
+		}
+		if res.Events < res.Tasks {
+			t.Errorf("%s: %d events for %d tasks", res.Scenario, res.Events, res.Tasks)
+		}
+		if res.FlowP99 < res.FlowP50 || res.FlowP50 <= 0 {
+			t.Errorf("%s: flow quantiles p50=%g p99=%g", res.Scenario, res.FlowP50, res.FlowP99)
+		}
+	}
+	// The report is sorted by scenario, so re-serializing is deterministic.
+	for i := 1; i < len(rep.Results); i++ {
+		if rep.Results[i-1].Scenario >= rep.Results[i].Scenario {
+			t.Errorf("results not sorted: %q before %q", rep.Results[i-1].Scenario, rep.Results[i].Scenario)
+		}
+	}
+}
+
+// The single-shard scenarios ride the zero-allocation hot path: their
+// allocs/op must stay far below one alloc per event. (The exact zero is
+// asserted at the engine level; here a loose bound keeps the test robust to
+// harness bookkeeping.)
+func TestSingleShardScenariosNearZeroAllocs(t *testing.T) {
+	for _, name := range []string{"online-poisson", "static-wdeq"} {
+		s, err := ScenarioByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunScenario(s, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AllocsPerOp > float64(res.Events)/10 {
+			t.Errorf("%s: %.1f allocs/run over %d events — hot path is allocating again",
+				name, res.AllocsPerOp, res.Events)
+		}
+	}
+}
+
+func TestScenarioByNameUnknown(t *testing.T) {
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Errorf("unknown scenario accepted")
+	}
+	if _, err := RunAll([]string{"nope"}, time.Millisecond); err == nil {
+		t.Errorf("RunAll accepted an unknown scenario")
+	}
+}

@@ -1,0 +1,116 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion is the version tag of the report JSON. Bump it only when a
+// field changes meaning; adding fields is backward compatible and keeps the
+// version.
+const SchemaVersion = 1
+
+// Result is the measured outcome of one scenario. Averages are per run of the
+// whole scenario (one run = Tasks tasks pushed through the engine), so ns/op
+// is comparable to a `go test -bench` line for the same workload.
+type Result struct {
+	// Scenario and Policy identify what ran.
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	// Runs is how many times the scenario executed within the wall budget.
+	Runs int `json:"runs"`
+	// Tasks is the number of tasks per run; Events the number of policy
+	// invocations per run.
+	Tasks  int `json:"tasks"`
+	Events int `json:"events"`
+	// WallNs is the total measured wall time.
+	WallNs int64 `json:"wallNs"`
+	// NsPerOp, AllocsPerOp and BytesPerOp are per-run averages.
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	// TasksPerSec is completed tasks per second of wall time — the harness's
+	// headline throughput number.
+	TasksPerSec float64 `json:"tasksPerSec"`
+	// FlowP50 and FlowP99 are flow-time quantiles (virtual time) of the last
+	// run, a service-quality check that optimizations do not change results.
+	FlowP50 float64 `json:"flowP50"`
+	FlowP99 float64 `json:"flowP99"`
+}
+
+// Report is the serialized outcome of a bench run: environment fingerprint
+// plus one Result per scenario, sorted by scenario name so the JSON is
+// byte-deterministic for a given set of measurements.
+type Report struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// GoVersion, GOOS and GOARCH fingerprint the environment. CompareRuns
+	// only warns about cross-environment comparisons via the Regression list
+	// consumer; the fields exist so a human can spot apples-to-oranges.
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// BudgetNs is the per-scenario wall budget the run used.
+	BudgetNs int64 `json:"budgetNs"`
+	// Results holds one entry per scenario, sorted by name.
+	Results []Result `json:"results"`
+}
+
+// ResultByScenario returns the named result, if present.
+func (r *Report) ResultByScenario(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Scenario == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// WriteJSON serializes the report with stable formatting (two-space indent,
+// trailing newline) so checked-in baselines diff cleanly.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a report and checks the schema version.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("perf: parsing report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: report schema %d, this build reads schema %d", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// WriteFile writes the report to path (stdout when path is "-").
+func WriteFile(path string, r *Report) error {
+	if path == "-" {
+		return WriteJSON(os.Stdout, r)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a report from path.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -27,15 +27,20 @@ type TaskView struct {
 	Processed float64
 }
 
-// Policy decides how many processors each alive task receives. The returned
-// slice must be aligned with the alive slice; entries must be non-negative,
-// at most the task's Delta, and sum to at most p. The engine validates these
-// conditions and aborts the run if a policy violates them.
+// Policy decides how many processors each alive task receives. Allocate
+// follows the append-into-dst convention of the zero-allocation hot path: the
+// per-task allocations are appended to dst (which the caller may pass with
+// spare capacity, typically a reused buffer re-sliced to length zero) and the
+// extended slice is returned, aligned with the alive slice. Entries must be
+// non-negative, at most the task's Delta, and sum to at most p. The engine
+// validates these conditions and aborts the run if a policy violates them.
+// Policies must be safe for concurrent use; the bundled ones are stateless.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
-	// Allocate computes the allocation for the alive tasks.
-	Allocate(p float64, alive []TaskView) []float64
+	// Allocate appends the allocation of the alive tasks to dst and returns
+	// the extended slice.
+	Allocate(p float64, alive []TaskView, dst []float64) []float64
 }
 
 // WDEQPolicy is the weighted dynamic equipartition of Algorithm 1.
@@ -44,15 +49,12 @@ type WDEQPolicy struct{}
 // Name implements Policy.
 func (WDEQPolicy) Name() string { return "WDEQ" }
 
-// Allocate implements Policy.
-func (WDEQPolicy) Allocate(p float64, alive []TaskView) []float64 {
-	weights := make([]float64, len(alive))
-	deltas := make([]float64, len(alive))
-	for i, t := range alive {
-		weights[i] = t.Weight
-		deltas[i] = t.Delta
-	}
-	return core.ShareAllocation(p, weights, deltas)
+// Allocate implements Policy. It reads weights and degree bounds through
+// accessors, so it performs no allocation when dst has spare capacity.
+func (WDEQPolicy) Allocate(p float64, alive []TaskView, dst []float64) []float64 {
+	return core.ShareAllocationFunc(dst, p, len(alive),
+		func(i int) float64 { return alive[i].Weight },
+		func(i int) float64 { return alive[i].Delta })
 }
 
 // DEQPolicy is the unweighted dynamic equipartition (all weights treated as
@@ -63,12 +65,10 @@ type DEQPolicy struct{}
 func (DEQPolicy) Name() string { return "DEQ" }
 
 // Allocate implements Policy.
-func (DEQPolicy) Allocate(p float64, alive []TaskView) []float64 {
-	deltas := make([]float64, len(alive))
-	for i, t := range alive {
-		deltas[i] = t.Delta
-	}
-	return core.EquipartitionAllocation(p, deltas)
+func (DEQPolicy) Allocate(p float64, alive []TaskView, dst []float64) []float64 {
+	return core.ShareAllocationFunc(dst, p, len(alive),
+		func(int) float64 { return 1 },
+		func(i int) float64 { return alive[i].Delta })
 }
 
 // PriorityPolicy allocates the platform greedily following a fixed priority
@@ -91,7 +91,7 @@ func (p PriorityPolicy) Name() string {
 }
 
 // Allocate implements Policy.
-func (p PriorityPolicy) Allocate(capacity float64, alive []TaskView) []float64 {
+func (p PriorityPolicy) Allocate(capacity float64, alive []TaskView, dst []float64) []float64 {
 	idx := make([]int, len(alive))
 	for i := range idx {
 		idx[i] = i
@@ -108,7 +108,11 @@ func (p PriorityPolicy) Allocate(capacity float64, alive []TaskView) []float64 {
 			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
-	alloc := make([]float64, len(alive))
+	base := len(dst)
+	for range alive {
+		dst = append(dst, 0)
+	}
+	alloc := dst[base:]
 	remaining := capacity
 	for _, i := range idx {
 		a := math.Min(alive[i].Delta, remaining)
@@ -118,7 +122,7 @@ func (p PriorityPolicy) Allocate(capacity float64, alive []TaskView) []float64 {
 		alloc[i] = a
 		remaining -= a
 	}
-	return alloc
+	return dst
 }
 
 // Trace records one scheduling decision of a run.
@@ -161,20 +165,26 @@ func Run(inst *schedule.Instance, policy Policy) (*Result, error) {
 
 	result := &Result{Policy: policy.Name()}
 	now := 0.0
+	// views and allocBuf are threaded through every decision point (the
+	// append-into-dst contract of Policy), so the loop itself does not
+	// allocate per event.
+	views := make([]TaskView, 0, n)
+	var allocBuf []float64
 	for steps := 0; len(alive) > 0; steps++ {
 		if steps > 4*n+16 {
 			return nil, fmt.Errorf("sim: policy %q did not finish after %d decision points", policy.Name(), steps)
 		}
-		views := make([]TaskView, len(alive))
-		for k, i := range alive {
-			views[k] = TaskView{
+		views = views[:0]
+		for _, i := range alive {
+			views = append(views, TaskView{
 				ID:        i,
 				Weight:    inst.Tasks[i].Weight,
 				Delta:     inst.EffectiveDelta(i),
 				Processed: processed[i],
-			}
+			})
 		}
-		alloc := policy.Allocate(inst.P, views)
+		allocBuf = policy.Allocate(inst.P, views, allocBuf[:0])
+		alloc := allocBuf
 		if err := validateAllocation(inst, views, alloc); err != nil {
 			return nil, fmt.Errorf("sim: policy %q: %w", policy.Name(), err)
 		}

@@ -98,20 +98,22 @@ func TestPriorityPolicy(t *testing.T) {
 type badPolicy struct{}
 
 func (badPolicy) Name() string { return "bad" }
-func (badPolicy) Allocate(p float64, alive []TaskView) []float64 {
-	out := make([]float64, len(alive))
-	for i := range out {
-		out[i] = p // every task asks for the whole platform
+func (badPolicy) Allocate(p float64, alive []TaskView, dst []float64) []float64 {
+	for range alive {
+		dst = append(dst, p) // every task asks for the whole platform
 	}
-	return out
+	return dst
 }
 
 // starvingPolicy allocates nothing, which must be detected as starvation.
 type starvingPolicy struct{}
 
 func (starvingPolicy) Name() string { return "starve" }
-func (starvingPolicy) Allocate(p float64, alive []TaskView) []float64 {
-	return make([]float64, len(alive))
+func (starvingPolicy) Allocate(p float64, alive []TaskView, dst []float64) []float64 {
+	for range alive {
+		dst = append(dst, 0)
+	}
+	return dst
 }
 
 func TestRunRejectsBadPolicies(t *testing.T) {

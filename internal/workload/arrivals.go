@@ -117,7 +117,7 @@ func (c *ArrivalConfig) Validate() error {
 	if !(c.Rate > 0) || math.IsInf(c.Rate, 0) {
 		return fmt.Errorf("workload: arrival rate must be positive and finite, got %g", c.Rate)
 	}
-	if c.Process == Bursty && (c.MeanBurst < 1 || math.IsInf(c.MeanBurst, 0)) {
+	if c.Process == Bursty && (!(c.MeanBurst >= 1) || math.IsInf(c.MeanBurst, 0)) {
 		return fmt.Errorf("workload: mean burst size must be at least 1 and finite, got %g", c.MeanBurst)
 	}
 	if c.Class != UnitClass && (!(c.P > 0) || math.IsInf(c.P, 0)) {
@@ -170,9 +170,12 @@ func GenerateArrivals(cfg ArrivalConfig, n int, seed int64) ([]schedule.Arrival,
 			now += rng.ExpFloat64() / cfg.Rate
 		case Bursty:
 			// Bursts arrive at rate Rate/MeanBurst; sizes are geometric with
-			// mean MeanBurst, so the long-run task rate stays Rate.
+			// mean MeanBurst, so the long-run task rate stays Rate. The draw
+			// is capped at the tasks still needed: the excess would be
+			// discarded anyway, and without the cap a huge MeanBurst (legal
+			// per Validate) spins this loop ~MeanBurst iterations.
 			now += rng.ExpFloat64() * cfg.MeanBurst / cfg.Rate
-			for rng.Float64() >= 1/cfg.MeanBurst {
+			for burst < n-len(out) && rng.Float64() >= 1/cfg.MeanBurst {
 				burst++
 			}
 		default:

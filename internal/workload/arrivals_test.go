@@ -188,3 +188,30 @@ func TestHeterogeneousFractionalPDoesNotPanic(t *testing.T) {
 		t.Error("infinite rate accepted")
 	}
 }
+
+// A huge (but legal) mean burst size must not spin the geometric draw: the
+// burst is capped at the tasks still needed, so generation stays O(n) even
+// for astronomically bursty configurations.
+func TestGenerateArrivalsHugeBurstBounded(t *testing.T) {
+	cfg := ArrivalConfig{Class: Uniform, P: 4, Process: Bursty, Rate: 8, MeanBurst: 1e18}
+	arrivals, err := GenerateArrivals(cfg, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 64 {
+		t.Fatalf("got %d arrivals, want 64", len(arrivals))
+	}
+	// With a mean burst far beyond n, everything lands in one burst.
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i].Release != arrivals[0].Release {
+			t.Fatalf("arrival %d release %g != %g, want one giant burst", i, arrivals[i].Release, arrivals[0].Release)
+		}
+	}
+}
+
+func TestGenerateArrivalsNaNBurstRejected(t *testing.T) {
+	cfg := ArrivalConfig{Class: Uniform, P: 4, Process: Bursty, Rate: 8, MeanBurst: math.NaN()}
+	if _, err := GenerateArrivals(cfg, 4, 1); err == nil {
+		t.Errorf("NaN mean burst accepted")
+	}
+}

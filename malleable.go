@@ -119,8 +119,26 @@ type Arrival = engine.Arrival
 
 // OnlinePolicy is an online allocation policy for the arrival-driven engine.
 // Use OnlinePolicyByName for the bundled policies (WDEQ, DEQ, weight-greedy,
-// smith-ratio) or implement the interface for a custom one.
+// smith-ratio) or implement the interface for a custom one. Allocate follows
+// the append-into-dst convention: the engine hands the policy a reusable
+// buffer and the policy appends one entry per alive task, which is what keeps
+// the steady-state event loop allocation-free. Policies written against the
+// older allocating signature still work through engine.AdaptLegacy.
 type OnlinePolicy = engine.Policy
+
+// OnlineRunner owns the reusable scratch of the online engine's event loop.
+// After a warm-up run, repeated runs of similar size perform zero heap
+// allocations per event — hold one per goroutine for benchmark loops, load
+// generators and servers. The zero value is ready to use.
+type OnlineRunner = engine.Runner
+
+// NewOnlineRunner returns a fresh OnlineRunner.
+func NewOnlineRunner() *OnlineRunner { return engine.NewRunner() }
+
+// OnlineOptions tunes an online run (decision tracing, event bounds). The
+// zero value is the production configuration: tracing off, default safety
+// bound.
+type OnlineOptions = engine.Options
 
 // OnlineResult is the outcome of an online run: per-task flow times plus
 // aggregate weighted-flow, makespan and throughput metrics.
