@@ -538,3 +538,35 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 func sizeName(n int) string {
 	return fmt.Sprintf("n=%03d", n)
 }
+
+// BenchmarkEngineSpeedupModels compares the per-event cost of the bundled
+// speedup models on the same WDEQ Poisson workload: the model-threaded
+// advance step (interface call + math) versus the paper's linear division.
+func BenchmarkEngineSpeedupModels(b *testing.B) {
+	policy, err := malleable.OnlinePolicyByName("wdeq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrivals := onlineArrivals(b, 1024, 31)
+	for _, spec := range []string{"linear", "powerlaw:0.75", "amdahl:0.1", "platform:8@0,4@40,8@80"} {
+		model, err := malleable.ParseSpeedupModel(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec, func(b *testing.B) {
+			runner := malleable.NewOnlineRunner()
+			res := &malleable.OnlineResult{}
+			opts := malleable.OnlineOptions{Model: model}
+			if err := runner.RunInto(res, 8, policy, arrivals, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runner.RunInto(res, 8, policy, arrivals, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ func runBench(args []string) error {
 	scenarios := fs.String("scenarios", "", "comma-separated scenario names (empty = all: "+strings.Join(perf.ScenarioNames(), ",")+")")
 	baseline := fs.String("baseline", "", "baseline report JSON to compare against (empty = no gate)")
 	maxRegress := fs.Float64("max-regress", 0.25, "regression threshold as a fraction (0.25 = 25%)")
+	speedupSpec := fs.String("speedup", "", "override the speedup model of every selected scenario (ad-hoc exploration; do not combine with -baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -32,14 +33,17 @@ func runBench(args []string) error {
 			names = append(names, strings.TrimSpace(name))
 		}
 	}
-	return benchReport(os.Stderr, *jsonPath, names, *budget, *baseline, *maxRegress)
+	if *speedupSpec != "" && *baseline != "" {
+		return fmt.Errorf("bench: -speedup overrides the measured scenarios, which makes a -baseline comparison meaningless; drop one of the two")
+	}
+	return benchReport(os.Stderr, *jsonPath, names, *budget, *baseline, *maxRegress, *speedupSpec)
 }
 
 // benchReport is the testable core of `mwct bench`. Progress and comparison
 // verdicts go to log (stderr in production); only the report JSON goes to the
 // -json destination, so `mwct bench -json -` pipes cleanly.
-func benchReport(log io.Writer, jsonPath string, names []string, budget time.Duration, baselinePath string, maxRegress float64) error {
-	report, err := perf.RunAll(names, budget)
+func benchReport(log io.Writer, jsonPath string, names []string, budget time.Duration, baselinePath string, maxRegress float64, speedupOverride string) error {
+	report, err := perf.RunAllWithSpeedup(names, budget, speedupOverride)
 	if err != nil {
 		return err
 	}

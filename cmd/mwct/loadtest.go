@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/workload"
 )
 
@@ -34,6 +35,14 @@ type loadtestSpec struct {
 	Seed int64 `json:"seed"`
 	// Tenants is a name:weight:share list, e.g. "gold:4:0.2,bronze:1:0.8".
 	Tenants string `json:"tenants,omitempty"`
+	// Speedup is the speedup-model spec (linear, powerlaw[:alpha],
+	// amdahl[:sigma], platform:cap@t,...); empty means the paper's linear
+	// model.
+	Speedup string `json:"speedup,omitempty"`
+	// CurveMin and CurveMax draw per-task speedup-curve parameters; both zero
+	// disables them.
+	CurveMin float64 `json:"curveMin,omitempty"`
+	CurveMax float64 `json:"curveMax,omitempty"`
 }
 
 // runLoadtestSpec generates the per-shard arrival streams, runs the sharded
@@ -65,6 +74,13 @@ func runLoadtestSpec(spec loadtestSpec) (*engine.LoadResult, []workload.TenantSp
 	if err != nil {
 		return nil, nil, err
 	}
+	model, err := speedup.ParseModel(spec.Speedup)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := speedup.ValidateCurves(model, spec.CurveMin, spec.CurveMax); err != nil {
+		return nil, nil, err
+	}
 	cfg := workload.ArrivalConfig{
 		Class:     class,
 		P:         spec.P,
@@ -72,6 +88,8 @@ func runLoadtestSpec(spec loadtestSpec) (*engine.LoadResult, []workload.TenantSp
 		Rate:      spec.Rate,
 		MeanBurst: spec.Burst,
 		Tenants:   tenants,
+		CurveMin:  spec.CurveMin,
+		CurveMax:  spec.CurveMax,
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
@@ -88,7 +106,7 @@ func runLoadtestSpec(spec loadtestSpec) (*engine.LoadResult, []workload.TenantSp
 	source := func(shard int, seed int64) ([]engine.Arrival, error) {
 		return workload.GenerateArrivals(cfg, perShard(shard), seed)
 	}
-	res, err := engine.RunShards(spec.P, policy, source, spec.Shards, spec.Seed)
+	res, err := engine.RunShardsWithOptions(spec.P, policy, source, spec.Shards, spec.Seed, engine.Options{Model: model})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -102,8 +120,12 @@ func loadtestReport(w io.Writer, spec loadtestSpec) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "loadtest: policy=%s class=%s process=%s rate=%g tasks=%d shards=%d p=%g seed=%d\n",
-		res.Policy, spec.Class, spec.Process, spec.Rate, spec.Tasks, spec.Shards, spec.P, spec.Seed)
+	model := spec.Speedup
+	if model == "" {
+		model = "linear"
+	}
+	fmt.Fprintf(w, "loadtest: policy=%s class=%s process=%s rate=%g tasks=%d shards=%d p=%g seed=%d speedup=%s\n",
+		res.Policy, spec.Class, spec.Process, spec.Rate, spec.Tasks, spec.Shards, spec.P, spec.Seed, model)
 	for _, run := range res.Shards {
 		r := run.Result
 		fmt.Fprintf(w, "shard %d: tasks=%d events=%d max-alive=%d makespan=%.6g weighted-flow=%.6g mean-flow=%.6g throughput=%.6g\n",
@@ -136,19 +158,25 @@ func runLoadtest(args []string) error {
 	p := fs.Float64("p", 8, "per-shard platform capacity (processors)")
 	seed := fs.Int64("seed", 1, "base random seed (per-shard seeds are derived)")
 	tenants := fs.String("tenants", "", "tenant mix as name:weight:share,... (empty = single tenant)")
+	speedupSpec := fs.String("speedup", "", "speedup model: linear, powerlaw[:alpha], amdahl[:sigma], platform:cap@t,... (empty = linear)")
+	curveMin := fs.Float64("curve-min", 0, "lower bound of per-task speedup-curve draws (0 with -curve-max 0 disables)")
+	curveMax := fs.Float64("curve-max", 0, "upper bound of per-task speedup-curve draws")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	return loadtestReport(os.Stdout, loadtestSpec{
-		Policy:  *policy,
-		Class:   *class,
-		Process: *process,
-		Rate:    *rate,
-		Burst:   *burst,
-		Tasks:   *tasks,
-		Shards:  *shards,
-		P:       *p,
-		Seed:    *seed,
-		Tenants: *tenants,
+		Policy:   *policy,
+		Class:    *class,
+		Process:  *process,
+		Rate:     *rate,
+		Burst:    *burst,
+		Tasks:    *tasks,
+		Shards:   *shards,
+		P:        *p,
+		Seed:     *seed,
+		Tenants:  *tenants,
+		Speedup:  *speedupSpec,
+		CurveMin: *curveMin,
+		CurveMax: *curveMax,
 	})
 }

@@ -159,3 +159,51 @@ func TestServeLoadtest(t *testing.T) {
 		t.Errorf("bad policy status = %d, want 422", bad.StatusCode)
 	}
 }
+
+// The -speedup selection must flow through the whole loadtest stack: every
+// bundled model spec runs, appears in the report header, and stays
+// deterministic; bad specs are rejected before any shard starts.
+func TestLoadtestReportSpeedupModels(t *testing.T) {
+	for _, spec := range []string{"", "linear", "powerlaw:0.7", "amdahl:0.15", "platform:8@0,4@20,8@40"} {
+		s := testSpec()
+		s.Speedup = spec
+		if spec == "powerlaw:0.7" {
+			s.CurveMin, s.CurveMax = 0.5, 0.9
+		}
+		var a, b bytes.Buffer
+		if err := loadtestReport(&a, s); err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if err := loadtestReport(&b, s); err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%q: reports differ:\n%s\nvs\n%s", spec, a.String(), b.String())
+		}
+		want := "speedup=" + spec
+		if spec == "" {
+			want = "speedup=linear"
+		}
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("%q: header misses %q:\n%s", spec, want, a.String())
+		}
+	}
+	bad := testSpec()
+	bad.Speedup = "bogus"
+	if _, _, err := runLoadtestSpec(bad); err == nil {
+		t.Errorf("bogus speedup accepted")
+	}
+	badCurve := testSpec()
+	badCurve.CurveMin, badCurve.CurveMax = 2, 1
+	if _, _, err := runLoadtestSpec(badCurve); err == nil {
+		t.Errorf("inverted curve range accepted")
+	}
+	// Curves outside the model's domain would be silently clamped into a
+	// degenerate run; the spec must be rejected up front instead.
+	clamped := testSpec()
+	clamped.Speedup = "amdahl"
+	clamped.CurveMin, clamped.CurveMax = 0.5, 1.5
+	if _, _, err := runLoadtestSpec(clamped); err == nil {
+		t.Errorf("out-of-domain curve range accepted for amdahl")
+	}
+}

@@ -28,15 +28,23 @@
 //     the linear program of Corollary 1, solved by a built-in simplex);
 //   - the lower bounds A(I) (squashed area), H(I) (height) and their mixed
 //     combination, plus makespan- and lateness-oriented helpers;
-//   - RunOnline and RunOnlineShards, the online arrival-driven engine: tasks
-//     carry release dates (Arrival), a discrete-event loop re-invokes an
-//     OnlinePolicy at every arrival and completion, and per-task flow-time
-//     metrics are reported. OnlinePolicyByName resolves the bundled policies
-//     (wdeq, deq, weight-greedy and the clairvoyant smith-ratio baseline),
-//     and the sharded variant runs many independent engines concurrently
-//     with reproducible per-shard seeds — the sustained-load, weighted
-//     flow-time setting the paper's non-clairvoyant algorithms were designed
-//     for.
+//   - RunOnline and RunOnlineShards, the arrival-driven scheduling kernel:
+//     tasks carry release dates (Arrival), a discrete-event loop re-invokes
+//     an OnlinePolicy at every arrival, completion and capacity change, and
+//     per-task flow-time metrics are reported. OnlinePolicyByName resolves
+//     the bundled policies (wdeq, deq, weight-greedy and the clairvoyant
+//     smith-ratio baseline), and the sharded variant runs many independent
+//     engines concurrently with reproducible per-shard seeds — the
+//     sustained-load, weighted flow-time setting the paper's non-clairvoyant
+//     algorithms were designed for;
+//   - SpeedupModel, the kernel's pluggable processing-rate model: the
+//     paper's linear-cap speedup is the default, and ParseSpeedupModel
+//     resolves concave power-law and Amdahl models (with optional per-task
+//     Task.Curve parameters) and step-function time-varying platform
+//     capacities — the same policies and workloads run unchanged under any
+//     of them (OnlineOptions.Model). RunStatic replays a static instance on
+//     the kernel and, under linear models, reconstructs the column-based
+//     schedule from the decision trace.
 //
 // The heavy lifting lives in internal packages (internal/core,
 // internal/schedule, internal/engine, internal/lp, ...); this package is the

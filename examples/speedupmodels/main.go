@@ -1,0 +1,92 @@
+// Pluggable speedup models: one kernel, many worlds.
+//
+// The example drives the online engine with the same multi-tenant Poisson
+// workload and the same WDEQ policy under four processing-rate models —
+// the paper's work-preserving linear speedup, a concave power law with
+// per-task exponents, Amdahl's law, and a platform whose capacity drops on a
+// square wave — and compares weighted flow times. The policy and the
+// workload never change: the rate model is an engine option, which is the
+// point of the SpeedupModel abstraction.
+//
+// Run with:
+//
+//	go run ./examples/speedupmodels
+//
+// The same selection is available as `mwct loadtest -speedup ...`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	malleable "github.com/malleable-sched/malleable"
+)
+
+func main() {
+	const (
+		processors = 4
+		tasks      = 3000
+		rate       = 5
+		seed       = 2026
+	)
+	base := malleable.OnlineWorkload{
+		Class:   "uniform",
+		P:       processors,
+		Process: "poisson",
+		Rate:    rate,
+		Tenants: []malleable.TenantSpec{
+			{Name: "gold", Weight: 4, Share: 0.2},
+			{Name: "bronze", Weight: 1, Share: 0.8},
+		},
+	}
+	// The plain stream carries no per-task curves: Task.Curve is a
+	// model-interpreted parameter (power-law exponent OR Amdahl serial
+	// fraction), so a curve drawn for one model would silently reparameterize
+	// another. Only the dedicated per-task-curve row uses the curved stream.
+	plain, err := malleable.GenerateArrivals(base, tasks, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curvedSpec := base
+	curvedSpec.CurveMin, curvedSpec.CurveMax = 0.6, 0.95 // power-law exponents
+	curved, err := malleable.GenerateArrivals(curvedSpec, tasks, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := malleable.OnlinePolicyByName("wdeq")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("speedup models: %d tasks, Poisson rate %g, P=%d, policy WDEQ\n\n", tasks, float64(rate), processors)
+	fmt.Printf("%-32s %14s %12s %12s %12s\n", "model", "Σw·flow", "mean flow", "makespan", "events")
+	rows := []struct {
+		spec     string
+		arrivals []malleable.Arrival
+	}{
+		{"linear", plain},
+		{"powerlaw:0.75", plain},
+		{"powerlaw:0.75 (per-task α)", curved}, // per-task Curve overrides the exponent
+		{"amdahl:0.1", plain},
+		{"platform:4@0,2@100,4@200,2@300,4@400", plain}, // half the fleet gone on a square wave
+	}
+	for _, row := range rows {
+		spec, _, _ := strings.Cut(row.spec, " ")
+		model, err := malleable.ParseSpeedupModel(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := malleable.RunOnlineWithOptions(processors, policy, row.arrivals,
+			malleable.OnlineOptions{Model: model})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s %14.6g %12.4g %12.4g %12d\n",
+			row.spec, res.WeightedFlow, res.MeanFlow(), res.Makespan, res.Events)
+	}
+	fmt.Println("\nThe linear row is the paper's model; the concave rows pay a parallelization")
+	fmt.Println("overhead on every multi-processor allocation (the per-task-α row draws a")
+	fmt.Println("different exponent for every task), and the platform row shows the same")
+	fmt.Println("workload riding out capacity outages — all on the identical event kernel.")
+}

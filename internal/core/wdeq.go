@@ -5,6 +5,7 @@ import (
 
 	"github.com/malleable-sched/malleable/internal/numeric"
 	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/stepfunc"
 )
 
@@ -42,8 +43,8 @@ const unpinned = -1
 // ShareAllocationFunc is the accessor form of the sharing rule: the weights
 // and degree bounds of the n active tasks are read through weight(i) and
 // delta(i) instead of materialized slices, and the shares are appended to
-// dst. Policies that observe task structs (engine.TaskState, sim.TaskView)
-// call this directly so no per-event weight/delta slices exist at all.
+// dst. Policies that observe task structs (engine.TaskState) call this
+// directly so no per-event weight/delta slices exist at all.
 func ShareAllocationFunc(dst []float64, p float64, n int, weight, delta func(int) float64) []float64 {
 	base := len(dst)
 	for i := 0; i < n; i++ {
@@ -88,6 +89,22 @@ func ShareAllocationFunc(dst []float64, p float64, n int, weight, delta func(int
 		}
 	}
 	return dst
+}
+
+// ShareAllocationModelFunc is the model-aware form of the sharing rule: the
+// per-task pinning cap of the fixed point is min(δ_i, Model.MaxUseful(i)) —
+// the smallest allocation at which the speedup model's rate peaks — instead
+// of δ_i alone. For the paper's linear-cap model MaxUseful is exactly δ, so
+// this degenerates to ShareAllocationFunc; a model whose rate saturates
+// earlier pins tasks at the point of diminishing returns and redistributes
+// the processors they could not use. Shapes are read through shape(i), the
+// same accessor convention as ShareAllocationFunc, so the call allocates
+// nothing when dst has spare capacity.
+func ShareAllocationModelFunc(dst []float64, p float64, n int, m speedup.Model, weight func(int) float64, shape func(int) speedup.TaskShape) []float64 {
+	return ShareAllocationFunc(dst, p, n, weight, func(i int) float64 {
+		s := shape(i)
+		return math.Min(s.Delta, m.MaxUseful(s))
+	})
 }
 
 // EquipartitionAllocation is the unweighted DEQ sharing rule: every active

@@ -7,6 +7,7 @@ import (
 
 	"github.com/malleable-sched/malleable/internal/numeric"
 	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/speedup"
 )
 
 func TestShareAllocationProportional(t *testing.T) {
@@ -285,5 +286,49 @@ func TestShareAllocationIntoZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("ShareAllocationInto allocated %.3g times per call, want 0", allocs)
+	}
+}
+
+// saturatingModel is a test model whose rate peaks at 1 processor, so the
+// model-aware sharing rule must pin every task at 1 regardless of δ.
+type saturatingModel struct{ speedup.LinearCap }
+
+func (saturatingModel) MaxUseful(t speedup.TaskShape) float64 { return 1 }
+
+// ShareAllocationModelFunc must degenerate to the plain rule under the
+// paper's linear model (MaxUseful = δ) and pin tasks at the model's
+// saturation point when the model saturates earlier.
+func TestShareAllocationModelFunc(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	deltas := []float64{1, 1, 2, 8}
+	shape := func(i int) speedup.TaskShape { return speedup.TaskShape{Delta: deltas[i]} }
+	weight := func(i int) float64 { return weights[i] }
+
+	plain := ShareAllocationFunc(nil, 4, len(weights), weight, func(i int) float64 { return deltas[i] })
+	linear := ShareAllocationModelFunc(nil, 4, len(weights), speedup.LinearCap{}, weight, shape)
+	for i := range plain {
+		if linear[i] != plain[i] {
+			t.Errorf("linear model diverges from plain rule at %d: %g vs %g", i, linear[i], plain[i])
+		}
+	}
+
+	// PowerLaw and Amdahl rates are strictly increasing up to δ, so they too
+	// must reproduce the plain rule exactly.
+	for _, m := range []speedup.Model{speedup.PowerLaw{Alpha: 0.5}, speedup.Amdahl{Sigma: 0.3}} {
+		got := ShareAllocationModelFunc(nil, 4, len(weights), m, weight, shape)
+		for i := range plain {
+			if got[i] != plain[i] {
+				t.Errorf("%s diverges from plain rule at %d: %g vs %g", m.Name(), i, got[i], plain[i])
+			}
+		}
+	}
+
+	// A model saturating at 1 processor pins everyone at 1: with P=4 and four
+	// tasks, each gets exactly its useful maximum.
+	sat := ShareAllocationModelFunc(nil, 4, len(weights), saturatingModel{}, weight, shape)
+	for i, a := range sat {
+		if a != 1 {
+			t.Errorf("saturating model: task %d allocated %g, want 1", i, a)
+		}
 	}
 }

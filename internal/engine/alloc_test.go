@@ -3,7 +3,6 @@ package engine
 import (
 	"testing"
 
-	"github.com/malleable-sched/malleable/internal/sim"
 	"github.com/malleable-sched/malleable/internal/workload"
 )
 
@@ -26,16 +25,22 @@ func allocArrivals(t testing.TB, n int, seed int64) []Arrival {
 // The tentpole property of the zero-allocation refactor: once a Runner's
 // scratch has been warmed by one run, re-running the same workload into a
 // reused Result performs no heap allocation at all — zero allocs per run,
-// hence zero allocs per steady-state event — for the non-clairvoyant WDEQ
-// and weight-greedy policies.
+// hence zero allocs per steady-state event — under the default LinearCap
+// model, for every non-clairvoyant bundled policy including the rank-scratch
+// priority policy (whose scratch lives in the per-run clone).
 func TestSteadyStateZeroAllocsPerEvent(t *testing.T) {
 	arrivals := allocArrivals(t, 512, 99)
-	for _, name := range []string{"wdeq", "weight-greedy"} {
+	priority := make([]int, len(arrivals))
+	for i := range priority {
+		priority[i] = len(arrivals) - 1 - i
+	}
+	policies := map[string]Policy{
+		"wdeq":          WDEQPolicy{},
+		"weight-greedy": WeightGreedyPolicy{},
+		"priority":      PriorityPolicy{Priority: priority},
+	}
+	for name, policy := range policies {
 		t.Run(name, func(t *testing.T) {
-			policy, err := PolicyByName(name)
-			if err != nil {
-				t.Fatal(err)
-			}
 			runner := NewRunner()
 			res := &Result{}
 			var runErr error
@@ -87,14 +92,6 @@ func TestTraceDecisionsGate(t *testing.T) {
 	if len(traced.Decisions) != traced.Events {
 		t.Errorf("traced run recorded %d decisions for %d events", len(traced.Decisions), traced.Events)
 	}
-	// The deprecated alias must keep enabling the trace.
-	legacy, err := RunWithOptions(8, policy, arrivals, Options{RecordDecisions: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(legacy.Decisions) != legacy.Events {
-		t.Errorf("RecordDecisions alias recorded %d decisions for %d events", len(legacy.Decisions), legacy.Events)
-	}
 }
 
 // A reused Runner must reproduce the one-shot package-level Run exactly, for
@@ -137,42 +134,15 @@ func TestRunnerReuseMatchesFreshRuns(t *testing.T) {
 // property of the dynamic value, not just the type).
 func TestRunnerReuseUncomparablePolicy(t *testing.T) {
 	arrivals := allocArrivals(t, 16, 8)
-	// sim.PriorityPolicy holds a slice, so the adapted value is uncomparable
-	// even though the adapter struct's type is comparable.
-	policy := Adapt(sim.PriorityPolicy{Priority: []int{0, 1, 2}})
+	// PriorityPolicy holds a rank slice, so the value is uncomparable even
+	// though other policy types are comparable.
+	policy := PriorityPolicy{Priority: []int{0, 1, 2}}
 	runner := NewRunner()
 	for i := 0; i < 3; i++ {
 		if _, err := runner.Run(8, policy, arrivals); err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
 	}
-}
-
-// A LegacyPolicy wrapped with AdaptLegacy must behave identically to its
-// dst-convention counterpart.
-func TestAdaptLegacyMatches(t *testing.T) {
-	arrivals := allocArrivals(t, 128, 3)
-	modern, err := Run(8, WeightGreedyPolicy{}, arrivals)
-	if err != nil {
-		t.Fatal(err)
-	}
-	legacy, err := Run(8, AdaptLegacy(legacyWeightGreedy{}), arrivals)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if modern.WeightedFlow != legacy.WeightedFlow || modern.Events != legacy.Events {
-		t.Errorf("legacy shim diverges: wf %g vs %g, events %d vs %d",
-			legacy.WeightedFlow, modern.WeightedFlow, legacy.Events, modern.Events)
-	}
-}
-
-// legacyWeightGreedy implements the old allocating signature on purpose.
-type legacyWeightGreedy struct{}
-
-func (legacyWeightGreedy) Name() string { return "legacy-weight-greedy" }
-
-func (legacyWeightGreedy) Allocate(p float64, alive []TaskState) []float64 {
-	return WeightGreedyPolicy{}.Allocate(p, alive, nil)
 }
 
 // Unsorted arrival streams must be handled (sorted internally) and produce

@@ -1,15 +1,20 @@
-// Package engine provides the online, arrival-driven scheduling engine of the
-// library: a discrete-event loop that accepts a stream of task arrivals
-// (release dates), maintains the alive set incrementally, re-invokes a
-// scheduling policy only at events (arrivals and completions), and records
+// Package engine is the single scheduling kernel of the library: a
+// discrete-event loop that accepts a stream of task arrivals (release dates),
+// maintains the alive set incrementally, re-invokes a scheduling policy only
+// at events (arrivals, completions, platform-capacity changes), and records
 // per-task flow-time metrics plus aggregate throughput.
 //
-// Where internal/sim replays a static instance whose tasks all exist at time
-// zero, this package models the genuine online setting of the paper's
-// non-clairvoyant algorithms: tasks appear over time, the policy never sees
-// the future, and the platform runs under sustained load. The multi-shard
-// driver in shard.go runs many independent engines concurrently and merges
-// their statistics deterministically.
+// The kernel advances time exclusively through a speedup.Model — the mapping
+// from an allocation of processors to an instantaneous processing rate. The
+// paper's work-preserving model (linear speedup up to the per-task degree
+// bound δ) is the default; concave power-law and Amdahl speedups, and
+// step-function time-varying platform capacities, are drop-in Options.Model
+// values rather than forks of the loop. Static instances — every task
+// released at time zero, the setting of the paper's offline analyses — are
+// replayed on the same kernel through RunStatic, which can also reconstruct
+// the column-based schedule from the decision trace. The multi-shard driver
+// in shard.go runs many independent engines concurrently and merges their
+// statistics deterministically.
 package engine
 
 import (
@@ -19,7 +24,7 @@ import (
 	"sort"
 
 	"github.com/malleable-sched/malleable/internal/schedule"
-	"github.com/malleable-sched/malleable/internal/sim"
+	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/stats"
 )
 
@@ -30,8 +35,9 @@ import (
 type Arrival = schedule.Arrival
 
 // TaskState is what an online policy observes about an alive task. The
-// Remaining field is clairvoyant information: non-clairvoyant policies
-// (everything reached through Adapt) never see it.
+// Remaining field is clairvoyant information: non-clairvoyant policies must
+// never read it — implement the Clairvoyant marker if a policy does, so the
+// invariant tests (and readers) can tell the two classes apart.
 type TaskState struct {
 	// ID is the index of the task in the arrival stream.
 	ID int
@@ -40,8 +46,12 @@ type TaskState struct {
 	// Release is the task's arrival time.
 	Release float64
 	// Weight and Delta are the task's weight and effective degree bound
-	// (already capped at the platform capacity).
+	// (already capped at the capacity available right now, so under a
+	// time-varying platform Delta may shrink during an outage).
 	Weight, Delta float64
+	// Curve is the task's speedup-curve parameter (schedule.Task.Curve),
+	// interpreted by the run's speedup model; 0 means the model default.
+	Curve float64
 	// Processed is the volume processed so far (observable in reality).
 	Processed float64
 	// Remaining is the remaining volume. Only clairvoyant baselines such as
@@ -49,12 +59,18 @@ type TaskState struct {
 	Remaining float64
 }
 
+// shape projects the state down to what the speedup model may read.
+func (t TaskState) shape() speedup.TaskShape {
+	return speedup.TaskShape{Delta: t.Delta, Curve: t.Curve}
+}
+
 // Policy is an online allocation policy. Allocate follows the append-into-dst
 // convention of the zero-allocation hot path: the engine passes a reusable
 // buffer re-sliced to length zero, the policy appends one entry per alive
 // task and returns the extended slice, aligned with alive. Entries must be
-// non-negative, at most the task's Delta, and sum to at most p. The engine
-// validates these conditions and aborts the run if a policy violates them.
+// non-negative, at most the task's Delta, and sum to at most p (the capacity
+// available at this event). The engine validates these conditions and aborts
+// the run if a policy violates them.
 //
 // Policies must be safe for concurrent use by multiple engine shards; all
 // bundled policies are stateless values. A policy that needs internal scratch
@@ -78,62 +94,26 @@ type RunCloner interface {
 	CloneForRun() Policy
 }
 
-// LegacyPolicy is the pre-dst policy signature (Allocate returning a freshly
-// allocated slice per event). It is kept as a compatibility shim: wrap values
-// with AdaptLegacy to use them with the engine.
-type LegacyPolicy interface {
-	// Name identifies the policy in reports.
-	Name() string
-	// Allocate computes the allocation for the alive tasks.
-	Allocate(p float64, alive []TaskState) []float64
+// PolicyEqualer is an optional interface for policies whose values are not
+// comparable with == (typically because they hold a slice, like
+// PriorityPolicy's rank list). The Runner uses it to decide whether a cached
+// per-run clone may be reused; without it an uncomparable policy is freshly
+// cloned on every run, which costs a handful of allocations and would break
+// the zero-allocation steady state of repeated runs.
+type PolicyEqualer interface {
+	// EqualPolicy reports whether other denotes the same policy
+	// configuration as the receiver.
+	EqualPolicy(other Policy) bool
 }
 
-// AdaptLegacy lifts a LegacyPolicy into the append-into-dst Policy interface.
-// The wrapped policy keeps allocating one slice per event — the shim copies
-// it into dst — so legacy policies work unchanged but do not benefit from the
-// zero-allocation hot path.
-func AdaptLegacy(p LegacyPolicy) Policy { return legacyAdapter{inner: p} }
-
-type legacyAdapter struct{ inner LegacyPolicy }
-
-func (a legacyAdapter) Name() string { return a.inner.Name() }
-
-func (a legacyAdapter) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
-	return append(dst, a.inner.Allocate(p, alive)...)
-}
-
-// Adapt lifts a non-clairvoyant sim.Policy into an engine Policy. The adapter
-// projects TaskState down to sim.TaskView, so the wrapped policy can never
-// observe remaining volumes — the non-clairvoyant model is preserved by
-// construction.
-func Adapt(p sim.Policy) Policy { return simAdapter{inner: p} }
-
-type simAdapter struct{ inner sim.Policy }
-
-func (a simAdapter) Name() string { return a.inner.Name() }
-
-func (a simAdapter) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
-	scratch := simAdapterRun{inner: a.inner}
-	return scratch.Allocate(p, alive, dst)
-}
-
-// CloneForRun implements RunCloner: the clone owns the view-projection
-// scratch, making the adapted policy allocation-free inside a run.
-func (a simAdapter) CloneForRun() Policy { return &simAdapterRun{inner: a.inner} }
-
-type simAdapterRun struct {
-	inner sim.Policy
-	views []sim.TaskView
-}
-
-func (a *simAdapterRun) Name() string { return a.inner.Name() }
-
-func (a *simAdapterRun) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
-	a.views = a.views[:0]
-	for _, t := range alive {
-		a.views = append(a.views, sim.TaskView{ID: t.ID, Weight: t.Weight, Delta: t.Delta, Processed: t.Processed})
-	}
-	return a.inner.Allocate(p, a.views, dst)
+// Clairvoyant is an optional marker interface for policies that read
+// TaskState.Remaining. The paper's model is non-clairvoyant — volumes are
+// unknown until a task completes — so every bundled policy except the
+// smith-ratio baseline leaves this unimplemented, and the engine's invariant
+// tests verify that unmarked policies are insensitive to the Remaining field.
+type Clairvoyant interface {
+	// Clairvoyant is a marker; it is never called.
+	Clairvoyant()
 }
 
 // Decision records one policy invocation of a run.
@@ -159,6 +139,10 @@ type TaskMetrics struct {
 	Completion float64 `json:"completion"`
 	// Flow is Completion - Release, the task's flow (response) time.
 	Flow float64 `json:"flow"`
+	// Processed is the volume the engine integrated for the task by the time
+	// it retired; it equals the task's volume up to the completion tolerance
+	// (the work-conservation invariant, asserted across models in tests).
+	Processed float64 `json:"processed"`
 }
 
 // TenantMetrics aggregates the tasks of one tenant.
@@ -179,8 +163,10 @@ type TenantMetrics struct {
 type Result struct {
 	// Policy is the name of the policy that produced the run.
 	Policy string `json:"policy"`
-	// P is the platform capacity.
+	// P is the (nominal) platform capacity.
 	P float64 `json:"p"`
+	// Model is the name of the speedup model the run used.
+	Model string `json:"model,omitempty"`
 	// Tasks holds the per-task metrics, indexed by arrival-stream position.
 	Tasks []TaskMetrics `json:"tasks,omitempty"`
 	// Events is the number of policy invocations.
@@ -268,24 +254,30 @@ func tenantMetrics(flows map[int]*stats.Accumulator, weighted map[int]float64) [
 
 // Options tunes a run.
 type Options struct {
+	// Model is the speedup model the kernel advances time with; nil means the
+	// paper's work-preserving speedup.LinearCap. Models carrying a
+	// speedup.Budgeter (time-varying capacity) additionally cap the policy's
+	// budget and trigger an event at every capacity step.
+	Model speedup.Model
 	// TraceDecisions keeps the full decision trace in the result. It is off
 	// by default — and that default matters: each traced event copies the
 	// alive set and the allocation to the heap, so under sustained load the
 	// trace both dominates memory and breaks the zero-allocation steady
 	// state. Turn it on only for debugging or small replays.
 	TraceDecisions bool
-	// RecordDecisions is the former name of TraceDecisions and is still
-	// honored (either flag enables the trace).
-	//
-	// Deprecated: set TraceDecisions instead.
-	RecordDecisions bool
 	// MaxEvents bounds the number of policy invocations; 0 means the default
-	// 4n+64 safety bound (a correct run needs at most 3n+1).
+	// safety bound 4n+64 (a correct run needs at most 3n+1), plus the model's
+	// budget-change event bound when the model is time-varying.
 	MaxEvents int
 }
 
-// traceEnabled resolves the canonical flag and its deprecated alias.
-func (o Options) traceEnabled() bool { return o.TraceDecisions || o.RecordDecisions }
+// model resolves the configured speedup model, defaulting to the paper's.
+func (o Options) model() speedup.Model {
+	if o.Model == nil {
+		return speedup.LinearCap{}
+	}
+	return o.Model
+}
 
 // Run executes the policy on the arrival stream with default options.
 func Run(p float64, policy Policy, arrivals []Arrival) (*Result, error) {
@@ -302,9 +294,10 @@ func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) 
 
 // Runner owns the reusable scratch of the engine event loop: the arrival
 // order, per-task progress vectors, the alive index, the policy's view of the
-// alive set and the allocation output buffer. After a first run has grown the
-// buffers, subsequent runs of similar size perform zero heap allocations per
-// event in steady state (and zero per run when combined with RunInto).
+// alive set, the allocation output buffer and the per-event rate vector.
+// After a first run has grown the buffers, subsequent runs of similar size
+// perform zero heap allocations per event in steady state (and zero per run
+// when combined with RunInto).
 //
 // A Runner is NOT safe for concurrent use; create one per goroutine (the
 // sharded driver does exactly that). The zero value is ready to use.
@@ -315,6 +308,7 @@ type Runner struct {
 	alive     []int
 	states    []TaskState
 	alloc     []float64
+	rates     []float64
 	sorter    arrivalSorter
 
 	// policySrc/policyRun cache the per-run clone of scratch-holding
@@ -351,11 +345,7 @@ func (r *Runner) instantiate(policy Policy) Policy {
 	if !ok {
 		return policy
 	}
-	// Value-level comparability: a policy struct whose type is comparable
-	// can still wrap an uncomparable dynamic value (e.g. Adapt over a
-	// sim.Policy holding a slice), and == would panic on it.
-	if r.policyRun != nil && reflect.ValueOf(policy).Comparable() &&
-		reflect.ValueOf(r.policySrc).Comparable() && r.policySrc == policy {
+	if r.policyRun != nil && samePolicy(policy, r.policySrc) {
 		return r.policyRun
 	}
 	r.policySrc = policy
@@ -363,18 +353,33 @@ func (r *Runner) instantiate(policy Policy) Policy {
 	return r.policyRun
 }
 
+// samePolicy reports whether two policy values are the same for the purpose
+// of reusing a cached per-run clone. Policies implementing PolicyEqualer
+// (uncomparable values holding slices) answer themselves without reflection,
+// so the cache check stays allocation-free; otherwise Go equality is used
+// after a value-level comparability check — a policy struct whose type is
+// comparable can still wrap an uncomparable dynamic value, and == would
+// panic on it.
+func samePolicy(a, b Policy) bool {
+	if eq, ok := a.(PolicyEqualer); ok {
+		return eq.EqualPolicy(b)
+	}
+	return reflect.ValueOf(a).Comparable() && reflect.ValueOf(b).Comparable() && a == b
+}
+
 // RunInto executes the policy on the arrival stream, writing the outcome into
 // res. Any previous contents of res are discarded, but its Tasks (and
 // Decisions) storage is reused, so a warmed Runner driving the same res
 // performs no heap allocation at all for untraced runs.
 //
-// The loop advances from event to event: at every arrival or completion the
-// alive set is updated and the policy is re-invoked once — simultaneous
-// arrivals and completions at the same instant are coalesced into a single
-// event, which is the event granularity of the paper's model. Between events
-// every alive task i processes alloc_i·dt units of work. Completed tasks are
-// retired from the alive index by swap-delete: order within the index is not
-// meaningful (policies rank tasks themselves), so compaction is O(1) per
+// The loop advances from event to event: at every arrival, completion or
+// capacity change the alive set is updated and the policy is re-invoked once
+// — simultaneous events at the same instant are coalesced, which is the
+// event granularity of the paper's model. Between events every alive task i
+// processes Model.Rate(shape_i, alloc_i)·dt units of work; under the default
+// LinearCap model that is exactly the paper's alloc_i·dt. Completed tasks
+// are retired from the alive index by swap-delete: order within the index is
+// not meaningful (policies rank tasks themselves), so compaction is O(1) per
 // completion instead of an O(alive) rebuild.
 func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arrival, opts Options) error {
 	if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
@@ -390,6 +395,19 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 		}
 	}
 
+	model := opts.model()
+	if opts.Model != nil {
+		// Probe non-default models once per run: a model violating the Rate
+		// contract (negative, decreasing, non-zero at zero) would otherwise
+		// produce plausible-looking nonsense or hang the dt search. The
+		// default LinearCap is exempt — it is the contract's reference point
+		// and the probe would tax the hot path for nothing.
+		if err := speedup.Validate(opts.Model); err != nil {
+			return err
+		}
+	}
+	budgeter, _ := model.(speedup.Budgeter)
+
 	// Reset the result, keeping the storage it already owns.
 	tasks := res.Tasks
 	if cap(tasks) < n {
@@ -400,8 +418,8 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 			tasks[i] = TaskMetrics{}
 		}
 	}
-	*res = Result{Policy: policy.Name(), P: p, Tasks: tasks, Decisions: res.Decisions[:0]}
-	trace := opts.traceEnabled()
+	*res = Result{Policy: policy.Name(), P: p, Model: model.Name(), Tasks: tasks, Decisions: res.Decisions[:0]}
+	trace := opts.TraceDecisions
 
 	runPolicy := r.instantiate(policy)
 
@@ -430,6 +448,11 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 	maxEvents := opts.MaxEvents
 	if maxEvents <= 0 {
 		maxEvents = 4*n + 64
+		if budgeter != nil {
+			// Each capacity step is crossed at most once (time strictly
+			// increases between events), so the bound stays finite.
+			maxEvents += budgeter.BudgetEventBound()
+		}
 	}
 
 	r.remaining = r.remaining[:0]
@@ -469,6 +492,7 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 				Release:    a.Release,
 				Completion: now,
 				Flow:       now - a.Release,
+				Processed:  processed[i],
 			}
 			res.WeightedFlow += a.Task.Weight * (now - a.Release)
 			res.WeightedCompletion += a.Task.Weight * now
@@ -492,6 +516,16 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 			continue
 		}
 
+		// The capacity the policy may hand out right now: the nominal p,
+		// further capped by the model's time-varying budget if it has one.
+		budget := p
+		if budgeter != nil {
+			budget = budgeter.BudgetAt(p, now)
+			if budget < 0 || math.IsNaN(budget) {
+				budget = 0
+			}
+		}
+
 		res.Events++
 		if res.Events > maxEvents {
 			return fmt.Errorf("engine: policy %q did not finish after %d events (%d of %d tasks done at time %g)",
@@ -504,14 +538,15 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 				Tenant:    arrivals[i].Tenant,
 				Release:   arrivals[i].Release,
 				Weight:    arrivals[i].Task.Weight,
-				Delta:     math.Min(arrivals[i].Task.Delta, p),
+				Delta:     math.Min(arrivals[i].Task.Delta, budget),
+				Curve:     arrivals[i].Task.Curve,
 				Processed: processed[i],
 				Remaining: remaining[i],
 			})
 		}
-		r.alloc = runPolicy.Allocate(p, r.states, r.alloc[:0])
+		r.alloc = runPolicy.Allocate(budget, r.states, r.alloc[:0])
 		alloc := r.alloc
-		if err := validateAllocation(p, r.states, alloc); err != nil {
+		if err := validateAllocation(budget, r.states, alloc); err != nil {
 			return fmt.Errorf("engine: policy %q: %w", policy.Name(), err)
 		}
 		if trace {
@@ -523,32 +558,58 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 		}
 
 		// Advance to the next event: the earliest completion under the
-		// current allocation or the next arrival, whichever comes first.
+		// model's rates, the next arrival, or the next capacity change,
+		// whichever comes first. Arrival and capacity events are known by
+		// their absolute times; `snap` remembers the winning one so the
+		// clock lands on it exactly — now + (c - now) can round to just
+		// below c, and without the snap the same breakpoint would be
+		// crossed twice (a duplicate near-zero-dt event). Completions are
+		// scanned first, so snap is still NaN here and only the later
+		// absolute-time candidates set it.
 		dt := math.Inf(1)
+		snap := math.NaN()
+		r.rates = r.rates[:0]
 		for k, i := range r.alive {
-			if alloc[k] <= 0 {
+			rate := 0.0
+			if alloc[k] > 0 {
+				rate = model.Rate(r.states[k].shape(), alloc[k])
+			}
+			r.rates = append(r.rates, rate)
+			if rate <= 0 {
 				continue
 			}
-			if d := remaining[i] / alloc[k]; d < dt {
+			if d := remaining[i] / rate; d < dt {
 				dt = d
 			}
 		}
 		if next < n {
-			if d := arrivals[r.order[next]].Release - now; d < dt {
-				dt = d
+			if rel := arrivals[r.order[next]].Release; rel-now < dt {
+				dt = rel - now
+				snap = rel
+			}
+		}
+		if budgeter != nil {
+			// NextBudgetChange returns a time strictly after now, so dt stays
+			// positive and every capacity step is crossed at most once.
+			if c := budgeter.NextBudgetChange(now); c-now < dt {
+				dt = c - now
+				snap = c
 			}
 		}
 		if math.IsInf(dt, 1) {
 			return fmt.Errorf("engine: policy %q starves all remaining tasks at time %g with no pending arrivals", policy.Name(), now)
 		}
 		for k, i := range r.alive {
-			if alloc[k] <= 0 {
+			if r.rates[k] <= 0 {
 				continue
 			}
-			remaining[i] -= alloc[k] * dt
-			processed[i] += alloc[k] * dt
+			remaining[i] -= r.rates[k] * dt
+			processed[i] += r.rates[k] * dt
 		}
 		now += dt
+		if !math.IsNaN(snap) {
+			now = snap
+		}
 	}
 	return nil
 }

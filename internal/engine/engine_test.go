@@ -9,7 +9,6 @@ import (
 	"github.com/malleable-sched/malleable/internal/core"
 	"github.com/malleable-sched/malleable/internal/numeric"
 	"github.com/malleable-sched/malleable/internal/schedule"
-	"github.com/malleable-sched/malleable/internal/sim"
 )
 
 func task(w, v, d float64) schedule.Task { return schedule.Task{Weight: w, Volume: v, Delta: d} }
@@ -37,7 +36,7 @@ func TestMatchesStaticSimAtTimeZero(t *testing.T) {
 			arrivals[i] = Arrival{Task: tasks[i]}
 		}
 		inst := &schedule.Instance{P: p, Tasks: tasks}
-		res := mustRun(t, p, Adapt(sim.WDEQPolicy{}), arrivals)
+		res := mustRun(t, p, WDEQPolicy{}, arrivals)
 		direct, err := core.RunWDEQ(inst)
 		if err != nil {
 			t.Fatal(err)
@@ -60,7 +59,7 @@ func TestSimultaneousArrivalAndCompletionTie(t *testing.T) {
 		{Task: task(1, 1, 1), Release: 0}, // completes exactly at t=1 on P=1
 		{Task: task(1, 1, 1), Release: 1}, // arrives exactly at t=1
 	}
-	res, err := RunWithOptions(1, Adapt(sim.WDEQPolicy{}), arrivals, Options{TraceDecisions: true})
+	res, err := RunWithOptions(1, WDEQPolicy{}, arrivals, Options{TraceDecisions: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +89,7 @@ func TestZeroVolumeLateArrival(t *testing.T) {
 		{Task: task(1, 10, 1), Release: 0},
 		{Task: task(5, 0, 1), Release: 5},
 	}
-	res := mustRun(t, 1, Adapt(sim.WDEQPolicy{}), arrivals)
+	res := mustRun(t, 1, WDEQPolicy{}, arrivals)
 	if got := res.Tasks[1].Completion; got != 5 {
 		t.Errorf("zero-volume completion = %g, want 5", got)
 	}
@@ -109,7 +108,7 @@ func TestArrivalUnderSaturation(t *testing.T) {
 		{Task: task(1, 2, 1), Release: 0},   // alone until t=1, then shares
 		{Task: task(1, 0.5, 1), Release: 1}, // arrives while P=1 is fully busy
 	}
-	res := mustRun(t, 1, Adapt(sim.WDEQPolicy{}), arrivals)
+	res := mustRun(t, 1, WDEQPolicy{}, arrivals)
 	// t in [0,1]: task 0 runs at 1 (processed 1, remaining 1).
 	// t in [1,2]: both run at 1/2; task 1 finishes at 2 (0.5 volume).
 	// t in [2,2.5]: task 0 runs at 1; remaining 0.5 -> completes at 2.5.
@@ -134,7 +133,7 @@ func TestIdleGapBetweenArrivals(t *testing.T) {
 		{Task: task(1, 1, 1), Release: 0},
 		{Task: task(1, 1, 1), Release: 100},
 	}
-	res := mustRun(t, 1, Adapt(sim.DEQPolicy{}), arrivals)
+	res := mustRun(t, 1, DEQPolicy{}, arrivals)
 	if got := res.Tasks[1].Completion; !numeric.ApproxEqualTol(got, 101, 1e-9) {
 		t.Errorf("task 1 completion = %g, want 101", got)
 	}
@@ -197,14 +196,14 @@ func TestArrivalValidation(t *testing.T) {
 		{"nan release", 1, Arrival{Task: task(1, 1, 1), Release: math.NaN()}},
 	}
 	for _, c := range cases {
-		if _, err := Run(c.p, Adapt(sim.WDEQPolicy{}), []Arrival{c.arr}); err == nil {
+		if _, err := Run(c.p, WDEQPolicy{}, []Arrival{c.arr}); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}
-	if _, err := Run(0, Adapt(sim.WDEQPolicy{}), []Arrival{{Task: task(1, 1, 1)}}); err == nil {
+	if _, err := Run(0, WDEQPolicy{}, []Arrival{{Task: task(1, 1, 1)}}); err == nil {
 		t.Errorf("zero capacity accepted")
 	}
-	if _, err := Run(1, Adapt(sim.WDEQPolicy{}), nil); err == nil {
+	if _, err := Run(1, WDEQPolicy{}, nil); err == nil {
 		t.Errorf("empty stream accepted")
 	}
 }
@@ -275,7 +274,7 @@ func TestResultAggregates(t *testing.T) {
 		{Task: task(1, 1, 1), Release: 0.5, Tenant: 1},
 		{Task: task(1, 1, 1), Release: 4, Tenant: 1},
 	}
-	res := mustRun(t, 2, Adapt(sim.WDEQPolicy{}), arrivals)
+	res := mustRun(t, 2, WDEQPolicy{}, arrivals)
 	var wf, tf, mk float64
 	for _, tm := range res.Tasks {
 		wf += tm.Weight * tm.Flow

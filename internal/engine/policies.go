@@ -6,8 +6,101 @@ import (
 	"sort"
 	"strings"
 
-	"github.com/malleable-sched/malleable/internal/sim"
+	"github.com/malleable-sched/malleable/internal/core"
 )
+
+// WDEQPolicy is the weighted dynamic equipartition of the paper's Algorithm 1:
+// the available capacity is split between the alive tasks proportionally to
+// their weights, tasks whose share exceeds their degree bound are pinned at δ
+// and the surplus is redistributed (core.ShareAllocationFunc's fixed point).
+// It is non-clairvoyant — it never reads volumes — and is the library's
+// default policy.
+type WDEQPolicy struct{}
+
+// Name implements Policy.
+func (WDEQPolicy) Name() string { return "WDEQ" }
+
+// Allocate implements Policy. It reads weights and degree bounds through
+// accessors, so it performs no allocation when dst has spare capacity.
+func (WDEQPolicy) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	return core.ShareAllocationFunc(dst, p, len(alive),
+		func(i int) float64 { return alive[i].Weight },
+		func(i int) float64 { return alive[i].Delta })
+}
+
+// DEQPolicy is the unweighted dynamic equipartition (all weights treated as
+// one), the baseline of Deng et al. that WDEQ generalizes.
+type DEQPolicy struct{}
+
+// Name implements Policy.
+func (DEQPolicy) Name() string { return "DEQ" }
+
+// Allocate implements Policy.
+func (DEQPolicy) Allocate(p float64, alive []TaskState, dst []float64) []float64 {
+	return core.ShareAllocationFunc(dst, p, len(alive),
+		func(int) float64 { return 1 },
+		func(i int) float64 { return alive[i].Delta })
+}
+
+// PriorityPolicy allocates the platform greedily following a fixed priority
+// list: the highest-priority alive task receives min(δ, what is left), then
+// the next, and so on. With priorities sorted by weight it is an online
+// analogue of a greedy schedule. It is non-clairvoyant.
+type PriorityPolicy struct {
+	// Priority maps task ID to its rank (lower rank = served first). Tasks
+	// beyond the list rank by their own ID.
+	Priority []int
+	// Label is returned by Name.
+	Label string
+}
+
+// Name implements Policy.
+func (p PriorityPolicy) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "priority"
+}
+
+func (p PriorityPolicy) rank(t TaskState) int {
+	if t.ID < len(p.Priority) {
+		return p.Priority[t.ID]
+	}
+	return t.ID
+}
+
+func (p PriorityPolicy) less(a, b TaskState) bool {
+	if ra, rb := p.rank(a), p.rank(b); ra != rb {
+		return ra < rb
+	}
+	return a.ID < b.ID
+}
+
+// Allocate implements Policy. This stateless form allocates rank scratch per
+// call; the engine's run loop uses the scratch-holding clone from CloneForRun
+// instead, which is allocation-free in steady state.
+func (p PriorityPolicy) Allocate(capacity float64, alive []TaskState, dst []float64) []float64 {
+	g := greedyRun{name: p.Name(), less: p.less}
+	return g.Allocate(capacity, alive, dst)
+}
+
+// CloneForRun implements RunCloner: the clone owns the rank-index scratch, so
+// a whole run allocates nothing per event.
+func (p PriorityPolicy) CloneForRun() Policy {
+	return &greedyRun{name: p.Name(), less: p.less}
+}
+
+// EqualPolicy implements PolicyEqualer: PriorityPolicy holds a slice and is
+// therefore not ==-comparable, so it identifies itself by label and by the
+// identity (not contents) of the rank list — mutating a shared rank slice
+// between runs is not supported, re-slicing it is a different policy.
+func (p PriorityPolicy) EqualPolicy(other Policy) bool {
+	o, ok := other.(PriorityPolicy)
+	if !ok || o.Label != p.Label || len(o.Priority) != len(p.Priority) {
+		return false
+	}
+	return len(p.Priority) == 0 || &o.Priority[0] == &p.Priority[0]
+}
 
 // WeightGreedyPolicy is the online analogue of a greedy schedule ordered by
 // weight: the heaviest alive task receives min(δ, what is left), then the
@@ -50,6 +143,10 @@ type SmithRatioPolicy struct{}
 
 // Name implements Policy.
 func (SmithRatioPolicy) Name() string { return "smith-ratio" }
+
+// Clairvoyant implements the Clairvoyant marker: this policy reads
+// TaskState.Remaining by design.
+func (SmithRatioPolicy) Clairvoyant() {}
 
 // Allocate implements Policy. See WeightGreedyPolicy.Allocate for the
 // stateless-versus-cloned trade-off.
@@ -131,15 +228,15 @@ func PolicyNames() []string {
 }
 
 // PolicyByName resolves a policy name: "wdeq" and "deq" are the
-// non-clairvoyant equipartition policies of the paper (adapted from
-// internal/sim), "weight-greedy" is the non-clairvoyant greedy priority
-// policy, and "smith-ratio" is the clairvoyant Smith-rule baseline.
+// non-clairvoyant equipartition policies of the paper, "weight-greedy" is the
+// non-clairvoyant greedy priority policy, and "smith-ratio" is the
+// clairvoyant Smith-rule baseline.
 func PolicyByName(name string) (Policy, error) {
 	switch strings.ToLower(name) {
 	case "wdeq":
-		return Adapt(sim.WDEQPolicy{}), nil
+		return WDEQPolicy{}, nil
 	case "deq":
-		return Adapt(sim.DEQPolicy{}), nil
+		return DEQPolicy{}, nil
 	case "weight-greedy":
 		return WeightGreedyPolicy{}, nil
 	case "smith-ratio":

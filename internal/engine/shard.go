@@ -66,6 +66,14 @@ func ShardSeed(base int64, shard int) int64 {
 // policy is shared across shards and must therefore be safe for concurrent
 // use (all bundled policies are stateless values).
 func RunShards(p float64, policy Policy, source ArrivalSource, shards int, baseSeed int64) (*LoadResult, error) {
+	return RunShardsWithOptions(p, policy, source, shards, baseSeed, Options{})
+}
+
+// RunShardsWithOptions is RunShards with per-run Options: every shard runs
+// under the same options, so a speedup model (Options.Model) applies to the
+// whole fleet. The model, like the policy, is shared across shard goroutines
+// and must be safe for concurrent use (all bundled models are stateless).
+func RunShardsWithOptions(p float64, policy Policy, source ArrivalSource, shards int, baseSeed int64, opts Options) (*LoadResult, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("engine: need at least one shard, got %d", shards)
 	}
@@ -97,7 +105,7 @@ func RunShards(p float64, policy Policy, source ArrivalSource, shards int, baseS
 			// One Runner per shard goroutine: the scratch buffers are not
 			// safe to share, and per-goroutine reuse keeps the hot loop
 			// allocation-free.
-			res, err := NewRunner().Run(p, policy, arrivals)
+			res, err := NewRunner().RunWithOptions(p, policy, arrivals, opts)
 			if err != nil {
 				errs[s] = fmt.Errorf("shard %d: %w", s, err)
 				return

@@ -10,7 +10,6 @@ import (
 
 	"github.com/malleable-sched/malleable/internal/numeric"
 	"github.com/malleable-sched/malleable/internal/schedule"
-	"github.com/malleable-sched/malleable/internal/sim"
 )
 
 // poissonSource draws a small Poisson-ish stream deterministically from the
@@ -41,11 +40,11 @@ func poissonSource(n int) ArrivalSource {
 // determinism contract `mwct loadtest` relies on.
 func TestRunShardsDeterministic(t *testing.T) {
 	src := poissonSource(80)
-	a, err := RunShards(2, Adapt(sim.WDEQPolicy{}), src, 4, 99)
+	a, err := RunShards(2, WDEQPolicy{}, src, 4, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunShards(2, Adapt(sim.WDEQPolicy{}), src, 4, 99)
+	b, err := RunShards(2, WDEQPolicy{}, src, 4, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +71,11 @@ func TestShardSeedsDecorrelated(t *testing.T) {
 		t.Errorf("base seeds 1 and 2 collide on shard 0")
 	}
 	src := poissonSource(40)
-	a, err := RunShards(2, Adapt(sim.WDEQPolicy{}), src, 2, 1)
+	a, err := RunShards(2, WDEQPolicy{}, src, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunShards(2, Adapt(sim.WDEQPolicy{}), src, 2, 2)
+	b, err := RunShards(2, WDEQPolicy{}, src, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +88,7 @@ func TestShardSeedsDecorrelated(t *testing.T) {
 // produces, and the merged tenant accumulators must match an exact
 // recomputation over every task.
 func TestMergeShardsConsistency(t *testing.T) {
-	res, err := RunShards(2, Adapt(sim.WDEQPolicy{}), poissonSource(60), 3, 5)
+	res, err := RunShards(2, WDEQPolicy{}, poissonSource(60), 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +159,11 @@ func TestRunShardsPropagatesErrors(t *testing.T) {
 		}
 		return poissonSource(10)(shard, seed)
 	}
-	_, err := RunShards(2, Adapt(sim.WDEQPolicy{}), src, 4, 1)
+	_, err := RunShards(2, WDEQPolicy{}, src, 4, 1)
 	if err == nil {
 		t.Fatal("shard error swallowed")
 	}
-	if _, err := RunShards(2, Adapt(sim.WDEQPolicy{}), poissonSource(10), 0, 1); err == nil {
+	if _, err := RunShards(2, WDEQPolicy{}, poissonSource(10), 0, 1); err == nil {
 		t.Fatal("zero shards accepted")
 	}
 }
@@ -178,7 +177,7 @@ func TestRunShardsRecoversPanics(t *testing.T) {
 		}
 		return poissonSource(10)(shard, seed)
 	}
-	_, err := RunShards(2, Adapt(sim.WDEQPolicy{}), src, 4, 1)
+	_, err := RunShards(2, WDEQPolicy{}, src, 4, 1)
 	if err == nil || !strings.Contains(err.Error(), "panic: boom") {
 		t.Fatalf("err = %v, want shard panic error", err)
 	}

@@ -1,6 +1,7 @@
 // Package perf is the library's standing benchmark and regression harness: a
 // pinned set of named scenarios (static WDEQ batch, online Poisson, bursty
-// multi-tenant, sharded fleet) executed for a fixed wall budget, reported as
+// multi-tenant, sharded fleet, concave per-task speedups, time-varying
+// platform capacity) executed for a fixed wall budget, reported as
 // ns/op, allocs/op, tasks/sec and flow-time quantiles, and serialized under a
 // stable JSON schema so two runs — today's and a checked-in baseline — can be
 // diffed mechanically by CompareRuns. `mwct bench` is the command-line front
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/stats"
 	"github.com/malleable-sched/malleable/internal/workload"
 )
@@ -52,6 +54,13 @@ type Scenario struct {
 	P float64 `json:"p"`
 	// Seed makes the workload deterministic.
 	Seed int64 `json:"seed"`
+	// Speedup is the speedup-model spec (see speedup.ParseModel); empty means
+	// the paper's linear-cap model.
+	Speedup string `json:"speedup,omitempty"`
+	// CurveMin and CurveMax draw per-task speedup-curve parameters (see
+	// workload.ArrivalConfig); both zero disables per-task curves.
+	CurveMin float64 `json:"curveMin,omitempty"`
+	CurveMax float64 `json:"curveMax,omitempty"`
 }
 
 // Scenarios returns the pinned scenario set CI benchmarks on every push. The
@@ -76,6 +85,22 @@ func Scenarios() []Scenario {
 		{
 			Name: "sharded", Policy: "wdeq", Class: "uniform",
 			Process: "poisson", Rate: 8, Tasks: 4096, Shards: 4, P: 8, Seed: 404,
+		},
+		{
+			// Concave per-task speedups: the same Poisson load under a
+			// power-law model with per-task exponents. Pins the cost of the
+			// model-threaded advance step (rates are math.Pow, not a copy).
+			Name: "concave-speedup", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 6, Tasks: 4096, Shards: 1, P: 8, Seed: 405,
+			Speedup: "powerlaw:0.75", CurveMin: 0.6, CurveMax: 0.95,
+		},
+		{
+			// Time-varying platform capacity: the fleet loses half its
+			// processors on a square wave. Pins the budget-event machinery of
+			// the kernel (capacity steps are events, visited once each).
+			Name: "time-varying-capacity", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 6, Tasks: 4096, Shards: 1, P: 8, Seed: 406,
+			Speedup: "platform:8@0,4@100,8@200,4@300,8@400,4@500,8@600",
 		},
 	}
 }
@@ -125,7 +150,22 @@ func (s Scenario) arrivalConfig() (workload.ArrivalConfig, error) {
 		Rate:      s.Rate,
 		MeanBurst: s.Burst,
 		Tenants:   tenants,
+		CurveMin:  s.CurveMin,
+		CurveMax:  s.CurveMax,
 	}, nil
+}
+
+// options resolves the scenario's engine options (speedup model) and checks
+// the per-task curve range against the model's domain.
+func (s Scenario) options() (engine.Options, error) {
+	model, err := speedup.ParseModel(s.Speedup)
+	if err != nil {
+		return engine.Options{}, err
+	}
+	if err := speedup.ValidateCurves(model, s.CurveMin, s.CurveMax); err != nil {
+		return engine.Options{}, err
+	}
+	return engine.Options{Model: model}, nil
 }
 
 // generate draws one shard's arrival stream.
@@ -165,10 +205,14 @@ func RunScenario(s Scenario, budget time.Duration) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
 	}
-	if s.Shards == 1 {
-		return runSingle(s, policy, cfg, budget)
+	opts, err := s.options()
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
 	}
-	return runSharded(s, policy, cfg, budget)
+	if s.Shards == 1 {
+		return runSingle(s, policy, cfg, opts, budget)
+	}
+	return runSharded(s, policy, cfg, opts, budget)
 }
 
 // measurement is what timedLoop observes about the budget-bounded loop.
@@ -204,14 +248,14 @@ func timedLoop(budget time.Duration, run func() error) (measurement, error) {
 
 // runSingle benchmarks one engine on the calling goroutine with a reused
 // Runner and Result — the zero-allocation path.
-func runSingle(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, budget time.Duration) (Result, error) {
+func runSingle(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, opts engine.Options, budget time.Duration) (Result, error) {
 	arrivals, err := s.generate(cfg, s.Tasks, s.Seed)
 	if err != nil {
 		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
 	}
 	runner := engine.NewRunner()
 	res := &engine.Result{}
-	run := func() error { return runner.RunInto(res, s.P, policy, arrivals, engine.Options{}) }
+	run := func() error { return runner.RunInto(res, s.P, policy, arrivals, opts) }
 	// Warm the scratch buffers (and validate the run) outside the clock.
 	if err := run(); err != nil {
 		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
@@ -227,7 +271,7 @@ func runSingle(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, bud
 // runSharded benchmarks the concurrent multi-shard driver end to end,
 // including stream generation and the deterministic merge — the figure a
 // capacity planner cares about.
-func runSharded(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, budget time.Duration) (Result, error) {
+func runSharded(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, opts engine.Options, budget time.Duration) (Result, error) {
 	perShard := func(shard int) int {
 		n := s.Tasks / s.Shards
 		if shard < s.Tasks%s.Shards {
@@ -241,7 +285,7 @@ func runSharded(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, bu
 	var load *engine.LoadResult
 	run := func() error {
 		var err error
-		load, err = engine.RunShards(s.P, policy, source, s.Shards, s.Seed)
+		load, err = engine.RunShardsWithOptions(s.P, policy, source, s.Shards, s.Seed, opts)
 		return err
 	}
 	// Warm/validate once outside the clock.
@@ -280,6 +324,14 @@ func newResult(s Scenario, m measurement, events int, flows stats.Summary) Resul
 // RunAll executes the named scenarios (nil or empty means the whole pinned
 // set) with the given per-scenario wall budget and assembles the report.
 func RunAll(names []string, budget time.Duration) (*Report, error) {
+	return RunAllWithSpeedup(names, budget, "")
+}
+
+// RunAllWithSpeedup is RunAll with an optional speedup-model override: a
+// non-empty spec replaces every selected scenario's model. It exists for
+// ad-hoc exploration (`mwct bench -speedup ...`); overridden runs keep the
+// scenario names, so do not gate them against a default baseline.
+func RunAllWithSpeedup(names []string, budget time.Duration, speedupOverride string) (*Report, error) {
 	var scenarios []Scenario
 	if len(names) == 0 {
 		scenarios = Scenarios()
@@ -290,6 +342,14 @@ func RunAll(names []string, budget time.Duration) (*Report, error) {
 				return nil, err
 			}
 			scenarios = append(scenarios, s)
+		}
+	}
+	if speedupOverride != "" {
+		if _, err := speedup.ParseModel(speedupOverride); err != nil {
+			return nil, err
+		}
+		for i := range scenarios {
+			scenarios[i].Speedup = speedupOverride
 		}
 	}
 	report := &Report{

@@ -210,7 +210,7 @@ func TestRunAllPinnedScenarios(t *testing.T) {
 // asserted at the engine level; here a loose bound keeps the test robust to
 // harness bookkeeping.)
 func TestSingleShardScenariosNearZeroAllocs(t *testing.T) {
-	for _, name := range []string{"online-poisson", "static-wdeq"} {
+	for _, name := range []string{"online-poisson", "static-wdeq", "concave-speedup", "time-varying-capacity"} {
 		s, err := ScenarioByName(name)
 		if err != nil {
 			t.Fatal(err)

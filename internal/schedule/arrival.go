@@ -35,5 +35,8 @@ func (a Arrival) Validate() error {
 	if a.Release < 0 || math.IsNaN(a.Release) || math.IsInf(a.Release, 0) {
 		return fmt.Errorf("schedule: arrival has invalid release date %g", a.Release)
 	}
+	if a.Task.Curve < 0 || math.IsNaN(a.Task.Curve) || math.IsInf(a.Task.Curve, 0) {
+		return fmt.Errorf("schedule: arrival has invalid speedup-curve parameter %g", a.Task.Curve)
+	}
 	return nil
 }

@@ -29,6 +29,11 @@ type Task struct {
 	Delta float64 `json:"delta"`
 	// Due is an optional due date, used only by the maximum-lateness metric.
 	Due float64 `json:"due,omitempty"`
+	// Curve is an optional per-task speedup-curve parameter, interpreted by
+	// the run's speedup model (internal/speedup): the power-law exponent for
+	// PowerLaw, the serial fraction for Amdahl. Zero means the model's
+	// default; the paper's linear-cap model ignores it entirely.
+	Curve float64 `json:"curve,omitempty"`
 }
 
 // Height returns V_i / δ_i, the minimum possible execution time of the task.
@@ -81,6 +86,9 @@ func (in *Instance) Validate() error {
 		}
 		if t.Due < 0 {
 			return fmt.Errorf("schedule: task %d has negative due date %g", i, t.Due)
+		}
+		if t.Curve < 0 || math.IsNaN(t.Curve) || math.IsInf(t.Curve, 0) {
+			return fmt.Errorf("schedule: task %d has invalid speedup-curve parameter %g", i, t.Curve)
 		}
 	}
 	return nil

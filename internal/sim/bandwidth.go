@@ -1,3 +1,13 @@
+// Package sim holds the master–worker bandwidth-sharing study of the paper's
+// Figure 1: replaying a malleable distribution schedule against worker
+// processing rates and checking the throughput/ΣwC equivalence claimed in the
+// paper's introduction.
+//
+// The package used to also contain a static policy-execution loop; that loop
+// is gone — internal/engine is the library's single scheduling kernel, and
+// static instances replay on it through engine.RunStatic (every task released
+// at time zero). What remains here is analysis of already-built schedules,
+// not scheduling.
 package sim
 
 import (

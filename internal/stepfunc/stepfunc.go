@@ -396,6 +396,18 @@ func (f *StepFunc) MinValueOn(from, to float64) float64 {
 // LastBreakpoint returns the largest breakpoint time of f.
 func (f *StepFunc) LastBreakpoint() float64 { return f.times[len(f.times)-1] }
 
+// NextBreakpointAfter returns the first breakpoint of f strictly after t, or
+// +Inf if t is at or beyond the last breakpoint. It performs no allocation,
+// so event loops may call it per event.
+func (f *StepFunc) NextBreakpointAfter(t float64) float64 {
+	// First index with times[i] > t.
+	i := sort.Search(len(f.times), func(i int) bool { return f.times[i] > t })
+	if i >= len(f.times) {
+		return math.Inf(1)
+	}
+	return f.times[i]
+}
+
 // TailValue returns the value of f after its last breakpoint.
 func (f *StepFunc) TailValue() float64 { return f.values[len(f.values)-1] }
 

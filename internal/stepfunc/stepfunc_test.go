@@ -314,3 +314,24 @@ func TestQuickConsumeMinConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNextBreakpointAfter(t *testing.T) {
+	f, err := FromSteps([]float64{0, 2, 5}, []float64{1, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 2}, {1.5, 2}, {2, 5}, {4.99, 5},
+	}
+	for _, c := range cases {
+		if got := f.NextBreakpointAfter(c.t); got != c.want {
+			t.Errorf("NextBreakpointAfter(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if got := f.NextBreakpointAfter(5); !math.IsInf(got, 1) {
+		t.Errorf("NextBreakpointAfter(5) = %g, want +Inf", got)
+	}
+	if got := f.NextBreakpointAfter(100); !math.IsInf(got, 1) {
+		t.Errorf("NextBreakpointAfter(100) = %g, want +Inf", got)
+	}
+}

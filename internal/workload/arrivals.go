@@ -110,6 +110,12 @@ type ArrivalConfig struct {
 	MeanBurst float64
 	// Tenants is the tenant mix; nil means DefaultTenants.
 	Tenants []TenantSpec
+	// CurveMin and CurveMax draw each task's speedup-curve parameter
+	// (schedule.Task.Curve) uniformly from [CurveMin, CurveMax] — per-task
+	// power-law exponents or Amdahl serial fractions, interpreted by the
+	// run's speedup model. Both zero (the default) leaves every Curve at 0,
+	// i.e. the model default, and perturbs no random stream.
+	CurveMin, CurveMax float64
 }
 
 // Validate checks the configuration.
@@ -124,12 +130,16 @@ func (c *ArrivalConfig) Validate() error {
 		return fmt.Errorf("workload: need a positive finite processor count, got %g", c.P)
 	}
 	for i, t := range c.Tenants {
-		if !(t.Weight > 0) {
+		if !(t.Weight > 0) || math.IsInf(t.Weight, 0) || math.IsNaN(t.Weight) {
 			return fmt.Errorf("workload: tenant %d (%s) has non-positive weight %g", i, t.Name, t.Weight)
 		}
-		if !(t.Share > 0) {
+		if !(t.Share > 0) || math.IsInf(t.Share, 0) || math.IsNaN(t.Share) {
 			return fmt.Errorf("workload: tenant %d (%s) has non-positive share %g", i, t.Name, t.Share)
 		}
+	}
+	if c.CurveMin < 0 || c.CurveMax < 0 || math.IsNaN(c.CurveMin) || math.IsNaN(c.CurveMax) ||
+		math.IsInf(c.CurveMin, 0) || math.IsInf(c.CurveMax, 0) || c.CurveMin > c.CurveMax {
+		return fmt.Errorf("workload: curve range [%g, %g] must be finite, non-negative and ordered", c.CurveMin, c.CurveMax)
 	}
 	return nil
 }
@@ -194,6 +204,9 @@ func GenerateArrivals(cfg ArrivalConfig, n int, seed int64) ([]schedule.Arrival,
 			}
 			task.Weight *= tenants[tenant].Weight
 			task.Name = tenants[tenant].Name
+			if cfg.CurveMax > 0 {
+				task.Curve = cfg.CurveMin + (cfg.CurveMax-cfg.CurveMin)*rng.Float64()
+			}
 			out = append(out, schedule.Arrival{Task: task, Release: now, Tenant: tenant})
 		}
 	}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGenerateArrivals drives the arrival generator with adversarial
+// configurations — hostile rates, burst sizes, tenant mixes and curve ranges
+// — and checks the generator's contract on every stream it accepts:
+//
+//   - exactly n arrivals (the task budget is respected, never exceeded by a
+//     trailing burst);
+//   - release dates globally non-decreasing (hence non-decreasing per
+//     tenant), finite and non-negative;
+//   - no NaN, infinite or negative volume/weight/delta/curve on any task
+//     (every arrival passes schedule.Arrival.Validate);
+//   - drawn curves stay inside the configured [CurveMin, CurveMax] range;
+//   - determinism: the same inputs regenerate the same stream.
+//
+// Configurations the generator rejects with an error are fine — the fuzz
+// checks that nothing invalid slips through as data.
+func FuzzGenerateArrivals(f *testing.F) {
+	f.Add(16, int64(1), 0, 0, 8.0, 0.0, 0.0, 0.0, 1.0, 1.0, 4.0, 0.25)
+	f.Add(64, int64(99), 1, 1, 2.0, 8.0, 0.4, 0.9, 2.0, 0.5, 1.0, 0.5)
+	f.Add(1, int64(-7), 5, 1, 1e-3, 1e18, 0.0, 0.0, 1e9, 1e-9, 1.0, 1.0)
+	f.Add(32, int64(0), 3, 0, math.MaxFloat64, 1.0, 0.9, 0.9, 1.0, 1.0, 1.0, 1.0)
+	f.Add(8, int64(42), 2, 1, 4.0, math.NaN(), 0.5, 0.25, math.Inf(1), 1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, n int, seed int64, classIdx, processIdx int,
+		rate, meanBurst, curveMin, curveMax, w1, s1, w2, s2 float64) {
+		if n < 1 || n > 512 {
+			n = 1 + (abs(n) % 512)
+		}
+		classes := []Class{Uniform, ConstantWeight, ConstantWeightVolume, LargeDelta, UnitClass, Heterogeneous}
+		cfg := ArrivalConfig{
+			Class:     classes[abs(classIdx)%len(classes)],
+			P:         8,
+			Process:   ArrivalProcess(abs(processIdx) % 2),
+			Rate:      rate,
+			MeanBurst: meanBurst,
+			CurveMin:  curveMin,
+			CurveMax:  curveMax,
+			Tenants: []TenantSpec{
+				{Name: "a", Weight: w1, Share: s1},
+				{Name: "b", Weight: w2, Share: s2},
+			},
+		}
+		out, err := GenerateArrivals(cfg, n, seed)
+		if err != nil {
+			return // rejected configurations are allowed; bad data is not
+		}
+		if len(out) != n {
+			t.Fatalf("got %d arrivals, want exactly %d", len(out), n)
+		}
+		prev := 0.0
+		for i, a := range out {
+			if err := a.Validate(); err != nil {
+				t.Fatalf("arrival %d invalid: %v (%+v)", i, err, a)
+			}
+			if a.Release < prev {
+				t.Fatalf("arrival %d release %g precedes %g — stream not sorted", i, a.Release, prev)
+			}
+			prev = a.Release
+			if math.IsNaN(a.Task.Volume) || a.Task.Volume < 0 {
+				t.Fatalf("arrival %d has invalid volume %g", i, a.Task.Volume)
+			}
+			if cfg.CurveMax > 0 {
+				if a.Task.Curve < cfg.CurveMin || a.Task.Curve > cfg.CurveMax {
+					t.Fatalf("arrival %d curve %g outside [%g, %g]", i, a.Task.Curve, cfg.CurveMin, cfg.CurveMax)
+				}
+			} else if a.Task.Curve != 0 {
+				t.Fatalf("arrival %d has curve %g with curves disabled", i, a.Task.Curve)
+			}
+			if a.Tenant != 0 && a.Tenant != 1 {
+				t.Fatalf("arrival %d drawn for unknown tenant %d", i, a.Tenant)
+			}
+		}
+		again, err := GenerateArrivals(cfg, n, seed)
+		if err != nil {
+			t.Fatalf("second generation errored: %v", err)
+		}
+		for i := range out {
+			if out[i] != again[i] {
+				t.Fatalf("arrival %d not deterministic: %+v vs %+v", i, out[i], again[i])
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		// Guard the minimum int, whose negation overflows.
+		if v == math.MinInt {
+			return math.MaxInt
+		}
+		return -v
+	}
+	return v
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/malleable-sched/malleable/internal/engine"
 	"github.com/malleable-sched/malleable/internal/exact"
 	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/workload"
 )
 
@@ -122,9 +123,23 @@ type Arrival = engine.Arrival
 // smith-ratio) or implement the interface for a custom one. Allocate follows
 // the append-into-dst convention: the engine hands the policy a reusable
 // buffer and the policy appends one entry per alive task, which is what keeps
-// the steady-state event loop allocation-free. Policies written against the
-// older allocating signature still work through engine.AdaptLegacy.
+// the steady-state event loop allocation-free.
 type OnlinePolicy = engine.Policy
+
+// SpeedupModel maps an allocation of processors to an instantaneous
+// processing rate — the kernel's pluggable rate model. The paper's
+// work-preserving linear model (speedup.LinearCap) is the default wherever a
+// model is not given; ParseSpeedupModel resolves the bundled alternatives
+// (concave power law, Amdahl's law, time-varying platform capacity).
+type SpeedupModel = speedup.Model
+
+// ParseSpeedupModel resolves a speedup-model spec: "linear",
+// "powerlaw[:alpha]", "amdahl[:sigma]", or "platform:cap@t0,cap@t1,...". The
+// empty string is the linear default.
+func ParseSpeedupModel(spec string) (SpeedupModel, error) { return speedup.ParseModel(spec) }
+
+// SpeedupModelNames lists the accepted speedup-model spec forms.
+func SpeedupModelNames() []string { return speedup.ModelNames() }
 
 // OnlineRunner owns the reusable scratch of the online engine's event loop.
 // After a warm-up run, repeated runs of similar size perform zero heap
@@ -135,10 +150,16 @@ type OnlineRunner = engine.Runner
 // NewOnlineRunner returns a fresh OnlineRunner.
 func NewOnlineRunner() *OnlineRunner { return engine.NewRunner() }
 
-// OnlineOptions tunes an online run (decision tracing, event bounds). The
-// zero value is the production configuration: tracing off, default safety
+// OnlineOptions tunes an online run: the speedup model (Model, nil = the
+// paper's linear model), decision tracing and event bounds. The zero value is
+// the production configuration: linear model, tracing off, default safety
 // bound.
 type OnlineOptions = engine.Options
+
+// StaticRunResult is the outcome of replaying a static instance on the
+// online kernel: engine metrics plus, under linear models, the reconstructed
+// column-based schedule.
+type StaticRunResult = engine.StaticResult
 
 // OnlineResult is the outcome of an online run: per-task flow times plus
 // aggregate weighted-flow, makespan and throughput metrics.
@@ -162,12 +183,34 @@ func RunOnline(p float64, policy OnlinePolicy, arrivals []Arrival) (*OnlineResul
 	return engine.Run(p, policy, arrivals)
 }
 
+// RunOnlineWithOptions is RunOnline with explicit options — most notably the
+// speedup model: Options.Model switches the kernel from the paper's linear
+// speedup to a concave or time-varying-capacity scenario without touching the
+// policy or the workload.
+func RunOnlineWithOptions(p float64, policy OnlinePolicy, arrivals []Arrival, opts OnlineOptions) (*OnlineResult, error) {
+	return engine.RunWithOptions(p, policy, arrivals, opts)
+}
+
+// RunStatic replays a static instance (all tasks released at time zero — the
+// offline setting of the paper) on the online kernel. Under a linear model
+// the result carries a validated column-based Schedule reconstructed from the
+// decision trace; non-linear models report engine metrics only.
+func RunStatic(inst *Instance, policy OnlinePolicy, opts OnlineOptions) (*StaticRunResult, error) {
+	return engine.RunStatic(inst, policy, opts)
+}
+
 // RunOnlineShards runs shards independent online engines concurrently — one
 // goroutine each, with per-shard seeds derived from baseSeed — and merges
 // their statistics deterministically. The source callback produces the
 // arrival stream of each shard.
 func RunOnlineShards(p float64, policy OnlinePolicy, source func(shard int, seed int64) ([]Arrival, error), shards int, baseSeed int64) (*OnlineLoadResult, error) {
 	return engine.RunShards(p, policy, source, shards, baseSeed)
+}
+
+// RunOnlineShardsWithOptions is RunOnlineShards with explicit options; the
+// speedup model (and any other option) applies uniformly to every shard.
+func RunOnlineShardsWithOptions(p float64, policy OnlinePolicy, source func(shard int, seed int64) ([]Arrival, error), shards int, baseSeed int64, opts OnlineOptions) (*OnlineLoadResult, error) {
+	return engine.RunShardsWithOptions(p, policy, source, shards, baseSeed, opts)
 }
 
 // TenantSpec describes one tenant of a multi-tenant online workload: its
@@ -192,6 +235,11 @@ type OnlineWorkload struct {
 	MeanBurst float64
 	// Tenants is the tenant mix; nil means a single unit-weight tenant.
 	Tenants []TenantSpec
+	// CurveMin and CurveMax draw per-task speedup-curve parameters
+	// (Task.Curve) uniformly from [CurveMin, CurveMax]; both zero disables
+	// per-task curves. The parameters are interpreted by the run's
+	// SpeedupModel (power-law exponent, Amdahl serial fraction).
+	CurveMin, CurveMax float64
 }
 
 // GenerateArrivals draws n arrivals deterministically from the seed: task
@@ -223,6 +271,8 @@ func GenerateArrivals(w OnlineWorkload, n int, seed int64) ([]Arrival, error) {
 		Rate:      w.Rate,
 		MeanBurst: w.MeanBurst,
 		Tenants:   w.Tenants,
+		CurveMin:  w.CurveMin,
+		CurveMax:  w.CurveMax,
 	}, n, seed)
 }
 

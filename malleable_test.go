@@ -243,3 +243,94 @@ func TestGenerateArrivalsFacade(t *testing.T) {
 		t.Error("unknown process accepted")
 	}
 }
+
+// The speedup-model surface of the facade: model parsing, model-threaded
+// online runs, per-task curve generation, and the static replay on the
+// online kernel.
+func TestSpeedupModelFacade(t *testing.T) {
+	inst := exampleInstance(t)
+
+	// Static replay under the default linear model reproduces WDEQ exactly.
+	static, err := malleable.RunStatic(inst, mustPolicy(t, "wdeq"), malleable.OnlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Schedule == nil {
+		t.Fatal("linear static run built no schedule")
+	}
+	direct, err := malleable.WDEQ(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqualTol(static.Schedule.WeightedCompletionTime(), direct.WeightedCompletionTime(), 1e-6) {
+		t.Errorf("static replay %g vs WDEQ %g", static.Schedule.WeightedCompletionTime(), direct.WeightedCompletionTime())
+	}
+
+	// Non-linear models slow the same workload down and skip the schedule.
+	model, err := malleable.ParseSpeedupModel("powerlaw:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	concave, err := malleable.RunStatic(inst, mustPolicy(t, "wdeq"), malleable.OnlineOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if concave.Schedule != nil {
+		t.Errorf("concave static run built a schedule")
+	}
+	if concave.Makespan <= static.Makespan {
+		t.Errorf("concave makespan %g not slower than linear %g", concave.Makespan, static.Makespan)
+	}
+
+	// Online runs accept the model through RunOnlineWithOptions, and per-task
+	// curves flow from the generator into the kernel.
+	arrivals, err := malleable.GenerateArrivals(malleable.OnlineWorkload{
+		Class: "uniform", P: 4, Process: "poisson", Rate: 4,
+		CurveMin: 0.5, CurveMax: 0.9,
+	}, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arrivals {
+		if a.Task.Curve < 0.5 || a.Task.Curve > 0.9 {
+			t.Fatalf("arrival %d curve %g outside [0.5, 0.9]", i, a.Task.Curve)
+		}
+	}
+	linear, err := malleable.RunOnline(4, mustPolicy(t, "wdeq"), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curved, err := malleable.RunOnlineWithOptions(4, mustPolicy(t, "wdeq"), arrivals, malleable.OnlineOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(curved.WeightedFlow > linear.WeightedFlow) {
+		t.Errorf("concave weighted flow %g not worse than linear %g", curved.WeightedFlow, linear.WeightedFlow)
+	}
+
+	// The sharded form threads the same options through every shard.
+	source := func(shard int, seed int64) ([]malleable.Arrival, error) { return arrivals, nil }
+	load, err := malleable.RunOnlineShardsWithOptions(4, mustPolicy(t, "wdeq"), source, 2, 1, malleable.OnlineOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.TotalTasks != 2*len(arrivals) {
+		t.Errorf("sharded run completed %d tasks, want %d", load.TotalTasks, 2*len(arrivals))
+	}
+
+	if len(malleable.SpeedupModelNames()) == 0 {
+		t.Errorf("no speedup model names exported")
+	}
+	if _, err := malleable.ParseSpeedupModel("bogus"); err == nil {
+		t.Errorf("bogus model spec accepted")
+	}
+}
+
+func mustPolicy(t *testing.T, name string) malleable.OnlinePolicy {
+	t.Helper()
+	p, err := malleable.OnlinePolicyByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
