@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/malleable-sched/malleable/internal/engine"
 	"github.com/malleable-sched/malleable/internal/speedup"
@@ -43,43 +45,41 @@ type loadtestSpec struct {
 	// disables them.
 	CurveMin float64 `json:"curveMin,omitempty"`
 	CurveMax float64 `json:"curveMax,omitempty"`
+	// Stream runs the test through the streaming path: arrivals are pulled
+	// lazily from the generator and per-task metrics are summarized in
+	// constant-memory sinks, so memory stays O(alive tasks) regardless of
+	// Tasks — this is what makes `-n 10000000` feasible. Flow quantiles come
+	// from the mergeable sketch instead of retained samples.
+	Stream bool `json:"stream,omitempty"`
 }
 
-// runLoadtestSpec generates the per-shard arrival streams, runs the sharded
-// engine and returns the merged result plus the parsed tenant mix (so the
-// report prints the same tenants the workload actually ran with).
-func runLoadtestSpec(spec loadtestSpec) (*engine.LoadResult, []workload.TenantSpec, error) {
-	if spec.Tasks <= 0 {
-		return nil, nil, fmt.Errorf("loadtest: need a positive task count, got %d", spec.Tasks)
-	}
-	if spec.Shards <= 0 {
-		return nil, nil, fmt.Errorf("loadtest: need a positive shard count, got %d", spec.Shards)
-	}
-	if spec.Tasks < spec.Shards {
-		return nil, nil, fmt.Errorf("loadtest: need at least one task per shard, got %d tasks over %d shards", spec.Tasks, spec.Shards)
+// parse resolves and validates every named component of the spec.
+func (spec loadtestSpec) parse() (engine.Policy, workload.ArrivalConfig, []workload.TenantSpec, engine.Options, error) {
+	fail := func(err error) (engine.Policy, workload.ArrivalConfig, []workload.TenantSpec, engine.Options, error) {
+		return nil, workload.ArrivalConfig{}, nil, engine.Options{}, err
 	}
 	policy, err := engine.PolicyByName(spec.Policy)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	class, err := workload.ParseClass(spec.Class)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	process, err := workload.ParseProcess(spec.Process)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	tenants, err := workload.ParseTenants(spec.Tenants)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	model, err := speedup.ParseModel(spec.Speedup)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	if err := speedup.ValidateCurves(model, spec.CurveMin, spec.CurveMax); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	cfg := workload.ArrivalConfig{
 		Class:     class,
@@ -92,6 +92,33 @@ func runLoadtestSpec(spec loadtestSpec) (*engine.LoadResult, []workload.TenantSp
 		CurveMax:  spec.CurveMax,
 	}
 	if err := cfg.Validate(); err != nil {
+		return fail(err)
+	}
+	return policy, cfg, tenants, engine.Options{Model: model}, nil
+}
+
+// runLoadtestSpec generates the per-shard arrival streams, runs the sharded
+// engine and returns the merged result plus the parsed tenant mix (so the
+// report prints the same tenants the workload actually ran with).
+func runLoadtestSpec(spec loadtestSpec) (*engine.LoadResult, []workload.TenantSpec, error) {
+	return runLoadtestSpecWrapped(spec, nil)
+}
+
+// runLoadtestSpecWrapped is runLoadtestSpec with an optional per-shard
+// stream wrapper (streaming mode only) — the hook `-trace-out` uses to tee
+// the generated arrivals into a trace file.
+func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.ArrivalStream) engine.ArrivalStream) (*engine.LoadResult, []workload.TenantSpec, error) {
+	if spec.Tasks <= 0 {
+		return nil, nil, fmt.Errorf("loadtest: need a positive task count, got %d", spec.Tasks)
+	}
+	if spec.Shards <= 0 {
+		return nil, nil, fmt.Errorf("loadtest: need a positive shard count, got %d", spec.Shards)
+	}
+	if spec.Tasks < spec.Shards {
+		return nil, nil, fmt.Errorf("loadtest: need at least one task per shard, got %d tasks over %d shards", spec.Tasks, spec.Shards)
+	}
+	policy, cfg, tenants, opts, err := spec.parse()
+	if err != nil {
 		return nil, nil, err
 	}
 	// Spread the task budget over the shards; the first Tasks%Shards shards
@@ -103,10 +130,25 @@ func runLoadtestSpec(spec loadtestSpec) (*engine.LoadResult, []workload.TenantSp
 		}
 		return n
 	}
-	source := func(shard int, seed int64) ([]engine.Arrival, error) {
-		return workload.GenerateArrivals(cfg, perShard(shard), seed)
+	var res *engine.LoadResult
+	if spec.Stream {
+		source := func(shard int, seed int64) (engine.ArrivalStream, error) {
+			stream, err := workload.NewStream(cfg, perShard(shard), seed)
+			if err != nil {
+				return nil, err
+			}
+			if wrap != nil {
+				return wrap(shard, stream), nil
+			}
+			return stream, nil
+		}
+		res, err = engine.RunShardsStreamWithOptions(spec.P, policy, source, spec.Shards, spec.Seed, opts)
+	} else {
+		source := func(shard int, seed int64) ([]engine.Arrival, error) {
+			return workload.GenerateArrivals(cfg, perShard(shard), seed)
+		}
+		res, err = engine.RunShardsWithOptions(spec.P, policy, source, spec.Shards, spec.Seed, opts)
 	}
-	res, err := engine.RunShardsWithOptions(spec.P, policy, source, spec.Shards, spec.Seed, engine.Options{Model: model})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -120,20 +162,31 @@ func loadtestReport(w io.Writer, spec loadtestSpec) error {
 	if err != nil {
 		return err
 	}
+	renderLoadResult(w, spec, res, tenants)
+	return nil
+}
+
+// renderLoadResult prints the merged result. Everything it reads is computed
+// in shard order, so the report is byte-deterministic for a given spec.
+func renderLoadResult(w io.Writer, spec loadtestSpec, res *engine.LoadResult, tenants []workload.TenantSpec) {
 	model := spec.Speedup
 	if model == "" {
 		model = "linear"
 	}
-	fmt.Fprintf(w, "loadtest: policy=%s class=%s process=%s rate=%g tasks=%d shards=%d p=%g seed=%d speedup=%s\n",
-		res.Policy, spec.Class, spec.Process, spec.Rate, spec.Tasks, spec.Shards, spec.P, spec.Seed, model)
+	fmt.Fprintf(w, "loadtest: policy=%s class=%s process=%s rate=%g tasks=%d shards=%d p=%g seed=%d speedup=%s stream=%v\n",
+		res.Policy, spec.Class, spec.Process, spec.Rate, spec.Tasks, spec.Shards, spec.P, spec.Seed, model, spec.Stream)
 	for _, run := range res.Shards {
 		r := run.Result
 		fmt.Fprintf(w, "shard %d: tasks=%d events=%d max-alive=%d makespan=%.6g weighted-flow=%.6g mean-flow=%.6g throughput=%.6g\n",
-			run.Shard, len(r.Tasks), r.Events, r.MaxAlive, r.Makespan, r.WeightedFlow, r.MeanFlow(), r.Throughput())
+			run.Shard, r.Completed, r.Events, r.MaxAlive, r.Makespan, r.WeightedFlow, r.MeanFlow(), r.Throughput())
 	}
 	fmt.Fprintf(w, "aggregate: tasks=%d events=%d makespan=%.6g weighted-flow=%.6g throughput=%.6g\n",
 		res.TotalTasks, res.Events, res.Makespan, res.WeightedFlow, res.Throughput)
-	fmt.Fprintf(w, "flow: %s\n", res.Flow)
+	if res.FlowApprox {
+		fmt.Fprintf(w, "flow: %s (quantiles from sketch)\n", res.Flow)
+	} else {
+		fmt.Fprintf(w, "flow: %s\n", res.Flow)
+	}
 	for _, tm := range res.PerTenant {
 		name := fmt.Sprintf("tenant-%d", tm.Tenant)
 		if tm.Tenant < len(tenants) {
@@ -142,7 +195,134 @@ func loadtestReport(w io.Writer, spec loadtestSpec) error {
 		fmt.Fprintf(w, "tenant %s: tasks=%d mean-flow=%.6g std-flow=%.3g max-flow=%.6g weighted-flow=%.6g\n",
 			name, tm.Tasks, tm.MeanFlow, tm.StdFlow, tm.MaxFlow, tm.WeightedFlow)
 	}
+}
+
+// traceReplayReport replays a recorded JSONL trace through a single
+// streaming engine and renders the same report shape as a one-shard run,
+// returning the number of replayed tasks. Policy, capacity and speedup model
+// come from the spec; the workload fields are ignored (the trace is the
+// workload).
+func traceReplayReport(w io.Writer, spec loadtestSpec, trace io.Reader) (int, error) {
+	policy, err := engine.PolicyByName(spec.Policy)
+	if err != nil {
+		return 0, err
+	}
+	model, err := speedup.ParseModel(spec.Speedup)
+	if err != nil {
+		return 0, err
+	}
+	agg := engine.NewAggregateSink()
+	sk := engine.NewSketchSink(0)
+	res, err := engine.RunStreamWithOptions(spec.P, policy, workload.NewTraceReader(trace), engine.MultiSink(agg, sk), engine.Options{Model: model})
+	if err != nil {
+		return 0, err
+	}
+	modelName := spec.Speedup
+	if modelName == "" {
+		modelName = "linear"
+	}
+	fmt.Fprintf(w, "loadtest: policy=%s trace-replay tasks=%d p=%g speedup=%s stream=true\n",
+		res.Policy, res.Completed, spec.P, modelName)
+	fmt.Fprintf(w, "aggregate: tasks=%d events=%d max-alive=%d makespan=%.6g weighted-flow=%.6g mean-flow=%.6g throughput=%.6g\n",
+		res.Completed, res.Events, res.MaxAlive, res.Makespan, res.WeightedFlow, res.MeanFlow(), res.Throughput())
+	fmt.Fprintf(w, "flow: %s (quantiles from sketch)\n", engine.FlowSummary(agg, sk))
+	for _, tm := range agg.PerTenant() {
+		fmt.Fprintf(w, "tenant tenant-%d: tasks=%d mean-flow=%.6g std-flow=%.3g max-flow=%.6g weighted-flow=%.6g\n",
+			tm.Tenant, tm.Tasks, tm.MeanFlow, tm.StdFlow, tm.MaxFlow, tm.WeightedFlow)
+	}
+	return res.Completed, nil
+}
+
+// teeStream forwards a stream while recording every arrival to a trace
+// writer.
+type teeStream struct {
+	inner engine.ArrivalStream
+	tw    *workload.TraceWriter
+}
+
+func (t *teeStream) Next() (engine.Arrival, bool, error) {
+	a, ok, err := t.inner.Next()
+	if err != nil || !ok {
+		return a, ok, err
+	}
+	if err := t.tw.Write(a); err != nil {
+		return engine.Arrival{}, false, fmt.Errorf("recording trace: %w", err)
+	}
+	return a, true, nil
+}
+
+// memReport instruments one load-test run: wall time, tasks/sec of wall
+// clock, allocation counters per task, the live-heap delta, and the peak
+// heap sampled during the run. run returns the number of tasks it pushed
+// through. memReport prints to its own writer (stderr in production) so the
+// deterministic report on stdout stays byte-stable.
+func memReport(perfW io.Writer, run func() (int, error)) error {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sampler := startHeapSampler()
+	start := time.Now()
+	tasks, err := run()
+	elapsed := time.Since(start)
+	peak := sampler.stop()
+	if err != nil {
+		return err
+	}
+	if tasks <= 0 {
+		tasks = 1
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if peak < after.HeapAlloc {
+		peak = after.HeapAlloc
+	}
+	perTask := func(v uint64) float64 { return float64(v) / float64(tasks) }
+	fmt.Fprintf(perfW, "perf: wall=%.3gs tasks/sec=%.4g allocs/task=%.4g bytes/task=%.4g peak-heap=%.1fMiB live-heap-delta=%+.2fMiB\n",
+		elapsed.Seconds(),
+		float64(tasks)/elapsed.Seconds(),
+		perTask(after.Mallocs-before.Mallocs),
+		perTask(after.TotalAlloc-before.TotalAlloc),
+		float64(peak)/(1<<20),
+		(float64(after.HeapAlloc)-float64(before.HeapAlloc))/(1<<20))
 	return nil
+}
+
+// heapSampler polls runtime.MemStats.HeapAlloc while a run is in flight so
+// the report can show the peak heap, the number the O(alive tasks) claim is
+// about.
+type heapSampler struct {
+	stopCh chan struct{}
+	doneCh chan struct{}
+	peak   uint64
+}
+
+func startHeapSampler() *heapSampler {
+	h := &heapSampler{stopCh: make(chan struct{}), doneCh: make(chan struct{})}
+	go func() {
+		defer close(h.doneCh)
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-h.stopCh:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > h.peak {
+					h.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return h
+}
+
+func (h *heapSampler) stop() uint64 {
+	close(h.stopCh)
+	<-h.doneCh
+	return h.peak
 }
 
 // runLoadtest implements `mwct loadtest`.
@@ -161,10 +341,14 @@ func runLoadtest(args []string) error {
 	speedupSpec := fs.String("speedup", "", "speedup model: linear, powerlaw[:alpha], amdahl[:sigma], platform:cap@t,... (empty = linear)")
 	curveMin := fs.Float64("curve-min", 0, "lower bound of per-task speedup-curve draws (0 with -curve-max 0 disables)")
 	curveMax := fs.Float64("curve-max", 0, "upper bound of per-task speedup-curve draws")
+	stream := fs.Bool("stream", false, "stream arrivals through the engine (O(alive) memory; flow quantiles from a sketch) — required for very large -n")
+	traceOut := fs.String("trace-out", "", "record the generated arrival stream to this JSONL file (requires -stream and -shards 1)")
+	traceIn := fs.String("trace-in", "", "replay a recorded JSONL arrival trace instead of generating a workload (single shard; implies -stream)")
+	mem := fs.Bool("mem", true, "print wall-clock throughput and memory statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return loadtestReport(os.Stdout, loadtestSpec{
+	spec := loadtestSpec{
 		Policy:   *policy,
 		Class:    *class,
 		Process:  *process,
@@ -178,5 +362,63 @@ func runLoadtest(args []string) error {
 		Speedup:  *speedupSpec,
 		CurveMin: *curveMin,
 		CurveMax: *curveMax,
+		Stream:   *stream,
+	}
+	perfW := io.Discard
+	if *mem {
+		perfW = os.Stderr
+	}
+
+	if *traceIn != "" {
+		if *traceOut != "" {
+			return fmt.Errorf("loadtest: -trace-in and -trace-out are mutually exclusive")
+		}
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return memReport(perfW, func() (int, error) {
+			return traceReplayReport(os.Stdout, spec, f)
+		})
+	}
+
+	var wrap func(shard int, s engine.ArrivalStream) engine.ArrivalStream
+	var traceFile *os.File
+	var tee *teeStream
+	if *traceOut != "" {
+		if !spec.Stream {
+			return fmt.Errorf("loadtest: -trace-out records the streamed arrivals; add -stream")
+		}
+		if spec.Shards != 1 {
+			return fmt.Errorf("loadtest: -trace-out records one stream; use -shards 1")
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		wrap = func(shard int, s engine.ArrivalStream) engine.ArrivalStream {
+			tee = &teeStream{inner: s, tw: workload.NewTraceWriter(f)}
+			return tee
+		}
+	}
+
+	err := memReport(perfW, func() (int, error) {
+		res, tenantSpecs, err := runLoadtestSpecWrapped(spec, wrap)
+		if err != nil {
+			return 0, err
+		}
+		renderLoadResult(os.Stdout, spec, res, tenantSpecs)
+		return res.TotalTasks, nil
 	})
+	if traceFile != nil {
+		if err == nil && tee != nil {
+			err = tee.tw.Flush()
+		}
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -3,10 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/workload"
 )
 
 func testSpec() loadtestSpec {
@@ -205,5 +211,153 @@ func TestLoadtestReportSpeedupModels(t *testing.T) {
 	clamped.CurveMin, clamped.CurveMax = 0.5, 1.5
 	if _, _, err := runLoadtestSpec(clamped); err == nil {
 		t.Errorf("out-of-domain curve range accepted for amdahl")
+	}
+}
+
+// The streaming path must keep the determinism contract and agree with the
+// slice path on every exactly-computed aggregate of the report.
+func TestLoadtestReportStreamDeterministic(t *testing.T) {
+	spec := testSpec()
+	spec.Stream = true
+	spec.Tenants = "gold:4:0.2,bronze:1:0.8"
+	var a, b bytes.Buffer
+	if err := loadtestReport(&a, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadtestReport(&b, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("streaming reports differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{"stream=true", "aggregate: tasks=400", "quantiles from sketch", "tenant gold:", "tenant bronze:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stream report misses %q:\n%s", want, out)
+		}
+	}
+
+	// The per-shard task/event counts must match the slice path exactly.
+	slice := spec
+	slice.Stream = false
+	var c bytes.Buffer
+	if err := loadtestReport(&c, slice); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "shard ") {
+			if !strings.Contains(c.String(), line) {
+				t.Errorf("stream shard line %q absent from slice report:\n%s", line, c.String())
+			}
+		}
+	}
+}
+
+// Recording a stream to JSONL and replaying it must drive the same workload
+// through the engine: identical shard aggregates.
+func TestLoadtestTraceRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+
+	spec := testSpec()
+	spec.Stream = true
+	spec.Shards = 1
+	spec.Tasks = 300
+
+	// Record: run with a teeing wrapper, like `mwct loadtest -trace-out`.
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tee *teeStream
+	res, _, err := runLoadtestSpecWrapped(spec, func(shard int, s engine.ArrivalStream) engine.ArrivalStream {
+		tee = &teeStream{inner: s, tw: workload.NewTraceWriter(f)}
+		return tee
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tee.tw.Count() != spec.Tasks {
+		t.Fatalf("recorded %d arrivals, want %d", tee.tw.Count(), spec.Tasks)
+	}
+
+	// Replay through the trace reader and compare the engine aggregates.
+	in, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var buf bytes.Buffer
+	n, err := traceReplayReport(&buf, spec, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != spec.Tasks {
+		t.Fatalf("replayed %d tasks, want %d", n, spec.Tasks)
+	}
+	shard := res.Shards[0].Result
+	want := fmt.Sprintf("aggregate: tasks=%d events=%d max-alive=%d makespan=%.6g weighted-flow=%.6g",
+		shard.Completed, shard.Events, shard.MaxAlive, shard.Makespan, shard.WeightedFlow)
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("replay report misses %q:\n%s", want, buf.String())
+	}
+}
+
+// /v1/metrics must accumulate across load tests: runs, tasks and mean flow
+// come from the cumulative aggregate sink.
+func TestServeMetricsAccumulate(t *testing.T) {
+	srv := httptest.NewServer(newServeMux())
+	defer srv.Close()
+
+	readMetrics := func() (runs int, tasks int, meanFlow float64) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status = %d", resp.StatusCode)
+		}
+		var out struct {
+			Runs     int     `json:"runs"`
+			Tasks    int     `json:"tasks"`
+			MeanFlow float64 `json:"meanFlow"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Runs, out.Tasks, out.MeanFlow
+	}
+
+	if runs, tasks, _ := readMetrics(); runs != 0 || tasks != 0 {
+		t.Fatalf("fresh server reports runs=%d tasks=%d", runs, tasks)
+	}
+
+	post := func(stream bool) {
+		t.Helper()
+		spec := testSpec()
+		spec.Stream = stream
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(srv.URL+"/v1/loadtest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("loadtest status = %d", resp.StatusCode)
+		}
+	}
+	post(false)
+	post(true) // one slice run, one streaming run: both must fold in
+	runs, tasks, meanFlow := readMetrics()
+	if runs != 2 || tasks != 800 || meanFlow <= 0 {
+		t.Errorf("metrics after two runs: runs=%d tasks=%d meanFlow=%g", runs, tasks, meanFlow)
 	}
 }

@@ -70,11 +70,15 @@ Commands:
   loadtest    drive the online arrival-driven engine under sustained
               multi-tenant load across concurrent shards (WDEQ, DEQ,
               weight-greedy, smith-ratio; see examples/onlineload for a
-              runnable WDEQ-vs-DEQ comparison)
+              runnable WDEQ-vs-DEQ comparison). -stream runs in O(alive)
+              memory (use it for -n in the millions), -trace-out/-trace-in
+              record and replay JSONL arrival traces, and a perf footer on
+              stderr reports wall tasks/sec, allocs/task and peak heap
   bench       run the pinned performance scenarios, write the JSON report,
               and optionally gate on a baseline (-baseline BENCH_baseline.json
               -max-regress 0.25); CI runs this on every push
-  serve       expose solve and loadtest over an HTTP API
+  serve       expose solve and loadtest over an HTTP API, with cumulative
+              run counters on GET /v1/metrics
 
 Run "mwct <command> -h" for the flags of each command.
 `)

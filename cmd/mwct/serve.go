@@ -8,28 +8,69 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	malleable "github.com/malleable-sched/malleable"
+	"github.com/malleable-sched/malleable/internal/engine"
 	"github.com/malleable-sched/malleable/internal/schedule"
 )
 
 // newServeMux builds the HTTP API of `mwct serve`:
 //
 //	GET  /healthz              liveness probe
+//	GET  /v1/metrics           cumulative counters over every load test served
 //	POST /v1/solve?algo=NAME   schedule a JSON instance, return completions
 //	POST /v1/loadtest          run a sharded online load test (loadtestSpec)
 //
-// The handler is pure (no global state), so tests drive it through
-// net/http/httptest.
+// Each mux owns its own metrics state (nothing global), so tests drive
+// independent instances through net/http/httptest.
 func newServeMux() *http.ServeMux {
+	metrics := &serveMetrics{agg: engine.NewAggregateSink()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v1/metrics", metrics.handle)
 	mux.HandleFunc("POST /v1/solve", handleSolve)
-	mux.HandleFunc("POST /v1/loadtest", handleLoadtest)
+	mux.HandleFunc("POST /v1/loadtest", func(w http.ResponseWriter, r *http.Request) {
+		handleLoadtest(w, r, metrics)
+	})
 	return mux
+}
+
+// serveMetrics accumulates every served load test into one AggregateSink —
+// the process-lifetime counters behind GET /v1/metrics. The sink itself is
+// mergeable, so folding each run's merged shard aggregate in keeps the
+// cumulative mean flow exact without retaining anything per task or per run.
+type serveMetrics struct {
+	mu   sync.Mutex
+	runs int
+	agg  *engine.AggregateSink
+}
+
+// record folds one completed load test into the counters.
+func (m *serveMetrics) record(res *engine.LoadResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runs++
+	m.agg.Merge(res.Aggregate)
+}
+
+// handle implements GET /v1/metrics. The counters are snapshotted under the
+// lock but written after releasing it, so a slow-reading metrics client
+// cannot stall load tests trying to record their results.
+func (m *serveMetrics) handle(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	snapshot := map[string]any{
+		"runs":         m.runs,
+		"tasks":        m.agg.Tasks(),
+		"meanFlow":     m.agg.MeanFlow(),
+		"weightedFlow": m.agg.WeightedFlow(),
+		"perTenant":    m.agg.PerTenant(),
+	}
+	m.mu.Unlock()
+	writeJSON(w, http.StatusOK, snapshot)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -103,8 +144,11 @@ const (
 
 // handleLoadtest runs a sharded online load test described by a JSON
 // loadtestSpec body and returns the merged engine.LoadResult (without the
-// per-task rows, which would dwarf the response).
-func handleLoadtest(w http.ResponseWriter, r *http.Request) {
+// per-task rows, which would dwarf the response). A spec with "stream":true
+// runs the O(alive)-memory streaming path — the recommended mode for large
+// network-submitted tests. Every successful run is folded into the server's
+// /v1/metrics counters.
+func handleLoadtest(w http.ResponseWriter, r *http.Request, metrics *serveMetrics) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxServeBodyBytes)
 	spec := loadtestSpec{
 		Policy:  "wdeq",
@@ -135,13 +179,14 @@ func handleLoadtest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	metrics.record(res)
 	// Strip the per-task metrics before serializing; keep the aggregates.
 	shards := make([]map[string]any, len(res.Shards))
 	for i, run := range res.Shards {
 		shards[i] = map[string]any{
 			"shard":        run.Shard,
 			"seed":         run.Seed,
-			"tasks":        len(run.Result.Tasks),
+			"tasks":        run.Result.Completed,
 			"events":       run.Result.Events,
 			"maxAlive":     run.Result.MaxAlive,
 			"makespan":     run.Result.Makespan,
@@ -159,6 +204,7 @@ func handleLoadtest(w http.ResponseWriter, r *http.Request) {
 		"weightedFlow": res.WeightedFlow,
 		"throughput":   res.Throughput,
 		"flow":         res.Flow,
+		"flowApprox":   res.FlowApprox,
 		"perTenant":    res.PerTenant,
 		"shards":       shards,
 	})

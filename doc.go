@@ -37,6 +37,14 @@
 //     engines concurrently with reproducible per-shard seeds — the
 //     sustained-load, weighted flow-time setting the paper's non-clairvoyant
 //     algorithms were designed for;
+//   - RunOnlineStream and RunOnlineShardsStream, the constant-memory form of
+//     the same kernel: arrivals are pulled lazily from an ArrivalStream
+//     (StreamArrivals generates one; NewArrivalTraceReader replays a recorded
+//     JSONL trace) and per-task outcomes flow into pluggable MetricSinks —
+//     a per-tenant AggregateSink, a fixed-size mergeable QuantileSink for
+//     flow p50/p99, or a FullSink when retention is wanted — so a run's
+//     memory is O(alive tasks + sink size), independent of how many tasks
+//     stream through;
 //   - SpeedupModel, the kernel's pluggable processing-rate model: the
 //     paper's linear-cap speedup is the default, and ParseSpeedupModel
 //     resolves concave power-law and Amdahl models (with optional per-task

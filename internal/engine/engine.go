@@ -25,7 +25,6 @@ import (
 
 	"github.com/malleable-sched/malleable/internal/schedule"
 	"github.com/malleable-sched/malleable/internal/speedup"
-	"github.com/malleable-sched/malleable/internal/stats"
 )
 
 // Arrival is one task of an online workload: the task itself, the time it
@@ -168,7 +167,15 @@ type Result struct {
 	// Model is the name of the speedup model the run used.
 	Model string `json:"model,omitempty"`
 	// Tasks holds the per-task metrics, indexed by arrival-stream position.
+	// Only the slice entry points (Run, RunInto — the full-retention
+	// compatibility path) populate it; streaming runs leave it empty and
+	// deliver per-task rows to the run's MetricSink instead, so a run's
+	// memory stays O(alive tasks).
 	Tasks []TaskMetrics `json:"tasks,omitempty"`
+	// Completed is the number of tasks that completed. It equals len(Tasks)
+	// on the retention path and is the only per-task count a streaming run
+	// keeps.
+	Completed int `json:"completed"`
 	// Events is the number of policy invocations.
 	Events int `json:"events"`
 	// MaxAlive is the largest alive-set size observed (the peak backlog).
@@ -191,18 +198,20 @@ func (r *Result) Throughput() float64 {
 	if r.Makespan <= 0 {
 		return 0
 	}
-	return float64(len(r.Tasks)) / r.Makespan
+	return float64(r.Completed) / r.Makespan
 }
 
 // MeanFlow returns the mean flow time.
 func (r *Result) MeanFlow() float64 {
-	if len(r.Tasks) == 0 {
+	if r.Completed == 0 {
 		return 0
 	}
-	return r.TotalFlow / float64(len(r.Tasks))
+	return r.TotalFlow / float64(r.Completed)
 }
 
-// FlowTimes returns the flow time of every task, in arrival-stream order.
+// FlowTimes returns the flow time of every task, in arrival-stream order. It
+// reads the retained Tasks table, so it is empty for streaming runs — use a
+// SketchSink for flow quantiles there.
 func (r *Result) FlowTimes() []float64 {
 	out := make([]float64, len(r.Tasks))
 	for i, t := range r.Tasks {
@@ -211,45 +220,12 @@ func (r *Result) FlowTimes() []float64 {
 	return out
 }
 
-// PerTenant aggregates the per-task metrics by tenant, sorted by tenant index.
+// PerTenant aggregates the retained per-task metrics by tenant, sorted by
+// tenant index. Streaming runs aggregate through an AggregateSink instead.
 func (r *Result) PerTenant() []TenantMetrics {
-	flows, weighted := r.tenantAccumulators()
-	return tenantMetrics(flows, weighted)
-}
-
-// tenantAccumulators folds the per-task flow times into one accumulator (and
-// one weighted-flow sum) per tenant. The sharded driver calls this inside
-// each shard's goroutine and merges the partials in shard order.
-func (r *Result) tenantAccumulators() (map[int]*stats.Accumulator, map[int]float64) {
-	flows := map[int]*stats.Accumulator{}
-	weighted := map[int]float64{}
-	for _, t := range r.Tasks {
-		acc := flows[t.Tenant]
-		if acc == nil {
-			acc = &stats.Accumulator{}
-			flows[t.Tenant] = acc
-		}
-		acc.Add(t.Flow)
-		weighted[t.Tenant] += t.Weight * t.Flow
-	}
-	return flows, weighted
-}
-
-// tenantMetrics renders per-tenant accumulators as a sorted metrics slice.
-func tenantMetrics(flows map[int]*stats.Accumulator, weighted map[int]float64) []TenantMetrics {
-	out := make([]TenantMetrics, 0, len(flows))
-	for tenant, acc := range flows {
-		out = append(out, TenantMetrics{
-			Tenant:       tenant,
-			Tasks:        acc.Count(),
-			WeightedFlow: weighted[tenant],
-			MeanFlow:     acc.Mean(),
-			StdFlow:      acc.StdDev(),
-			MaxFlow:      acc.Max(),
-		})
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Tenant < out[b].Tenant })
-	return out
+	agg := NewAggregateSink()
+	agg.ObserveResult(r)
+	return agg.PerTenant()
 }
 
 // Options tunes a run.
@@ -292,24 +268,41 @@ func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) 
 	return NewRunner().RunWithOptions(p, policy, arrivals, opts)
 }
 
-// Runner owns the reusable scratch of the engine event loop: the arrival
-// order, per-task progress vectors, the alive index, the policy's view of the
-// alive set, the allocation output buffer and the per-event rate vector.
-// After a first run has grown the buffers, subsequent runs of similar size
-// perform zero heap allocations per event in steady state (and zero per run
-// when combined with RunInto).
+// liveTask is one alive task's slot in the Runner scratch: the arrival it
+// was admitted from plus its integration state. The kernel holds exactly one
+// liveTask per alive task and nothing per retired or pending task — that is
+// the O(alive) memory contract of the streaming refactor.
+type liveTask struct {
+	arr                  Arrival
+	id                   int
+	remaining, processed float64
+}
+
+// Runner owns the reusable scratch of the engine event loop: the alive-task
+// slots, the policy's view of the alive set, the allocation output buffer,
+// the per-event rate vector, and (for the slice path) the arrival order.
+// After a first run has grown the buffers, subsequent runs of similar
+// backlog perform zero heap allocations per event in steady state (and zero
+// per run when combined with RunInto).
+//
+// Scratch scales with the peak alive-set size, not the stream length: a
+// ten-million-task streaming run with a bounded backlog reuses the same few
+// slots for the whole run.
 //
 // A Runner is NOT safe for concurrent use; create one per goroutine (the
 // sharded driver does exactly that). The zero value is ready to use.
 type Runner struct {
-	order     []int
-	remaining []float64
-	processed []float64
-	alive     []int
-	states    []TaskState
-	alloc     []float64
-	rates     []float64
-	sorter    arrivalSorter
+	order  []int
+	live   []liveTask
+	states []TaskState
+	alloc  []float64
+	rates  []float64
+	sorter arrivalSorter
+
+	// Reusable source and sink adapters of the two entry points.
+	slice   sliceSource
+	checked checkedStream
+	tasks   resultSink
 
 	// policySrc/policyRun cache the per-run clone of scratch-holding
 	// policies (RunCloner), so repeated runs with the same policy value skip
@@ -372,19 +365,13 @@ func samePolicy(a, b Policy) bool {
 // Decisions) storage is reused, so a warmed Runner driving the same res
 // performs no heap allocation at all for untraced runs.
 //
-// The loop advances from event to event: at every arrival, completion or
-// capacity change the alive set is updated and the policy is re-invoked once
-// — simultaneous events at the same instant are coalesced, which is the
-// event granularity of the paper's model. Between events every alive task i
-// processes Model.Rate(shape_i, alloc_i)·dt units of work; under the default
-// LinearCap model that is exactly the paper's alloc_i·dt. Completed tasks
-// are retired from the alive index by swap-delete: order within the index is
-// not meaningful (policies rank tasks themselves), so compaction is O(1) per
-// completion instead of an O(alive) rebuild.
+// This is the full-retention compatibility path: the whole slice is
+// validated up front, sorted by release date if needed (ties broken by slice
+// position, and task IDs always keep their slice positions), and every
+// per-task row lands in res.Tasks. Callers that can consume arrivals lazily
+// should use RunStreamInto with a MetricSink instead and keep memory
+// O(alive tasks).
 func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arrival, opts Options) error {
-	if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
-		return fmt.Errorf("engine: platform capacity must be positive and finite, got %g", p)
-	}
 	n := len(arrivals)
 	if n == 0 {
 		return fmt.Errorf("engine: empty arrival stream")
@@ -395,6 +382,113 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 		}
 	}
 
+	// Process arrivals in release order; ties broken by stream position so
+	// runs are deterministic. Generators emit sorted streams, so the sort is
+	// skipped entirely in the common case.
+	presorted := true
+	for i := 1; i < n; i++ {
+		if arrivals[i].Release < arrivals[i-1].Release {
+			presorted = false
+			break
+		}
+	}
+	var order []int
+	if !presorted {
+		r.order = r.order[:0]
+		for i := 0; i < n; i++ {
+			r.order = append(r.order, i)
+		}
+		// The comparator is a total order (ties fall back to the stream
+		// position), so the unstable sort is deterministic.
+		r.sorter = arrivalSorter{order: r.order, arrivals: arrivals}
+		sort.Sort(&r.sorter)
+		r.sorter.arrivals = nil
+		order = r.order
+	}
+	r.slice = sliceSource{arrivals: arrivals, order: order}
+
+	// Reset the result's task table, keeping the storage it already owns.
+	tasks := res.Tasks
+	if cap(tasks) < n {
+		tasks = make([]TaskMetrics, n)
+	} else {
+		tasks = tasks[:n]
+		for i := range tasks {
+			tasks[i] = TaskMetrics{}
+		}
+	}
+	r.tasks.tasks = tasks
+	err := r.runCore(res, p, policy, &r.slice, &r.tasks, opts, tasks)
+	r.slice = sliceSource{}
+	r.tasks.tasks = nil
+	return err
+}
+
+// RunStream executes the policy on a pulled arrival stream with default
+// options, delivering per-task rows to sink (which may be nil to discard
+// them). See Runner.RunStreamInto.
+func RunStream(p float64, policy Policy, stream ArrivalStream, sink MetricSink) (*Result, error) {
+	return NewRunner().RunStream(p, policy, stream, sink)
+}
+
+// RunStreamWithOptions is RunStream with explicit options.
+func RunStreamWithOptions(p float64, policy Policy, stream ArrivalStream, sink MetricSink, opts Options) (*Result, error) {
+	return NewRunner().RunStreamWithOptions(p, policy, stream, sink, opts)
+}
+
+// RunStream executes the policy on a pulled arrival stream with default
+// options.
+func (r *Runner) RunStream(p float64, policy Policy, stream ArrivalStream, sink MetricSink) (*Result, error) {
+	return r.RunStreamWithOptions(p, policy, stream, sink, Options{})
+}
+
+// RunStreamWithOptions executes the policy on a pulled arrival stream and
+// returns a freshly allocated Result.
+func (r *Runner) RunStreamWithOptions(p float64, policy Policy, stream ArrivalStream, sink MetricSink, opts Options) (*Result, error) {
+	res := &Result{}
+	if err := r.RunStreamInto(res, p, policy, stream, sink, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunStreamInto is the streaming entry point of the kernel: arrivals are
+// pulled lazily from the stream (one look-ahead, validated and
+// order-checked at the boundary), only alive tasks occupy scratch, and each
+// completed task is handed to sink exactly once instead of being retained —
+// so the memory of a run is O(peak alive tasks + sink size), independent of
+// the stream length. res receives the aggregate metrics (Completed, Events,
+// Makespan, flow sums); res.Tasks stays empty. sink may be nil to keep only
+// the aggregates.
+//
+// Like RunInto, a warmed Runner driving a reused res (with sinks that do not
+// allocate in steady state, like a warmed AggregateSink or SketchSink)
+// performs no heap allocation per event.
+func (r *Runner) RunStreamInto(res *Result, p float64, policy Policy, stream ArrivalStream, sink MetricSink, opts Options) error {
+	if stream == nil {
+		return fmt.Errorf("engine: nil arrival stream")
+	}
+	r.checked = checkedStream{stream: stream}
+	err := r.runCore(res, p, policy, &r.checked, sink, opts, res.Tasks[:0])
+	r.checked = checkedStream{}
+	return err
+}
+
+// runCore is the single event loop behind both entry points.
+//
+// The loop advances from event to event: at every arrival, completion or
+// capacity change the alive set is updated and the policy is re-invoked once
+// — simultaneous events at the same instant are coalesced, which is the
+// event granularity of the paper's model. Between events every alive task i
+// processes Model.Rate(shape_i, alloc_i)·dt units of work; under the default
+// LinearCap model that is exactly the paper's alloc_i·dt. Completed tasks
+// are retired from the alive slots by swap-delete: order within the slots is
+// not meaningful (policies rank tasks themselves), so compaction is O(1) per
+// completion instead of an O(alive) rebuild.
+func (r *Runner) runCore(res *Result, p float64, policy Policy, src arrivalSource, sink MetricSink, opts Options, tasks []TaskMetrics) error {
+	if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
+		return fmt.Errorf("engine: platform capacity must be positive and finite, got %g", p)
+	}
 	model := opts.model()
 	if opts.Model != nil {
 		// Probe non-default models once per run: a model violating the Rate
@@ -407,112 +501,83 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 		}
 	}
 	budgeter, _ := model.(speedup.Budgeter)
-
-	// Reset the result, keeping the storage it already owns.
-	tasks := res.Tasks
-	if cap(tasks) < n {
-		tasks = make([]TaskMetrics, n)
-	} else {
-		tasks = tasks[:n]
-		for i := range tasks {
-			tasks[i] = TaskMetrics{}
-		}
+	budgetBound := 0
+	if budgeter != nil {
+		// Each capacity step is crossed at most once (time strictly
+		// increases between events), so the bound stays finite.
+		budgetBound = budgeter.BudgetEventBound()
 	}
+
 	*res = Result{Policy: policy.Name(), P: p, Model: model.Name(), Tasks: tasks, Decisions: res.Decisions[:0]}
 	trace := opts.TraceDecisions
 
 	runPolicy := r.instantiate(policy)
 
-	// Process arrivals in release order; ties broken by stream position so
-	// runs are deterministic. Generators emit sorted streams, so the sort is
-	// skipped entirely in the common case.
-	r.order = r.order[:0]
-	for i := 0; i < n; i++ {
-		r.order = append(r.order, i)
-	}
-	presorted := true
-	for i := 1; i < n; i++ {
-		if arrivals[i].Release < arrivals[i-1].Release {
-			presorted = false
-			break
-		}
-	}
-	if !presorted {
-		// The comparator is a total order (ties fall back to the stream
-		// position), so the unstable sort is deterministic.
-		r.sorter = arrivalSorter{order: r.order, arrivals: arrivals}
-		sort.Sort(&r.sorter)
-		r.sorter.arrivals = nil
-	}
-
-	maxEvents := opts.MaxEvents
-	if maxEvents <= 0 {
-		maxEvents = 4*n + 64
-		if budgeter != nil {
-			// Each capacity step is crossed at most once (time strictly
-			// increases between events), so the bound stays finite.
-			maxEvents += budgeter.BudgetEventBound()
-		}
-	}
-
-	r.remaining = r.remaining[:0]
-	r.processed = r.processed[:0]
-	for i := range arrivals {
-		r.remaining = append(r.remaining, arrivals[i].Task.Volume)
-		r.processed = append(r.processed, 0)
-	}
-	remaining, processed := r.remaining, r.processed
-	tol := func(i int) float64 { return 1e-9 * math.Max(1, arrivals[i].Task.Volume) }
-
-	r.alive = r.alive[:0]
+	r.live = r.live[:0]
 	now := 0.0
-	next := 0 // index into order of the next pending arrival
-	done := 0
+	admitted := 0
 
-	for next < n || len(r.alive) > 0 {
+	// One look-ahead into the source: `pending` is the next arrival not yet
+	// released. Everything before it has been admitted; everything after it
+	// has not been pulled — that look-ahead is the entire input-side memory.
+	pending, pendingID, havePending, err := src.next()
+	if err != nil {
+		return err
+	}
+	if !havePending {
+		return fmt.Errorf("engine: empty arrival stream")
+	}
+
+	for havePending || len(r.live) > 0 {
 		// Admit every arrival released by now, then retire every task whose
 		// volume is exhausted (including zero-volume tasks that were just
 		// admitted). Doing both before the policy call coalesces simultaneous
 		// arrivals and completions into one event.
-		for next < n && arrivals[r.order[next]].Release <= now {
-			r.alive = append(r.alive, r.order[next])
-			next++
+		for havePending && pending.Release <= now {
+			r.live = append(r.live, liveTask{arr: pending, id: pendingID, remaining: pending.Task.Volume})
+			admitted++
+			pending, pendingID, havePending, err = src.next()
+			if err != nil {
+				return err
+			}
 		}
-		for k := 0; k < len(r.alive); {
-			i := r.alive[k]
-			if remaining[i] > tol(i) {
+		for k := 0; k < len(r.live); {
+			lt := &r.live[k]
+			if lt.remaining > 1e-9*math.Max(1, lt.arr.Task.Volume) {
 				k++
 				continue
 			}
-			a := arrivals[i]
-			res.Tasks[i] = TaskMetrics{
-				ID:         i,
-				Tenant:     a.Tenant,
-				Weight:     a.Task.Weight,
-				Release:    a.Release,
+			m := TaskMetrics{
+				ID:         lt.id,
+				Tenant:     lt.arr.Tenant,
+				Weight:     lt.arr.Task.Weight,
+				Release:    lt.arr.Release,
 				Completion: now,
-				Flow:       now - a.Release,
-				Processed:  processed[i],
+				Flow:       now - lt.arr.Release,
+				Processed:  lt.processed,
 			}
-			res.WeightedFlow += a.Task.Weight * (now - a.Release)
-			res.WeightedCompletion += a.Task.Weight * now
-			res.TotalFlow += now - a.Release
+			if sink != nil {
+				sink.Observe(m)
+			}
+			res.WeightedFlow += m.Weight * m.Flow
+			res.WeightedCompletion += m.Weight * now
+			res.TotalFlow += m.Flow
 			if now > res.Makespan {
 				res.Makespan = now
 			}
-			done++
-			last := len(r.alive) - 1
-			r.alive[k] = r.alive[last]
-			r.alive = r.alive[:last]
+			res.Completed++
+			last := len(r.live) - 1
+			r.live[k] = r.live[last]
+			r.live = r.live[:last]
 		}
-		if len(r.alive) > res.MaxAlive {
-			res.MaxAlive = len(r.alive)
+		if len(r.live) > res.MaxAlive {
+			res.MaxAlive = len(r.live)
 		}
-		if len(r.alive) == 0 {
-			if next >= n {
+		if len(r.live) == 0 {
+			if !havePending {
 				break
 			}
-			now = arrivals[r.order[next]].Release
+			now = pending.Release
 			continue
 		}
 
@@ -527,21 +592,29 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 		}
 
 		res.Events++
+		// The safety bound grows with the admitted prefix (a correct run
+		// needs at most 3 events per admitted task), so it needs no advance
+		// knowledge of the stream length.
+		maxEvents := opts.MaxEvents
+		if maxEvents <= 0 {
+			maxEvents = 4*admitted + 64 + budgetBound
+		}
 		if res.Events > maxEvents {
-			return fmt.Errorf("engine: policy %q did not finish after %d events (%d of %d tasks done at time %g)",
-				policy.Name(), res.Events, done, n, now)
+			return fmt.Errorf("engine: policy %q did not finish after %d events (%d of %d admitted tasks done at time %g)",
+				policy.Name(), res.Events, res.Completed, admitted, now)
 		}
 		r.states = r.states[:0]
-		for _, i := range r.alive {
+		for i := range r.live {
+			lt := &r.live[i]
 			r.states = append(r.states, TaskState{
-				ID:        i,
-				Tenant:    arrivals[i].Tenant,
-				Release:   arrivals[i].Release,
-				Weight:    arrivals[i].Task.Weight,
-				Delta:     math.Min(arrivals[i].Task.Delta, budget),
-				Curve:     arrivals[i].Task.Curve,
-				Processed: processed[i],
-				Remaining: remaining[i],
+				ID:        lt.id,
+				Tenant:    lt.arr.Tenant,
+				Release:   lt.arr.Release,
+				Weight:    lt.arr.Task.Weight,
+				Delta:     math.Min(lt.arr.Task.Delta, budget),
+				Curve:     lt.arr.Task.Curve,
+				Processed: lt.processed,
+				Remaining: lt.remaining,
 			})
 		}
 		r.alloc = runPolicy.Allocate(budget, r.states, r.alloc[:0])
@@ -550,11 +623,11 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 			return fmt.Errorf("engine: policy %q: %w", policy.Name(), err)
 		}
 		if trace {
-			res.Decisions = append(res.Decisions, Decision{
-				Time:  now,
-				Alive: append([]int(nil), r.alive...),
-				Alloc: append([]float64(nil), alloc...),
-			})
+			d := Decision{Time: now, Alloc: append([]float64(nil), alloc...)}
+			for i := range r.live {
+				d.Alive = append(d.Alive, r.live[i].id)
+			}
+			res.Decisions = append(res.Decisions, d)
 		}
 
 		// Advance to the next event: the earliest completion under the
@@ -569,7 +642,7 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 		dt := math.Inf(1)
 		snap := math.NaN()
 		r.rates = r.rates[:0]
-		for k, i := range r.alive {
+		for k := range r.live {
 			rate := 0.0
 			if alloc[k] > 0 {
 				rate = model.Rate(r.states[k].shape(), alloc[k])
@@ -578,12 +651,12 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 			if rate <= 0 {
 				continue
 			}
-			if d := remaining[i] / rate; d < dt {
+			if d := r.live[k].remaining / rate; d < dt {
 				dt = d
 			}
 		}
-		if next < n {
-			if rel := arrivals[r.order[next]].Release; rel-now < dt {
+		if havePending {
+			if rel := pending.Release; rel-now < dt {
 				dt = rel - now
 				snap = rel
 			}
@@ -599,12 +672,12 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 		if math.IsInf(dt, 1) {
 			return fmt.Errorf("engine: policy %q starves all remaining tasks at time %g with no pending arrivals", policy.Name(), now)
 		}
-		for k, i := range r.alive {
+		for k := range r.live {
 			if r.rates[k] <= 0 {
 				continue
 			}
-			remaining[i] -= r.rates[k] * dt
-			processed[i] += r.rates[k] * dt
+			r.live[k].remaining -= r.rates[k] * dt
+			r.live[k].processed += r.rates[k] * dt
 		}
 		now += dt
 		if !math.IsNaN(snap) {

@@ -2,17 +2,21 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/malleable-sched/malleable/internal/stats"
 )
 
-// ArrivalSource produces the arrival stream of one shard. The seed passed in
-// is already derived from the base seed and the shard index (see ShardSeed),
-// so a source only has to be deterministic in (shard, seed) for the whole
-// sharded run to be reproducible.
+// ArrivalSource produces the arrival stream of one shard as a materialized
+// slice. The seed passed in is already derived from the base seed and the
+// shard index (see ShardSeed), so a source only has to be deterministic in
+// (shard, seed) for the whole sharded run to be reproducible.
 type ArrivalSource func(shard int, seed int64) ([]Arrival, error)
+
+// StreamSource is the pull form of ArrivalSource: it produces one shard's
+// ArrivalStream, so the shard never materializes its workload. It is the
+// input side of RunShardsStream.
+type StreamSource func(shard int, seed int64) (ArrivalStream, error)
 
 // ShardRun is the outcome of one shard of a sharded run.
 type ShardRun struct {
@@ -20,7 +24,8 @@ type ShardRun struct {
 	Shard int `json:"shard"`
 	// Seed is the derived seed the shard's arrival stream was drawn with.
 	Seed int64 `json:"seed"`
-	// Result is the shard's engine result.
+	// Result is the shard's engine result. Under RunShards it retains the
+	// per-task rows; under RunShardsStream it carries aggregates only.
 	Result *Result `json:"result"`
 }
 
@@ -41,13 +46,25 @@ type LoadResult struct {
 	Makespan float64 `json:"makespan"`
 	// WeightedFlow is Σ w_i·F_i across all shards.
 	WeightedFlow float64 `json:"weightedFlow"`
+	// TotalFlow is Σ F_i across all shards.
+	TotalFlow float64 `json:"totalFlow"`
 	// Throughput is TotalTasks divided by Makespan: the aggregate completion
 	// rate of the fleet while the slowest shard was still draining.
 	Throughput float64 `json:"throughput"`
-	// Flow summarizes the flow times of every task of every shard.
+	// Flow summarizes the flow times of every task of every shard. RunShards
+	// computes the quantiles exactly from the retained samples;
+	// RunShardsStream reports them from the merged quantile sketch (within
+	// stats.DefaultSketchAlpha relative accuracy), flagged by FlowApprox.
 	Flow stats.Summary `json:"flow"`
+	// FlowApprox reports that the Flow quantiles come from a sketch.
+	FlowApprox bool `json:"flowApprox,omitempty"`
 	// PerTenant aggregates tenants across shards, sorted by tenant index.
 	PerTenant []TenantMetrics `json:"perTenant"`
+	// Aggregate is the merged streaming aggregate of every shard — the same
+	// numbers as the fields above plus the per-tenant accumulators, in
+	// mergeable form. Long-running callers (mwct serve) fold it into
+	// cumulative counters across many load tests.
+	Aggregate *AggregateSink `json:"-"`
 }
 
 // ShardSeed derives a per-shard seed from the base seed with a splitmix64
@@ -74,14 +91,71 @@ func RunShards(p float64, policy Policy, source ArrivalSource, shards int, baseS
 // whole fleet. The model, like the policy, is shared across shard goroutines
 // and must be safe for concurrent use (all bundled models are stateless).
 func RunShardsWithOptions(p float64, policy Policy, source ArrivalSource, shards int, baseSeed int64, opts Options) (*LoadResult, error) {
+	if source == nil {
+		return nil, fmt.Errorf("engine: nil arrival source")
+	}
+	return runShards(p, policy, shards, baseSeed, func(s int, seed int64) (*Result, *AggregateSink, *SketchSink, error) {
+		arrivals, err := source(s, seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// One Runner per shard goroutine: the scratch buffers are not
+		// safe to share, and per-goroutine reuse keeps the hot loop
+		// allocation-free.
+		res, err := NewRunner().RunWithOptions(p, policy, arrivals, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		agg := NewAggregateSink()
+		agg.ObserveResult(res)
+		return res, agg, nil, nil
+	})
+}
+
+// RunShardsStream is the streaming form of RunShards: each shard pulls its
+// arrivals from a StreamSource and summarizes them through an AggregateSink
+// plus a flow-quantile SketchSink, so the whole fleet runs in memory
+// O(shards · (alive tasks + sink size)) no matter how long the streams are.
+// Per-task rows are not retained anywhere; the merged LoadResult reports
+// sketch-based flow quantiles (FlowApprox).
+func RunShardsStream(p float64, policy Policy, source StreamSource, shards int, baseSeed int64) (*LoadResult, error) {
+	return RunShardsStreamWithOptions(p, policy, source, shards, baseSeed, Options{})
+}
+
+// RunShardsStreamWithOptions is RunShardsStream with explicit per-run
+// Options, shared by every shard.
+func RunShardsStreamWithOptions(p float64, policy Policy, source StreamSource, shards int, baseSeed int64, opts Options) (*LoadResult, error) {
+	if source == nil {
+		return nil, fmt.Errorf("engine: nil stream source")
+	}
+	return runShards(p, policy, shards, baseSeed, func(s int, seed int64) (*Result, *AggregateSink, *SketchSink, error) {
+		stream, err := source(s, seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		agg := NewAggregateSink()
+		sk := NewSketchSink(0)
+		res, err := NewRunner().RunStreamWithOptions(p, policy, stream, MultiSink(agg, sk), opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return res, agg, sk, nil
+	})
+}
+
+// runShards is the concurrent scaffolding shared by the slice and streaming
+// drivers: one goroutine per shard executing runOne, panics contained as
+// shard errors, and a deterministic shard-order merge of the partials.
+func runShards(p float64, policy Policy, shards int, baseSeed int64,
+	runOne func(shard int, seed int64) (*Result, *AggregateSink, *SketchSink, error)) (*LoadResult, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("engine: need at least one shard, got %d", shards)
 	}
 	runs := make([]ShardRun, shards)
-	// Per-shard tenant partials, folded inside the shard goroutines so the
-	// merge goroutine only combines accumulators.
-	tenantParts := make([]map[int]*stats.Accumulator, shards)
-	weightedParts := make([]map[int]float64, shards)
+	// Per-shard partials, folded inside the shard goroutines so the merge
+	// only combines accumulators (and sketches, on the streaming path).
+	aggs := make([]*AggregateSink, shards)
+	sketches := make([]*SketchSink, shards)
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
@@ -97,21 +171,13 @@ func RunShardsWithOptions(p float64, policy Policy, source ArrivalSource, shards
 				}
 			}()
 			seed := ShardSeed(baseSeed, s)
-			arrivals, err := source(s, seed)
-			if err != nil {
-				errs[s] = fmt.Errorf("shard %d: %w", s, err)
-				return
-			}
-			// One Runner per shard goroutine: the scratch buffers are not
-			// safe to share, and per-goroutine reuse keeps the hot loop
-			// allocation-free.
-			res, err := NewRunner().RunWithOptions(p, policy, arrivals, opts)
+			res, agg, sk, err := runOne(s, seed)
 			if err != nil {
 				errs[s] = fmt.Errorf("shard %d: %w", s, err)
 				return
 			}
 			runs[s] = ShardRun{Shard: s, Seed: seed, Result: res}
-			tenantParts[s], weightedParts[s] = res.tenantAccumulators()
+			aggs[s], sketches[s] = agg, sk
 		}(s)
 	}
 	wg.Wait()
@@ -120,46 +186,51 @@ func RunShardsWithOptions(p float64, policy Policy, source ArrivalSource, shards
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 	}
-	return mergeShards(p, policy.Name(), runs, tenantParts, weightedParts), nil
+	return mergeShards(p, policy.Name(), runs, aggs, sketches)
 }
 
 // mergeShards folds the per-shard results into a LoadResult. Everything is
-// iterated in shard order, so the merge is deterministic: flow samples
-// concatenate for exact quantiles, and the tenant partials produced by the
-// shard goroutines combine through Accumulator.Merge.
-func mergeShards(p float64, policy string, runs []ShardRun, tenantParts []map[int]*stats.Accumulator, weightedParts []map[int]float64) *LoadResult {
+// iterated in shard order, so the merge is deterministic. On the slice path
+// (no sketches) the flow samples concatenate for exact quantiles; on the
+// streaming path the sketches merge instead and the quantiles carry the
+// sketch accuracy.
+func mergeShards(p float64, policy string, runs []ShardRun, aggs []*AggregateSink, sketches []*SketchSink) (*LoadResult, error) {
 	out := &LoadResult{Policy: policy, P: p, Shards: runs}
+	agg := NewAggregateSink()
+	streaming := sketches[0] != nil
 	var flows []float64
-	tenantAcc := map[int]*stats.Accumulator{}
-	tenantWF := map[int]float64{}
+	var sketch *SketchSink
+	if streaming {
+		sketch = NewSketchSink(0)
+	}
 	for s, run := range runs {
 		r := run.Result
-		out.TotalTasks += len(r.Tasks)
+		out.TotalTasks += r.Completed
 		out.Events += r.Events
 		out.WeightedFlow += r.WeightedFlow
+		out.TotalFlow += r.TotalFlow
 		if r.Makespan > out.Makespan {
 			out.Makespan = r.Makespan
 		}
-		flows = append(flows, r.FlowTimes()...)
-		// Visit the shard's tenants in ascending order so the floating-point
-		// merge sequence is a pure function of the inputs.
-		tenants := make([]int, 0, len(tenantParts[s]))
-		for t := range tenantParts[s] {
-			tenants = append(tenants, t)
-		}
-		sort.Ints(tenants)
-		for _, t := range tenants {
-			if tenantAcc[t] == nil {
-				tenantAcc[t] = &stats.Accumulator{}
+		agg.Merge(aggs[s])
+		if streaming {
+			if err := sketch.Merge(sketches[s]); err != nil {
+				return nil, fmt.Errorf("engine: merging shard %d flow sketch: %w", s, err)
 			}
-			tenantAcc[t].Merge(tenantParts[s][t])
-			tenantWF[t] += weightedParts[s][t]
+		} else {
+			flows = append(flows, r.FlowTimes()...)
 		}
 	}
 	if out.Makespan > 0 {
 		out.Throughput = float64(out.TotalTasks) / out.Makespan
 	}
-	out.Flow = stats.Summarize(flows)
-	out.PerTenant = tenantMetrics(tenantAcc, tenantWF)
-	return out
+	if streaming {
+		out.Flow = FlowSummary(agg, sketch)
+		out.FlowApprox = true
+	} else {
+		out.Flow = stats.Summarize(flows)
+	}
+	out.PerTenant = agg.PerTenant()
+	out.Aggregate = agg
+	return out, nil
 }

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"sort"
+
+	"github.com/malleable-sched/malleable/internal/stats"
+)
+
+// MetricSink consumes per-task outcomes as tasks retire from the event loop.
+// It is the output half of the streaming contract: instead of the engine
+// unconditionally retaining a TaskMetrics row per task (O(total tasks)
+// memory), a run is handed a sink and decides what survives — a fixed-size
+// aggregate, a quantile sketch, the full table, or nothing.
+//
+// Observe is called exactly once per completed task, from the engine
+// goroutine, in completion order (ties in the retirement order of the alive
+// scan). Sinks are not required to be safe for concurrent use: the sharded
+// driver gives every shard its own sinks and merges them afterwards.
+// Implementations must not retain references into the argument (it is a
+// value, so this is automatic) and should not allocate per call in steady
+// state — the engine's zero-allocation contract extends through the sink.
+type MetricSink interface {
+	Observe(m TaskMetrics)
+}
+
+// MultiSink fans every observation out to each sink in order. A nil entry is
+// skipped; an empty MultiSink discards everything.
+func MultiSink(sinks ...MetricSink) MetricSink {
+	return multiSink(sinks)
+}
+
+type multiSink []MetricSink
+
+func (m multiSink) Observe(t TaskMetrics) {
+	for _, s := range m {
+		if s != nil {
+			s.Observe(t)
+		}
+	}
+}
+
+// tenantAgg is one tenant's slot of an AggregateSink.
+type tenantAgg struct {
+	flow     stats.Accumulator
+	weighted float64
+}
+
+// AggregateSink is the constant-memory summary sink: per-tenant task counts,
+// flow moments (Welford accumulators) and weighted flow, plus the same over
+// all tasks. Its size is O(tenants), independent of how many tasks flow
+// through it, and sinks from independent shards merge deterministically —
+// it is the streaming replacement for folding Result.Tasks after the fact.
+//
+// The zero value is NOT ready; use NewAggregateSink. Not safe for concurrent
+// use.
+type AggregateSink struct {
+	flow     stats.Accumulator
+	weighted float64
+	tenants  map[int]*tenantAgg
+}
+
+// NewAggregateSink returns an empty aggregate sink.
+func NewAggregateSink() *AggregateSink {
+	return &AggregateSink{tenants: map[int]*tenantAgg{}}
+}
+
+// Observe folds one completed task into the aggregates.
+func (a *AggregateSink) Observe(m TaskMetrics) {
+	a.flow.Add(m.Flow)
+	a.weighted += m.Weight * m.Flow
+	t := a.tenants[m.Tenant]
+	if t == nil {
+		t = &tenantAgg{}
+		a.tenants[m.Tenant] = t
+	}
+	t.flow.Add(m.Flow)
+	t.weighted += m.Weight * m.Flow
+}
+
+// ObserveResult folds a batch run's retained task table into the sink — the
+// bridge that lets slice-path results feed the same aggregation (and the
+// same shard merge) as streaming runs.
+func (a *AggregateSink) ObserveResult(res *Result) {
+	for _, m := range res.Tasks {
+		a.Observe(m)
+	}
+}
+
+// Tasks returns the number of observed tasks.
+func (a *AggregateSink) Tasks() int { return a.flow.Count() }
+
+// MeanFlow returns the mean flow time over all observed tasks (0 when
+// empty).
+func (a *AggregateSink) MeanFlow() float64 { return a.flow.Mean() }
+
+// WeightedFlow returns Σ w_i·F_i over all observed tasks.
+func (a *AggregateSink) WeightedFlow() float64 { return a.weighted }
+
+// FlowStats returns a copy of the all-tasks flow accumulator, ready to merge
+// with sketch quantiles into a stats.Summary.
+func (a *AggregateSink) FlowStats() stats.Accumulator { return a.flow }
+
+// Merge folds another aggregate sink into this one. Tenants are visited in
+// ascending index order so the floating-point merge sequence — and therefore
+// the merged report — is a pure function of the inputs, whatever goroutine
+// interleaving produced the parts.
+func (a *AggregateSink) Merge(b *AggregateSink) {
+	if b == nil {
+		return
+	}
+	a.flow.Merge(&b.flow)
+	a.weighted += b.weighted
+	ids := make([]int, 0, len(b.tenants))
+	for id := range b.tenants {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t := a.tenants[id]
+		if t == nil {
+			t = &tenantAgg{}
+			a.tenants[id] = t
+		}
+		t.flow.Merge(&b.tenants[id].flow)
+		t.weighted += b.tenants[id].weighted
+	}
+}
+
+// PerTenant renders the per-tenant aggregates, sorted by tenant index.
+func (a *AggregateSink) PerTenant() []TenantMetrics {
+	out := make([]TenantMetrics, 0, len(a.tenants))
+	for tenant, t := range a.tenants {
+		out = append(out, TenantMetrics{
+			Tenant:       tenant,
+			Tasks:        t.flow.Count(),
+			WeightedFlow: t.weighted,
+			MeanFlow:     t.flow.Mean(),
+			StdFlow:      t.flow.StdDev(),
+			MaxFlow:      t.flow.Max(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Reset empties the sink but keeps the tenant slots, so a warmed sink
+// observes without allocating in steady state across reuses.
+func (a *AggregateSink) Reset() {
+	a.flow = stats.Accumulator{}
+	a.weighted = 0
+	for _, t := range a.tenants {
+		*t = tenantAgg{}
+	}
+}
+
+// SketchSink summarizes flow times in a fixed-size mergeable quantile sketch
+// (stats.QuantileSketch): p50/p99 of a ten-million-task run survive without
+// retaining a single per-task row, within the sketch's relative accuracy.
+// Not safe for concurrent use.
+type SketchSink struct {
+	// Sketch is the underlying quantile sketch; exported so callers can
+	// query any quantile or merge across shards.
+	Sketch *stats.QuantileSketch
+}
+
+// NewSketchSink returns a sketch sink with relative accuracy alpha;
+// alpha <= 0 selects stats.DefaultSketchAlpha.
+func NewSketchSink(alpha float64) *SketchSink {
+	if alpha <= 0 {
+		alpha = stats.DefaultSketchAlpha
+	}
+	return &SketchSink{Sketch: stats.NewQuantileSketch(alpha)}
+}
+
+// Observe records the task's flow time.
+func (s *SketchSink) Observe(m TaskMetrics) { s.Sketch.Add(m.Flow) }
+
+// Merge folds another sketch sink into this one (same alpha required). A nil
+// argument is a no-op, like the other sinks' Merge.
+func (s *SketchSink) Merge(o *SketchSink) error {
+	if o == nil {
+		return nil
+	}
+	return s.Sketch.Merge(o.Sketch)
+}
+
+// Quantile returns the q-quantile estimate of the observed flow times.
+func (s *SketchSink) Quantile(q float64) float64 { return s.Sketch.Quantile(q) }
+
+// Reset empties the sink, keeping its storage.
+func (s *SketchSink) Reset() { s.Sketch.Reset() }
+
+// FlowSummary combines an aggregate sink's exact moments with a sketch
+// sink's quantiles into the stats.Summary the batch paths compute from
+// retained samples. Count, mean, stddev, min and max are exact; P50/P90/P99
+// carry the sketch's relative-accuracy guarantee.
+func FlowSummary(agg *AggregateSink, sk *SketchSink) stats.Summary {
+	if agg == nil || sk == nil {
+		return stats.Summary{}
+	}
+	acc := agg.FlowStats()
+	return stats.SketchSummary(&acc, sk.Sketch)
+}
+
+// FullSink retains every TaskMetrics row, indexed by task ID — the
+// O(total tasks) behavior that used to be unconditional, now an explicit
+// choice. It is what static replay and the slice-path compatibility wrappers
+// use; streaming callers should prefer the constant-memory sinks.
+type FullSink struct {
+	// Tasks holds one entry per observed task at index TaskMetrics.ID;
+	// IDs not yet observed hold zero rows.
+	Tasks []TaskMetrics
+}
+
+// NewFullSink returns an empty full-retention sink. capacity sizes the table
+// up front when the task count is known (0 is fine).
+func NewFullSink(capacity int) *FullSink {
+	return &FullSink{Tasks: make([]TaskMetrics, 0, capacity)}
+}
+
+// Observe stores the row at its task ID, growing the table as needed.
+func (f *FullSink) Observe(m TaskMetrics) {
+	for len(f.Tasks) <= m.ID {
+		f.Tasks = append(f.Tasks, TaskMetrics{})
+	}
+	f.Tasks[m.ID] = m
+}
+
+// Reset empties the table, keeping its storage.
+func (f *FullSink) Reset() { f.Tasks = f.Tasks[:0] }
+
+// resultSink writes rows into a pre-sized Result.Tasks table — the internal
+// sink behind the slice entry points, which know n up front and must stay
+// allocation-free on reuse.
+type resultSink struct {
+	tasks []TaskMetrics
+}
+
+func (r *resultSink) Observe(m TaskMetrics) { r.tasks[m.ID] = m }

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// ArrivalStream is the pull iterator the streaming engine consumes: Next
+// returns the next arrival, ok=false for a clean end of stream, or an error.
+// Arrivals must be emitted in non-decreasing release order — the engine
+// validates each pulled arrival and the ordering at its boundary and aborts
+// the run on a violation, so a stream implementation only has to be honest,
+// not trusted.
+//
+// The engine pulls lazily: at any instant it has consumed exactly the
+// arrivals released so far plus one look-ahead, which is what makes a run's
+// memory O(alive tasks) instead of O(total tasks). workload.Stream (the
+// generator) and workload.TraceReader (JSONL replay) satisfy this interface.
+type ArrivalStream interface {
+	Next() (Arrival, bool, error)
+}
+
+// SliceStream adapts an in-memory arrival slice to an ArrivalStream. It is
+// the bridge for callers that already hold a slice but want the streaming
+// entry points (sinks, no retained Result.Tasks); Reset rewinds it so one
+// value can drive repeated benchmark runs without reallocation.
+type SliceStream struct {
+	arrivals []Arrival
+	pos      int
+}
+
+// NewSliceStream returns a stream over the slice. The slice is not copied;
+// the caller must not mutate it while the stream is in use.
+func NewSliceStream(arrivals []Arrival) *SliceStream {
+	return &SliceStream{arrivals: arrivals}
+}
+
+// Next yields the next arrival of the slice.
+func (s *SliceStream) Next() (Arrival, bool, error) {
+	if s.pos >= len(s.arrivals) {
+		return Arrival{}, false, nil
+	}
+	a := s.arrivals[s.pos]
+	s.pos++
+	return a, true, nil
+}
+
+// Reset rewinds the stream to the first arrival.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// arrivalSource is the internal form both engine entry points reduce to: a
+// pull iterator that also assigns the task ID of each arrival. The slice
+// path preserves original slice positions as IDs (even for unsorted input,
+// which it sorts by an index permutation); the stream path numbers arrivals
+// in stream order.
+type arrivalSource interface {
+	next() (Arrival, int, bool, error)
+}
+
+// sliceSource yields a validated, release-ordered view of an arrival slice.
+// It lives in the Runner so repeated slice runs reuse it without allocating.
+type sliceSource struct {
+	arrivals []Arrival
+	order    []int // nil means natural order
+	pos      int
+}
+
+func (s *sliceSource) next() (Arrival, int, bool, error) {
+	if s.pos >= len(s.arrivals) {
+		return Arrival{}, 0, false, nil
+	}
+	id := s.pos
+	if s.order != nil {
+		id = s.order[s.pos]
+	}
+	s.pos++
+	return s.arrivals[id], id, true, nil
+}
+
+// checkedStream wraps a caller-provided ArrivalStream with the engine's
+// boundary validation: every arrival must validate and releases must be
+// non-decreasing. It lives in the Runner for allocation-free reuse.
+type checkedStream struct {
+	stream      ArrivalStream
+	count       int
+	lastRelease float64
+}
+
+func (c *checkedStream) next() (Arrival, int, bool, error) {
+	a, ok, err := c.stream.Next()
+	if err != nil {
+		return Arrival{}, 0, false, fmt.Errorf("engine: arrival %d: %w", c.count, err)
+	}
+	if !ok {
+		return Arrival{}, 0, false, nil
+	}
+	if err := a.Validate(); err != nil {
+		return Arrival{}, 0, false, fmt.Errorf("engine: arrival %d: %w", c.count, err)
+	}
+	if c.count > 0 && a.Release < c.lastRelease {
+		return Arrival{}, 0, false, fmt.Errorf(
+			"engine: arrival %d: release %g precedes %g — an ArrivalStream must be non-decreasing in release time",
+			c.count, a.Release, c.lastRelease)
+	}
+	c.lastRelease = a.Release
+	id := c.count
+	c.count++
+	return a, id, true, nil
+}

@@ -15,15 +15,18 @@ type Regression struct {
 	Current  float64 `json:"current"`
 	// Change quantifies the regression: for the relative metrics
 	// (tasksPerSec, nsPerOp) it is the fractional change in the "worse"
-	// direction; for allocsPerOp it is the absolute increase in allocations
+	// direction; for allocsPerOp and bytesPerOp it is the absolute increase
 	// per run, which keeps a zero-allocation baseline meaningful (a relative
 	// change against zero is undefined).
 	Change float64 `json:"change"`
 }
 
 func (r Regression) String() string {
-	if r.Metric == "allocsPerOp" {
+	switch r.Metric {
+	case "allocsPerOp":
 		return fmt.Sprintf("%s: %s %.6g -> %.6g (+%.6g allocs/run)", r.Scenario, r.Metric, r.Baseline, r.Current, r.Change)
+	case "bytesPerOp":
+		return fmt.Sprintf("%s: %s %.6g -> %.6g (+%.6g bytes/run)", r.Scenario, r.Metric, r.Baseline, r.Current, r.Change)
 	}
 	return fmt.Sprintf("%s: %s %.6g -> %.6g (%+.1f%%)", r.Scenario, r.Metric, r.Baseline, r.Current, 100*r.Change)
 }
@@ -35,10 +38,20 @@ func (r Regression) String() string {
 // through.
 const allocSlack = 64.0
 
+// bytesSlack is the absolute allocated-bytes-per-run increase tolerated
+// before bytesPerOp is flagged. 64 KiB absorbs runtime bookkeeping noise,
+// while a real per-event regression on a 4096-task scenario (≥16 bytes over
+// ≥3n events) costs hundreds of kilobytes per run and is caught. The gate
+// exists so the memory side of the streaming refactor is held by CI, not
+// just the alloc count: one huge allocation per run is invisible to
+// allocsPerOp.
+const bytesSlack = 64 * 1024.0
+
 // CompareRuns diffs a current report against a baseline and flags every
 // scenario whose throughput dropped, whose time per run grew by more than
 // maxRegress (a fraction: 0.25 flags changes beyond 25%), or whose
-// allocations per run grew by more than an absolute slack.
+// allocation count or allocated bytes per run grew by more than an absolute
+// slack.
 //
 // Every scenario of the baseline must be present in the current report — a
 // missing scenario is an error, not a silently skipped comparison, because a
@@ -80,6 +93,12 @@ func CompareRuns(baseline, current *Report, maxRegress float64) ([]Regression, e
 			out = append(out, Regression{
 				Scenario: base.Scenario, Metric: "allocsPerOp",
 				Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp, Change: inc,
+			})
+		}
+		if inc := cur.BytesPerOp - base.BytesPerOp; inc > bytesSlack {
+			out = append(out, Regression{
+				Scenario: base.Scenario, Metric: "bytesPerOp",
+				Baseline: base.BytesPerOp, Current: cur.BytesPerOp, Change: inc,
 			})
 		}
 	}

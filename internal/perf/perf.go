@@ -61,6 +61,13 @@ type Scenario struct {
 	// workload.ArrivalConfig); both zero disables per-task curves.
 	CurveMin float64 `json:"curveMin,omitempty"`
 	CurveMax float64 `json:"curveMax,omitempty"`
+	// Stream runs the scenario through the streaming path: arrivals are
+	// pulled from a constant-memory workload.Stream inside the timed region
+	// (generation is part of the cost being pinned) and per-task metrics go
+	// to aggregate+sketch sinks instead of a retained table, so the
+	// scenario's memory is O(alive tasks) however large Tasks is. Flow
+	// quantiles come from the sketch. Static scenarios cannot stream.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // Scenarios returns the pinned scenario set CI benchmarks on every push. The
@@ -80,7 +87,7 @@ func Scenarios() []Scenario {
 			Name: "bursty-multitenant", Policy: "wdeq", Class: "uniform",
 			Process: "bursty", Rate: 8, Burst: 8,
 			Tenants: "gold:4:0.2,silver:2:0.3,bronze:1:0.5",
-			Tasks: 4096, Shards: 1, P: 8, Seed: 403,
+			Tasks:   4096, Shards: 1, P: 8, Seed: 403,
 		},
 		{
 			Name: "sharded", Policy: "wdeq", Class: "uniform",
@@ -102,6 +109,32 @@ func Scenarios() []Scenario {
 			Process: "poisson", Rate: 6, Tasks: 4096, Shards: 1, P: 8, Seed: 406,
 			Speedup: "platform:8@0,4@100,8@200,4@300,8@400,4@500,8@600",
 		},
+		{
+			// The streaming path end to end: lazy generation + engine +
+			// aggregate/sketch sinks, no retained rows. Same load as
+			// online-poisson so the cost of streaming (generation inside the
+			// timed region, sink observes) stays directly comparable.
+			Name: "online-stream", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 8, Tasks: 4096, Shards: 1, P: 8, Seed: 407,
+			Stream: true,
+		},
+	}
+}
+
+// GuardedScenarios are pinned like Scenarios but excluded from the default
+// set (and therefore from the CI gate): they exist to reproduce headline
+// numbers on demand without making every `mwct bench` run minutes long.
+// Resolve them by name: `mwct bench -scenarios streaming-10m`.
+func GuardedScenarios() []Scenario {
+	return []Scenario{
+		{
+			// The memory acceptance scenario of the streaming refactor: ten
+			// million tasks through one engine in O(alive) memory. A single
+			// run takes seconds, which is why it is guarded.
+			Name: "streaming-10m", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 12, Tasks: 10_000_000, Shards: 1, P: 8, Seed: 408,
+			Stream: true,
+		},
 	}
 }
 
@@ -115,14 +148,23 @@ func ScenarioNames() []string {
 	return names
 }
 
-// ScenarioByName resolves a pinned scenario.
+// ScenarioByName resolves a pinned scenario, including the guarded ones.
 func ScenarioByName(name string) (Scenario, error) {
 	for _, s := range Scenarios() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Scenario{}, fmt.Errorf("perf: unknown scenario %q (want one of %v)", name, ScenarioNames())
+	for _, s := range GuardedScenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := ScenarioNames()
+	for _, s := range GuardedScenarios() {
+		names = append(names, s.Name+" (guarded)")
+	}
+	return Scenario{}, fmt.Errorf("perf: unknown scenario %q (want one of %v)", name, names)
 }
 
 // arrivalConfig translates the scenario into a workload configuration.
@@ -209,6 +251,15 @@ func RunScenario(s Scenario, budget time.Duration) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
 	}
+	if s.Stream {
+		if s.Process == ProcessStatic {
+			return Result{}, fmt.Errorf("perf: scenario %q: static scenarios cannot stream (releases are rewritten after generation)", s.Name)
+		}
+		if s.Shards != 1 {
+			return Result{}, fmt.Errorf("perf: scenario %q: streaming scenarios pin the single-engine path; use shards=1", s.Name)
+		}
+		return runStreamSingle(s, policy, cfg, opts, budget)
+	}
 	if s.Shards == 1 {
 		return runSingle(s, policy, cfg, opts, budget)
 	}
@@ -266,6 +317,39 @@ func runSingle(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, opt
 		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
 	}
 	return newResult(s, m, events, stats.Summarize(res.FlowTimes())), nil
+}
+
+// runStreamSingle benchmarks the streaming path of one engine: workload
+// generation happens lazily inside the timed region (that is the shape being
+// pinned — nothing is materialized), per-task metrics flow into reused
+// aggregate and sketch sinks, and the reported quantiles come from the
+// sketch. allocs/op therefore covers generator + engine + sinks together;
+// all three are allocation-free in steady state.
+func runStreamSingle(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, opts engine.Options, budget time.Duration) (Result, error) {
+	runner := engine.NewRunner()
+	agg := engine.NewAggregateSink()
+	sk := engine.NewSketchSink(0)
+	sink := engine.MultiSink(agg, sk)
+	res := &engine.Result{}
+	run := func() error {
+		stream, err := workload.NewStream(cfg, s.Tasks, s.Seed)
+		if err != nil {
+			return err
+		}
+		agg.Reset()
+		sk.Reset()
+		return runner.RunStreamInto(res, s.P, policy, stream, sink, opts)
+	}
+	// Warm the scratch buffers and sink windows (and validate) off the clock.
+	if err := run(); err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	events := res.Events
+	m, err := timedLoop(budget, run)
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	return newResult(s, m, events, engine.FlowSummary(agg, sk)), nil
 }
 
 // runSharded benchmarks the concurrent multi-shard driver end to end,

@@ -143,6 +143,73 @@ func TestCompareRunsFlagsTimeAndAllocRegressions(t *testing.T) {
 	}
 }
 
+// bytesPerOp is gated like allocsPerOp: absolute slack, so a zero-byte
+// baseline stays meaningful, but a genuinely regressed run (one big retained
+// buffer per run, invisible to the alloc count) is flagged.
+func TestCompareRunsFlagsByteRegression(t *testing.T) {
+	base := report(Result{Scenario: "a", TasksPerSec: 1000, NsPerOp: 100, BytesPerOp: 0})
+	cur := report(Result{Scenario: "a", TasksPerSec: 1000, NsPerOp: 100, BytesPerOp: 1 << 20})
+	regs, err := CompareRuns(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "bytesPerOp" {
+		t.Fatalf("regressions = %+v, want one bytesPerOp entry", regs)
+	}
+	if !strings.Contains(regs[0].String(), "bytes/run") {
+		t.Errorf("rendering %q does not name the unit", regs[0].String())
+	}
+	// Noise within the slack passes.
+	noisy := report(Result{Scenario: "a", TasksPerSec: 1000, NsPerOp: 100, BytesPerOp: 4096})
+	if regs, err := CompareRuns(base, noisy, 0.25); err != nil || len(regs) != 0 {
+		t.Errorf("regs = %+v, err = %v; byte noise flagged", regs, err)
+	}
+}
+
+// The streaming scenario must run, report sketch-based quantiles, and the
+// guarded set must resolve by name without being part of the default run.
+func TestStreamScenario(t *testing.T) {
+	s, err := ScenarioByName("online-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Stream {
+		t.Fatal("online-stream is not marked Stream")
+	}
+	res, err := RunScenario(s, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs < 1 || res.TasksPerSec <= 0 || res.FlowP50 <= 0 || res.FlowP99 < res.FlowP50 {
+		t.Errorf("implausible stream measurement %+v", res)
+	}
+	// Warmed stream runs reuse generator scratch, engine scratch and sinks;
+	// the per-run allocation cost is a handful of setup objects, far below
+	// one per event.
+	if res.AllocsPerOp > float64(res.Events)/10 {
+		t.Errorf("streaming run allocates %.1f/run over %d events", res.AllocsPerOp, res.Events)
+	}
+
+	if _, err := ScenarioByName("streaming-10m"); err != nil {
+		t.Fatalf("guarded scenario not resolvable: %v", err)
+	}
+	for _, pinned := range ScenarioNames() {
+		if pinned == "streaming-10m" {
+			t.Error("guarded scenario leaked into the default set")
+		}
+	}
+	bad := s
+	bad.Shards = 4
+	if _, err := RunScenario(bad, time.Millisecond); err == nil {
+		t.Error("sharded streaming scenario accepted")
+	}
+	bad = s
+	bad.Process = ProcessStatic
+	if _, err := RunScenario(bad, time.Millisecond); err == nil {
+		t.Error("static streaming scenario accepted")
+	}
+}
+
 func TestCompareRunsMissingScenarioIsError(t *testing.T) {
 	base := report(Result{Scenario: "a", TasksPerSec: 1000}, Result{Scenario: "b", TasksPerSec: 1000})
 	cur := report(Result{Scenario: "a", TasksPerSec: 1000})

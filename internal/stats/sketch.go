@@ -1,0 +1,322 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultSketchAlpha is the relative accuracy the engine's streaming flow
+// sinks use: a quantile estimate q̂ satisfies |q̂ - q| <= alpha·q, so 0.5%
+// keeps shard-merged p50/p99 figures well within the 1% budget the perf
+// scenarios are gated on.
+const DefaultSketchAlpha = 0.005
+
+// defaultSketchBuckets bounds the bucket window of a sketch. With the default
+// alpha the window spans a dynamic range of gamma^4096 ≈ e^41 ≈ 6·10^17
+// between the smallest and largest representable observation before any
+// collapsing happens, at a fixed cost of 32 KiB per sketch.
+const defaultSketchBuckets = 4096
+
+// QuantileSketch is a fixed-size, mergeable quantile summary with a relative
+// accuracy guarantee (the DDSketch construction): observations are counted in
+// geometrically spaced buckets (γ = (1+α)/(1-α)), so any quantile of the
+// recorded sample is reproduced within a factor 1±α regardless of how many
+// observations were added. Two sketches built with the same alpha merge
+// exactly (bucket counts add), which is what lets independent engine shards
+// summarize millions of flow times in constant memory and still report fleet
+// p50/p99 deterministically.
+//
+// When the bucket window would exceed its fixed capacity, the lowest buckets
+// collapse into one: accuracy degrades only for the smallest observations
+// (lowest quantiles), never for the upper tail the latency figures care
+// about. Observations below zeroThreshold (and exact zeros — e.g. the flow
+// time of a zero-volume task) are counted in a dedicated zero bucket.
+//
+// The zero value is not usable; construct with NewQuantileSketch. A sketch is
+// not safe for concurrent use.
+type QuantileSketch struct {
+	alpha  float64
+	gamma  float64
+	lgamma float64 // ln(gamma), the bucket width in log space
+
+	counts []uint64 // bucket window: counts[k] counts index minIdx+k
+	minIdx int      // bucket index of counts[0]
+	used   int      // live prefix of counts
+
+	zeros     uint64
+	total     uint64
+	collapsed bool
+	min, max  float64
+}
+
+// zeroThreshold is the smallest observation tracked in a log bucket; values
+// at or below it land in the zero bucket. It bounds how far the window can
+// grow toward -inf in log space (subnormal flow times carry no information).
+const zeroThreshold = 1e-12
+
+// NewQuantileSketch creates a sketch with relative accuracy alpha in (0, 1).
+// It panics on an out-of-range alpha — the accuracy is a compile-time choice
+// of the call site, not data.
+func NewQuantileSketch(alpha float64) *QuantileSketch {
+	if !(alpha > 0) || !(alpha < 1) || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("stats: sketch accuracy must be in (0, 1), got %g", alpha))
+	}
+	return &QuantileSketch{
+		alpha: alpha,
+		gamma: (1 + alpha) / (1 - alpha),
+		// log1p form keeps the bucket width accurate for tiny alpha.
+		lgamma: math.Log1p(2 * alpha / (1 - alpha)),
+	}
+}
+
+// Alpha returns the relative accuracy the sketch was built with.
+func (s *QuantileSketch) Alpha() float64 { return s.alpha }
+
+// Count returns the number of recorded observations.
+func (s *QuantileSketch) Count() int { return int(s.total) }
+
+// Min and Max return the exact extremes (0 when empty).
+func (s *QuantileSketch) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *QuantileSketch) Max() float64 { return s.max }
+
+// index maps a positive observation to its bucket index: bucket i covers
+// (gamma^(i-1), gamma^i].
+func (s *QuantileSketch) index(x float64) int {
+	return int(math.Ceil(math.Log(x) / s.lgamma))
+}
+
+// value is the representative of bucket i: the point with equal relative
+// error alpha to both bucket edges.
+func (s *QuantileSketch) value(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Add records one observation. NaN and ±Inf are ignored (an infinite
+// observation has no bucket; counting it would corrupt the window);
+// negative observations and values below the zero threshold count as zero
+// (flow times are non-negative and finite by construction, so this only
+// defends against caller bugs).
+func (s *QuantileSketch) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	if s.total == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.total++
+	if x <= zeroThreshold {
+		s.zeros++
+		return
+	}
+	s.bump(s.index(x), 1)
+}
+
+// bump adds count observations to bucket idx, growing (and if necessary
+// collapsing) the window.
+func (s *QuantileSketch) bump(idx int, count uint64) {
+	if s.used == 0 {
+		if len(s.counts) == 0 {
+			s.counts = make([]uint64, 64)
+		}
+		s.minIdx = idx
+		s.used = 1
+		s.counts[0] = count
+		return
+	}
+	if idx < s.minIdx {
+		// Extend the window downward by shifting the live prefix up.
+		grow := s.minIdx - idx
+		if s.used+grow > defaultSketchBuckets {
+			// The new observation is below the collapsible range: fold it
+			// into the lowest bucket we keep instead of growing.
+			s.counts[0] += count
+			s.collapsed = true
+			return
+		}
+		s.ensure(s.used + grow)
+		copy(s.counts[grow:s.used+grow], s.counts[:s.used])
+		for k := 0; k < grow; k++ {
+			s.counts[k] = 0
+		}
+		s.minIdx = idx
+		s.used += grow
+		s.counts[0] += count
+		return
+	}
+	off := idx - s.minIdx
+	if off >= s.used {
+		need := off + 1
+		if need > defaultSketchBuckets {
+			// Collapse the lowest buckets so the top of the window can hold
+			// the new observation; upper-tail accuracy is preserved.
+			drop := need - defaultSketchBuckets
+			if drop >= s.used {
+				// Everything recorded so far folds into one bottom bucket.
+				var sum uint64
+				for k := 0; k < s.used; k++ {
+					sum += s.counts[k]
+					s.counts[k] = 0
+				}
+				s.minIdx += drop
+				s.counts[0] = sum
+				s.used = 1
+				off = idx - s.minIdx
+			} else {
+				var sum uint64
+				for k := 0; k <= drop; k++ {
+					sum += s.counts[k]
+				}
+				copy(s.counts, s.counts[drop:s.used])
+				for k := s.used - drop; k < s.used; k++ {
+					s.counts[k] = 0
+				}
+				s.used -= drop
+				s.minIdx += drop
+				s.counts[0] = sum
+				off = idx - s.minIdx
+			}
+			s.collapsed = true
+			need = off + 1
+		}
+		s.ensure(need)
+		s.used = need
+	}
+	s.counts[off] += count
+}
+
+// ensure grows the backing array to hold at least n buckets.
+func (s *QuantileSketch) ensure(n int) {
+	if n <= len(s.counts) {
+		return
+	}
+	grown := len(s.counts) * 2
+	if grown < n {
+		grown = n
+	}
+	if grown > defaultSketchBuckets {
+		grown = defaultSketchBuckets
+	}
+	next := make([]uint64, grown)
+	copy(next, s.counts[:s.used])
+	s.counts = next
+}
+
+// Merge folds another sketch into this one. Both must have been built with
+// the same alpha — the bucket grids are incompatible otherwise.
+func (s *QuantileSketch) Merge(o *QuantileSketch) error {
+	if o == nil {
+		return nil
+	}
+	if s.alpha != o.alpha {
+		return fmt.Errorf("stats: cannot merge sketches with accuracies %g and %g", s.alpha, o.alpha)
+	}
+	if o.total == 0 {
+		return nil
+	}
+	if s.total == 0 {
+		s.min, s.max = o.min, o.max
+	} else {
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+	}
+	s.total += o.total
+	s.zeros += o.zeros
+	s.collapsed = s.collapsed || o.collapsed
+	for k := 0; k < o.used; k++ {
+		if o.counts[k] > 0 {
+			s.bump(o.minIdx+k, o.counts[k])
+		}
+	}
+	return nil
+}
+
+// Collapsed reports whether the sketch ever folded its lowest buckets; when
+// true, low quantiles may exceed the alpha guarantee (the upper tail never
+// does).
+func (s *QuantileSketch) Collapsed() bool { return s.collapsed }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) of the
+// recorded observations, within relative accuracy alpha. It follows the
+// nearest-rank convention of Quantile on the bucket representatives and
+// clamps to the exact observed [min, max]. An empty sketch returns NaN.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	// rank is the 0-based order statistic to report.
+	rank := uint64(q * float64(s.total-1))
+	if rank < s.zeros {
+		return clamp(0, s.min, s.max)
+	}
+	cum := s.zeros
+	for k := 0; k < s.used; k++ {
+		cum += s.counts[k]
+		if rank < cum {
+			return clamp(s.value(s.minIdx+k), s.min, s.max)
+		}
+	}
+	return s.max
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Reset empties the sketch, keeping its bucket storage for reuse so a warmed
+// sketch adds no allocations in steady state.
+func (s *QuantileSketch) Reset() {
+	for k := 0; k < s.used; k++ {
+		s.counts[k] = 0
+	}
+	s.used = 0
+	s.minIdx = 0
+	s.zeros = 0
+	s.total = 0
+	s.collapsed = false
+	s.min, s.max = 0, 0
+}
+
+// SketchSummary renders a Summary out of streaming state: exact count, mean,
+// standard deviation and extremes from the accumulator, quantiles from the
+// sketch. It is how the streaming run paths report the Summary the batch
+// paths compute exactly from retained samples.
+func SketchSummary(acc *Accumulator, sketch *QuantileSketch) Summary {
+	if acc == nil || acc.Count() == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count:  acc.Count(),
+		Mean:   acc.Mean(),
+		StdDev: acc.StdDev(),
+		Min:    acc.Min(),
+		Max:    acc.Max(),
+		P50:    sketch.Quantile(0.50),
+		P90:    sketch.Quantile(0.90),
+		P99:    sketch.Quantile(0.99),
+	}
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The sketch's contract: every quantile of the recorded sample is reproduced
+// within relative accuracy alpha, against the exact sorted-sample quantiles,
+// across distributions with very different shapes.
+func TestSketchAccuracyAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() float64{
+		"uniform":     func() float64 { return rng.Float64() * 100 },
+		"exponential": func() float64 { return rng.ExpFloat64() * 10 },
+		"lognormal":   func() float64 { return math.Exp(rng.NormFloat64() * 2) },
+		"heavy-tail":  func() float64 { return math.Pow(rng.Float64(), -1.5) },
+	}
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			const n = 50000
+			s := NewQuantileSketch(DefaultSketchAlpha)
+			sample := make([]float64, n)
+			for i := range sample {
+				sample[i] = draw()
+				s.Add(sample[i])
+			}
+			sort.Float64s(sample)
+			if s.Count() != n {
+				t.Fatalf("count = %d, want %d", s.Count(), n)
+			}
+			for _, q := range quantiles {
+				exact := Quantile(sample, q)
+				got := s.Quantile(q)
+				if exact <= 0 {
+					continue
+				}
+				if rel := math.Abs(got-exact) / exact; rel > 2*DefaultSketchAlpha {
+					t.Errorf("q=%g: sketch %g vs exact %g (relative error %.4g > %g)",
+						q, got, exact, rel, 2*DefaultSketchAlpha)
+				}
+			}
+			if s.Min() != sample[0] || s.Max() != sample[n-1] {
+				t.Errorf("extremes %g/%g, want exact %g/%g", s.Min(), s.Max(), sample[0], sample[n-1])
+			}
+		})
+	}
+}
+
+// Merging shard sketches must equal one sketch over the concatenated sample:
+// bucket counts are integers, so the merge is exact, and the merged quantiles
+// retain the alpha guarantee against the exact combined quantiles.
+func TestSketchMergeMatchesCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const shards, perShard = 5, 8000
+	combined := NewQuantileSketch(DefaultSketchAlpha)
+	merged := NewQuantileSketch(DefaultSketchAlpha)
+	var all []float64
+	for s := 0; s < shards; s++ {
+		shard := NewQuantileSketch(DefaultSketchAlpha)
+		for i := 0; i < perShard; i++ {
+			x := rng.ExpFloat64() * float64(s+1)
+			all = append(all, x)
+			shard.Add(x)
+			combined.Add(x)
+		}
+		if err := merged.Merge(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != combined.Count() {
+		t.Fatalf("merged count %d vs combined %d", merged.Count(), combined.Count())
+	}
+	sort.Float64s(all)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		a, b := merged.Quantile(q), combined.Quantile(q)
+		if a != b {
+			t.Errorf("q=%g: merged %g vs combined %g (merge must be exact on buckets)", q, a, b)
+		}
+		exact := Quantile(all, q)
+		if rel := math.Abs(a-exact) / exact; rel > 2*DefaultSketchAlpha {
+			t.Errorf("q=%g: merged %g vs exact %g (relative error %.4g)", q, a, exact, rel)
+		}
+	}
+	if err := merged.Merge(NewQuantileSketch(0.1)); err == nil {
+		t.Error("merging sketches with different accuracies must fail")
+	}
+}
+
+// The window is fixed-size: a sample spanning an absurd dynamic range must
+// stay within the bucket budget by collapsing the low end, preserving the
+// upper-tail guarantee.
+func TestSketchCollapsePreservesUpperTail(t *testing.T) {
+	s := NewQuantileSketch(0.01)
+	var sample []float64
+	for i := 0; i < 2000; i++ {
+		// From 1e-10 up to 1e+30: far beyond any fixed window at alpha=1%.
+		x := math.Pow(10, -10+float64(i)*0.02)
+		sample = append(sample, x)
+		s.Add(x)
+	}
+	if !s.Collapsed() {
+		t.Fatal("a 40-decade sample must have collapsed the window")
+	}
+	sort.Float64s(sample)
+	for _, q := range []float64{0.9, 0.99} {
+		exact := Quantile(sample, q)
+		got := s.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("q=%g after collapse: %g vs exact %g (relative error %.4g)", q, got, exact, rel)
+		}
+	}
+}
+
+// Zeros (the flow time of a zero-volume task) and edge cases must not poison
+// the buckets.
+func TestSketchZerosAndEdges(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchAlpha)
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty sketch must report NaN")
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(0)
+	}
+	s.Add(5)
+	s.Add(math.NaN())   // ignored
+	s.Add(math.Inf(1))  // ignored: no bucket for an infinite observation
+	s.Add(math.Inf(-1)) // ignored
+	if s.Count() != 11 {
+		t.Fatalf("count = %d, want 11 (NaN and ±Inf ignored)", s.Count())
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("median of mostly-zeros = %g, want 0", got)
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Errorf("max quantile = %g, want exact 5", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("min quantile = %g, want 0", got)
+	}
+}
+
+// Reset must empty the sketch but keep its storage; a warmed sketch performs
+// no allocation in steady state (the sink reuse contract of the engine).
+func TestSketchResetAndSteadyStateAllocs(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchAlpha)
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 100
+	}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Collapsed() {
+		t.Fatalf("reset sketch not empty: count=%d", s.Count())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Reset()
+		for _, x := range xs {
+			s.Add(x)
+		}
+		_ = s.Quantile(0.99)
+	})
+	if allocs != 0 {
+		t.Errorf("warmed sketch allocated %.3g times per run, want 0", allocs)
+	}
+}
+
+// SketchSummary must agree with the exact Summarize on everything the
+// accumulator carries exactly, and stay within alpha on the quantiles.
+func TestSketchSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var acc Accumulator
+	s := NewQuantileSketch(DefaultSketchAlpha)
+	var sample []float64
+	for i := 0; i < 20000; i++ {
+		x := rng.ExpFloat64()
+		sample = append(sample, x)
+		acc.Add(x)
+		s.Add(x)
+	}
+	exact := Summarize(sample)
+	got := SketchSummary(&acc, s)
+	if got.Count != exact.Count || got.Min != exact.Min || got.Max != exact.Max {
+		t.Errorf("count/min/max %d/%g/%g, want exact %d/%g/%g", got.Count, got.Min, got.Max, exact.Count, exact.Min, exact.Max)
+	}
+	if math.Abs(got.Mean-exact.Mean)/exact.Mean > 1e-9 {
+		t.Errorf("mean %g vs exact %g", got.Mean, exact.Mean)
+	}
+	for _, pair := range [][2]float64{{got.P50, exact.P50}, {got.P90, exact.P90}, {got.P99, exact.P99}} {
+		if rel := math.Abs(pair[0]-pair[1]) / pair[1]; rel > 2*DefaultSketchAlpha {
+			t.Errorf("quantile %g vs exact %g (relative error %.4g)", pair[0], pair[1], rel)
+		}
+	}
+	if (SketchSummary(nil, s) != Summary{}) {
+		t.Error("nil accumulator must yield a zero summary")
+	}
+}

@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strconv"
 	"strings"
 
@@ -147,68 +146,24 @@ func (c *ArrivalConfig) Validate() error {
 // GenerateArrivals draws n arrivals deterministically from the seed: task
 // shapes from the configured instance class, release dates from the arrival
 // process, and tenants by share. The stream is sorted by release date.
+//
+// It is the collect-everything form of NewStream — the two produce identical
+// sequences for identical inputs, so callers that can consume arrivals one at
+// a time should pull from a Stream instead and keep memory independent of n.
 func GenerateArrivals(cfg ArrivalConfig, n int, seed int64) ([]schedule.Arrival, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("workload: need at least one arrival, got %d", n)
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	tenants := cfg.Tenants
-	if len(tenants) == 0 {
-		tenants = DefaultTenants()
-	}
-	var shareSum float64
-	for _, t := range tenants {
-		shareSum += t.Share
-	}
-	// Two decorrelated streams off the same seed: one for task shapes (via
-	// the existing instance generator), one for the arrival process and the
-	// tenant draw. Everything is a pure function of (cfg, n, seed).
-	shapes, err := NewGenerator(cfg.Class, 1, cfg.P, seed)
+	stream, err := NewStream(cfg, n, seed)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
-
 	out := make([]schedule.Arrival, 0, n)
-	now := 0.0
-	for len(out) < n {
-		burst := 1
-		switch cfg.Process {
-		case Poisson:
-			now += rng.ExpFloat64() / cfg.Rate
-		case Bursty:
-			// Bursts arrive at rate Rate/MeanBurst; sizes are geometric with
-			// mean MeanBurst, so the long-run task rate stays Rate. The draw
-			// is capped at the tasks still needed: the excess would be
-			// discarded anyway, and without the cap a huge MeanBurst (legal
-			// per Validate) spins this loop ~MeanBurst iterations.
-			now += rng.ExpFloat64() * cfg.MeanBurst / cfg.Rate
-			for burst < n-len(out) && rng.Float64() >= 1/cfg.MeanBurst {
-				burst++
-			}
-		default:
-			return nil, fmt.Errorf("workload: unknown arrival process %d", int(cfg.Process))
+	for {
+		a, ok, err := stream.Next()
+		if err != nil {
+			return nil, err
 		}
-		for b := 0; b < burst && len(out) < n; b++ {
-			task := shapes.Next().Tasks[0]
-			tenant := 0
-			u := rng.Float64() * shareSum
-			for i, t := range tenants {
-				if u < t.Share || i == len(tenants)-1 {
-					tenant = i
-					break
-				}
-				u -= t.Share
-			}
-			task.Weight *= tenants[tenant].Weight
-			task.Name = tenants[tenant].Name
-			if cfg.CurveMax > 0 {
-				task.Curve = cfg.CurveMin + (cfg.CurveMax-cfg.CurveMin)*rng.Float64()
-			}
-			out = append(out, schedule.Arrival{Task: task, Release: now, Tenant: tenant})
+		if !ok {
+			return out, nil
 		}
+		out = append(out, a)
 	}
-	return out, nil
 }

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+// A generated stream must round-trip through the JSONL codec exactly: Go's
+// JSON encoder emits the shortest float64 representation that parses back to
+// the same bits, so record/replay is lossless.
+func TestTraceRoundTripExact(t *testing.T) {
+	cfg := ArrivalConfig{
+		Class: Uniform, P: 8, Process: Bursty, Rate: 8, MeanBurst: 4,
+		Tenants:  []TenantSpec{{Name: "gold", Weight: 4, Share: 0.3}, {Name: "bronze", Weight: 1, Share: 0.7}},
+		CurveMin: 0.5, CurveMax: 0.9,
+	}
+	arrivals, err := GenerateArrivals(cfg, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(arrivals) {
+		t.Fatalf("trace has %d lines for %d arrivals", lines, len(arrivals))
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(arrivals) {
+		t.Fatalf("read %d arrivals, want %d", len(back), len(arrivals))
+	}
+	for i := range back {
+		if back[i] != arrivals[i] {
+			t.Fatalf("arrival %d not bit-identical: %+v vs %+v", i, back[i], arrivals[i])
+		}
+	}
+}
+
+// The reader must skip blank lines, report malformed lines with their line
+// number, and the writer must refuse arrivals that would not replay.
+func TestTraceCodecEdges(t *testing.T) {
+	src := "\n{\"task\":{\"weight\":1,\"volume\":2,\"delta\":1},\"release\":0.5}\n\n" +
+		"{\"task\":{\"weight\":2,\"volume\":1,\"delta\":2},\"release\":1,\"tenant\":3}\n"
+	back, err := ReadTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Release != 0.5 || back[1].Tenant != 3 {
+		t.Fatalf("parsed %+v", back)
+	}
+
+	if _, err := ReadTrace(strings.NewReader("{\"task\":{}}\nnot json\n")); err == nil {
+		t.Error("malformed line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %v does not name line 2", err)
+	}
+
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	// Zero weight fails schedule.Arrival.Validate: nothing unreplayable may
+	// enter a trace file.
+	if err := tw.Write(schedule.Arrival{Task: schedule.Task{Weight: 0, Volume: 1, Delta: 1}}); err == nil {
+		t.Error("invalid arrival written to trace")
+	}
+	if tw.Count() != 0 {
+		t.Errorf("count = %d after rejected write", tw.Count())
+	}
+}

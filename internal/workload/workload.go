@@ -93,8 +93,13 @@ func NewGenerator(class Class, n int, p float64, seed int64) (*Generator, error)
 	return &Generator{Class: class, N: n, P: p, Epsilon: 0.01, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
-// Next draws the next instance.
-func (g *Generator) Next() *schedule.Instance {
+// NextTask draws a single task of the generator's class. It is the
+// allocation-free unit draw behind Next — the streaming arrival generator
+// calls it once per pulled arrival, so a million-task stream costs a million
+// task draws and zero instance allocations. The random draws of one task are
+// identical to the draws Next performs for each slot of an instance, so
+// collecting N NextTask calls reproduces Next's tasks exactly.
+func (g *Generator) NextTask() schedule.Task {
 	eps := g.Epsilon
 	if eps <= 0 {
 		eps = 0.01
@@ -103,21 +108,13 @@ func (g *Generator) Next() *schedule.Instance {
 
 	switch g.Class {
 	case UnitClass:
-		tasks := make([]schedule.Task, g.N)
-		for i := range tasks {
-			tasks[i] = schedule.Task{Weight: 1, Volume: 1, Delta: uniform(0.5, 1)}
-		}
-		return &schedule.Instance{P: 1, Tasks: tasks}
+		return schedule.Task{Weight: 1, Volume: 1, Delta: uniform(0.5, 1)}
 	case LargeDelta:
-		tasks := make([]schedule.Task, g.N)
-		for i := range tasks {
-			tasks[i] = schedule.Task{
-				Weight: 1,
-				Volume: uniform(eps, 1),
-				Delta:  uniform(g.P/2+eps, g.P),
-			}
+		return schedule.Task{
+			Weight: 1,
+			Volume: uniform(eps, 1),
+			Delta:  uniform(g.P/2+eps, g.P),
 		}
-		return &schedule.Instance{P: g.P, Tasks: tasks}
 	case Heterogeneous:
 		// Integer degree bounds in [1, P]. Clamp the Intn argument so a
 		// fractional P (< 1) or a P beyond int range cannot panic rand.Intn;
@@ -126,30 +123,35 @@ func (g *Generator) Next() *schedule.Instance {
 		if g.P >= 2 {
 			maxDelta = int(math.Min(g.P, 1<<30))
 		}
-		tasks := make([]schedule.Task, g.N)
-		for i := range tasks {
-			tasks[i] = schedule.Task{
-				Weight: uniform(0.1, 10),
-				Volume: uniform(0.1, 20),
-				Delta:  float64(1 + g.rng.Intn(maxDelta)),
-			}
+		return schedule.Task{
+			Weight: uniform(0.1, 10),
+			Volume: uniform(0.1, 20),
+			Delta:  float64(1 + g.rng.Intn(maxDelta)),
 		}
-		return &schedule.Instance{P: g.P, Tasks: tasks}
 	default:
-		tasks := make([]schedule.Task, g.N)
-		for i := range tasks {
-			w := uniform(eps, 1)
-			v := uniform(eps, 1)
-			if g.Class == ConstantWeight || g.Class == ConstantWeightVolume {
-				w = 1
-			}
-			if g.Class == ConstantWeightVolume {
-				v = 1
-			}
-			tasks[i] = schedule.Task{Weight: w, Volume: v, Delta: uniform(eps, g.P)}
+		w := uniform(eps, 1)
+		v := uniform(eps, 1)
+		if g.Class == ConstantWeight || g.Class == ConstantWeightVolume {
+			w = 1
 		}
-		return &schedule.Instance{P: g.P, Tasks: tasks}
+		if g.Class == ConstantWeightVolume {
+			v = 1
+		}
+		return schedule.Task{Weight: w, Volume: v, Delta: uniform(eps, g.P)}
 	}
+}
+
+// Next draws the next instance.
+func (g *Generator) Next() *schedule.Instance {
+	tasks := make([]schedule.Task, g.N)
+	for i := range tasks {
+		tasks[i] = g.NextTask()
+	}
+	p := g.P
+	if g.Class == UnitClass {
+		p = 1
+	}
+	return &schedule.Instance{P: p, Tasks: tasks}
 }
 
 // Batch draws count instances.

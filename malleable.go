@@ -1,6 +1,7 @@
 package malleable
 
 import (
+	"io"
 	"math/rand"
 
 	"github.com/malleable-sched/malleable/internal/core"
@@ -213,6 +214,99 @@ func RunOnlineShardsWithOptions(p float64, policy OnlinePolicy, source func(shar
 	return engine.RunShardsWithOptions(p, policy, source, shards, baseSeed, opts)
 }
 
+// ArrivalStream is the pull iterator consumed by the streaming engine: Next
+// returns the next arrival in non-decreasing release order, ok=false at the
+// end of the stream. StreamArrivals (the workload generator) and
+// NewArrivalTraceReader (JSONL replay) produce implementations; any custom
+// source — a queue drain, a network feed — can implement it directly. The
+// engine validates every pulled arrival and the ordering at its boundary.
+type ArrivalStream = engine.ArrivalStream
+
+// MetricSink consumes per-task outcomes as tasks retire from a streaming
+// run — the output half of the O(alive tasks) memory contract. Bundled
+// sinks: NewAggregateSink (constant-memory per-tenant summary),
+// NewQuantileSink (fixed-size mergeable flow quantiles), NewFullSink (the
+// retain-everything behavior of the slice API, as an explicit choice), and
+// CombineSinks to fan out to several.
+type MetricSink = engine.MetricSink
+
+// AggregateSink is the constant-memory summary sink: per-tenant task
+// counts, flow moments and weighted flow. Sinks from independent shards
+// merge deterministically.
+type AggregateSink = engine.AggregateSink
+
+// NewAggregateSink returns an empty aggregate sink.
+func NewAggregateSink() *AggregateSink { return engine.NewAggregateSink() }
+
+// QuantileSink summarizes flow times in a fixed-size mergeable quantile
+// sketch with a relative-accuracy guarantee; p50/p99 of a ten-million-task
+// run survive without retaining any per-task rows.
+type QuantileSink = engine.SketchSink
+
+// NewQuantileSink returns a quantile sink with relative accuracy alpha;
+// alpha <= 0 selects the default (0.5%).
+func NewQuantileSink(alpha float64) *QuantileSink { return engine.NewSketchSink(alpha) }
+
+// FullSink retains every per-task row, indexed by task ID — O(total tasks)
+// memory, the explicit opt-in replacement for the old unconditional
+// retention.
+type FullSink = engine.FullSink
+
+// NewFullSink returns an empty full-retention sink; capacity pre-sizes the
+// table when the task count is known (0 is fine).
+func NewFullSink(capacity int) *FullSink { return engine.NewFullSink(capacity) }
+
+// CombineSinks fans every observation out to each sink in order; nil
+// entries are skipped.
+func CombineSinks(sinks ...MetricSink) MetricSink { return engine.MultiSink(sinks...) }
+
+// RunOnlineStream executes an online policy over a pulled arrival stream:
+// the engine admits arrivals lazily (one look-ahead), keeps only alive tasks
+// in scratch, and hands each completed task to sink (nil keeps aggregates
+// only) instead of retaining it — so a run's memory is O(peak backlog + sink
+// size), independent of the stream length. The returned OnlineResult carries
+// the aggregate metrics; its Tasks table stays empty.
+func RunOnlineStream(p float64, policy OnlinePolicy, stream ArrivalStream, sink MetricSink) (*OnlineResult, error) {
+	return engine.RunStream(p, policy, stream, sink)
+}
+
+// RunOnlineStreamWithOptions is RunOnlineStream with explicit options (most
+// notably the speedup model).
+func RunOnlineStreamWithOptions(p float64, policy OnlinePolicy, stream ArrivalStream, sink MetricSink, opts OnlineOptions) (*OnlineResult, error) {
+	return engine.RunStreamWithOptions(p, policy, stream, sink, opts)
+}
+
+// RunOnlineShardsStream is the streaming form of RunOnlineShards: each shard
+// pulls from its own ArrivalStream and summarizes through aggregate and
+// quantile sinks, merged deterministically; no per-task rows are retained
+// anywhere and the merged flow quantiles carry the sketch accuracy
+// (OnlineLoadResult.FlowApprox).
+func RunOnlineShardsStream(p float64, policy OnlinePolicy, source func(shard int, seed int64) (ArrivalStream, error), shards int, baseSeed int64) (*OnlineLoadResult, error) {
+	return engine.RunShardsStream(p, policy, source, shards, baseSeed)
+}
+
+// RunOnlineShardsStreamWithOptions is RunOnlineShardsStream with explicit
+// options, shared by every shard.
+func RunOnlineShardsStreamWithOptions(p float64, policy OnlinePolicy, source func(shard int, seed int64) (ArrivalStream, error), shards int, baseSeed int64, opts OnlineOptions) (*OnlineLoadResult, error) {
+	return engine.RunShardsStreamWithOptions(p, policy, source, shards, baseSeed, opts)
+}
+
+// ArrivalTraceWriter records an arrival stream as JSONL (one arrival per
+// line) so a workload can be replayed later; ArrivalTraceReader streams it
+// back and plugs directly into RunOnlineStream.
+type ArrivalTraceWriter = workload.TraceWriter
+
+// ArrivalTraceReader streams a JSONL arrival trace; it satisfies
+// ArrivalStream.
+type ArrivalTraceReader = workload.TraceReader
+
+// NewArrivalTraceWriter wraps w in a buffered JSONL arrival encoder; call
+// Flush when done.
+func NewArrivalTraceWriter(w io.Writer) *ArrivalTraceWriter { return workload.NewTraceWriter(w) }
+
+// NewArrivalTraceReader wraps r in a streaming JSONL arrival decoder.
+func NewArrivalTraceReader(r io.Reader) *ArrivalTraceReader { return workload.NewTraceReader(r) }
+
 // TenantSpec describes one tenant of a multi-tenant online workload: its
 // share of the arriving traffic and the weight multiplier applied to its
 // tasks.
@@ -242,19 +336,16 @@ type OnlineWorkload struct {
 	CurveMin, CurveMax float64
 }
 
-// GenerateArrivals draws n arrivals deterministically from the seed: task
-// shapes from the named instance class, release dates from the arrival
-// process, tenants by share (each task's weight is multiplied by its
-// tenant's weight). The stream is sorted by release date and ready for
-// RunOnline.
-func GenerateArrivals(w OnlineWorkload, n int, seed int64) ([]Arrival, error) {
+// arrivalConfig resolves the workload's class and process names into the
+// internal configuration shared by GenerateArrivals and StreamArrivals.
+func (w OnlineWorkload) arrivalConfig() (workload.ArrivalConfig, error) {
 	className := w.Class
 	if className == "" {
 		className = "uniform"
 	}
 	class, err := workload.ParseClass(className)
 	if err != nil {
-		return nil, err
+		return workload.ArrivalConfig{}, err
 	}
 	processName := w.Process
 	if processName == "" {
@@ -262,9 +353,9 @@ func GenerateArrivals(w OnlineWorkload, n int, seed int64) ([]Arrival, error) {
 	}
 	process, err := workload.ParseProcess(processName)
 	if err != nil {
-		return nil, err
+		return workload.ArrivalConfig{}, err
 	}
-	return workload.GenerateArrivals(workload.ArrivalConfig{
+	return workload.ArrivalConfig{
 		Class:     class,
 		P:         w.P,
 		Process:   process,
@@ -273,7 +364,32 @@ func GenerateArrivals(w OnlineWorkload, n int, seed int64) ([]Arrival, error) {
 		Tenants:   w.Tenants,
 		CurveMin:  w.CurveMin,
 		CurveMax:  w.CurveMax,
-	}, n, seed)
+	}, nil
+}
+
+// GenerateArrivals draws n arrivals deterministically from the seed: task
+// shapes from the named instance class, release dates from the arrival
+// process, tenants by share (each task's weight is multiplied by its
+// tenant's weight). The stream is sorted by release date and ready for
+// RunOnline.
+func GenerateArrivals(w OnlineWorkload, n int, seed int64) ([]Arrival, error) {
+	cfg, err := w.arrivalConfig()
+	if err != nil {
+		return nil, err
+	}
+	return workload.GenerateArrivals(cfg, n, seed)
+}
+
+// StreamArrivals is the constant-memory form of GenerateArrivals: it returns
+// a pull stream that draws the identical arrival sequence lazily, one task
+// at a time, ready for RunOnlineStream. Generating ten million arrivals this
+// way costs the same memory as generating ten.
+func StreamArrivals(w OnlineWorkload, n int, seed int64) (ArrivalStream, error) {
+	cfg, err := w.arrivalConfig()
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewStream(cfg, n, seed)
 }
 
 // ToProcessorSchedule converts a fractional column-based schedule into an

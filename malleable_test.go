@@ -1,6 +1,7 @@
 package malleable_test
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -333,4 +334,88 @@ func mustPolicy(t *testing.T, name string) malleable.OnlinePolicy {
 		t.Fatal(err)
 	}
 	return p
+}
+
+// The streaming facade: StreamArrivals must match GenerateArrivals,
+// RunOnlineStream must match RunOnline on aggregates, sinks must see every
+// task, and a JSONL trace must round-trip into an identical replay.
+func TestRunOnlineStreamFacade(t *testing.T) {
+	w := malleable.OnlineWorkload{
+		Class: "uniform", P: 4, Process: "bursty", Rate: 6, MeanBurst: 3,
+		Tenants: []malleable.TenantSpec{
+			{Name: "gold", Weight: 4, Share: 0.25},
+			{Name: "bronze", Weight: 1, Share: 0.75},
+		},
+	}
+	const n = 400
+	arrivals, err := malleable.GenerateArrivals(w, n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := malleable.RunOnline(4, mustPolicy(t, "wdeq"), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := malleable.StreamArrivals(w, n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := malleable.NewAggregateSink()
+	quant := malleable.NewQuantileSink(0)
+	full := malleable.NewFullSink(n)
+	res, err := malleable.RunOnlineStream(4, mustPolicy(t, "wdeq"), stream, malleable.CombineSinks(agg, quant, full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != n || res.WeightedFlow != batch.WeightedFlow || res.Makespan != batch.Makespan {
+		t.Fatalf("streaming aggregates differ: %+v vs %+v", res, batch)
+	}
+	if len(res.Tasks) != 0 {
+		t.Errorf("streaming facade retained %d rows", len(res.Tasks))
+	}
+	if agg.Tasks() != n || quant.Sketch.Count() != n || len(full.Tasks) != n {
+		t.Fatalf("sinks saw %d/%d/%d tasks, want %d", agg.Tasks(), quant.Sketch.Count(), len(full.Tasks), n)
+	}
+	for i := range full.Tasks {
+		if full.Tasks[i] != batch.Tasks[i] {
+			t.Fatalf("task %d differs via full sink: %+v vs %+v", i, full.Tasks[i], batch.Tasks[i])
+		}
+	}
+
+	// Record the workload as JSONL, replay it, and get the same run.
+	var trace bytes.Buffer
+	tw := malleable.NewArrivalTraceWriter(&trace)
+	for _, a := range arrivals {
+		if err := tw.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := malleable.RunOnlineStream(4, mustPolicy(t, "wdeq"), malleable.NewArrivalTraceReader(&trace), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.WeightedFlow != batch.WeightedFlow || replayed.Completed != n || replayed.Events != batch.Events {
+		t.Errorf("trace replay diverged: %+v vs %+v", replayed, batch)
+	}
+
+	// The sharded streaming driver merges without retaining rows.
+	source := func(shard int, seed int64) (malleable.ArrivalStream, error) {
+		return malleable.StreamArrivals(w, n, seed)
+	}
+	load, err := malleable.RunOnlineShardsStream(4, mustPolicy(t, "wdeq"), source, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.TotalTasks != 3*n || !load.FlowApprox || load.Flow.Count != 3*n {
+		t.Errorf("sharded stream load = %+v", load)
+	}
+	for _, run := range load.Shards {
+		if len(run.Result.Tasks) != 0 {
+			t.Errorf("shard %d retained rows", run.Shard)
+		}
+	}
 }
