@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/malleable-sched/malleable/internal/cluster"
 	"github.com/malleable-sched/malleable/internal/engine"
 	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/workload"
@@ -33,10 +34,22 @@ type loadtestSpec struct {
 	Shards int `json:"shards"`
 	// P is the per-shard platform capacity.
 	P float64 `json:"p"`
-	// Seed is the base seed; per-shard seeds are derived from it.
+	// Seed is the base seed; per-shard seeds are derived from it (and it
+	// seeds the router's RNG in cluster mode).
 	Seed int64 `json:"seed"`
 	// Tenants is a name:weight:share list, e.g. "gold:4:0.2,bronze:1:0.8".
 	Tenants string `json:"tenants,omitempty"`
+	// TenantSkew is a Zipf exponent reshaping the tenant shares: tenant i's
+	// effective share is divided by (i+1)^skew, turning equal shares into a
+	// skewed multi-tenant mix. 0 leaves the shares as configured.
+	TenantSkew float64 `json:"tenantSkew,omitempty"`
+	// Router switches the test into cluster mode: instead of every shard
+	// drawing its own independent arrival stream, ONE global stream (Rate is
+	// then the fleet-wide arrival rate) is dispatched across the shards by
+	// the named router (round-robin, hash-tenant, least-backlog, po2) in a
+	// single deterministic virtual timeline. Empty keeps the independent
+	// per-shard streams. Cluster mode always runs the streaming path.
+	Router string `json:"router,omitempty"`
 	// Speedup is the speedup-model spec (linear, powerlaw[:alpha],
 	// amdahl[:sigma], platform:cap@t,...); empty means the paper's linear
 	// model.
@@ -82,14 +95,15 @@ func (spec loadtestSpec) parse() (engine.Policy, workload.ArrivalConfig, []workl
 		return fail(err)
 	}
 	cfg := workload.ArrivalConfig{
-		Class:     class,
-		P:         spec.P,
-		Process:   process,
-		Rate:      spec.Rate,
-		MeanBurst: spec.Burst,
-		Tenants:   tenants,
-		CurveMin:  spec.CurveMin,
-		CurveMax:  spec.CurveMax,
+		Class:      class,
+		P:          spec.P,
+		Process:    process,
+		Rate:       spec.Rate,
+		MeanBurst:  spec.Burst,
+		Tenants:    tenants,
+		CurveMin:   spec.CurveMin,
+		CurveMax:   spec.CurveMax,
+		TenantSkew: spec.TenantSkew,
 	}
 	if err := cfg.Validate(); err != nil {
 		return fail(err)
@@ -114,12 +128,43 @@ func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.Arr
 	if spec.Shards <= 0 {
 		return nil, nil, fmt.Errorf("loadtest: need a positive shard count, got %d", spec.Shards)
 	}
-	if spec.Tasks < spec.Shards {
+	if spec.Router == "" && spec.Tasks < spec.Shards {
+		// Only the independent-streams path splits the task budget per
+		// shard; a routed cluster dispatches one global stream and is fine
+		// with fewer tasks than shards (unused shards simply drain empty).
 		return nil, nil, fmt.Errorf("loadtest: need at least one task per shard, got %d tasks over %d shards", spec.Tasks, spec.Shards)
 	}
 	policy, cfg, tenants, opts, err := spec.parse()
 	if err != nil {
 		return nil, nil, err
+	}
+	if spec.Router != "" {
+		// Cluster mode: one global stream, dispatched across the fleet by
+		// the router. The coordinator is inherently streaming, so the wrap
+		// hook (trace recording) applies to the single global stream.
+		router, err := cluster.RouterByName(spec.Router, spec.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		stream, err := workload.NewStream(cfg, spec.Tasks, spec.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		var global engine.ArrivalStream = stream
+		if wrap != nil {
+			global = wrap(0, global)
+		}
+		res, err := cluster.Run(cluster.Config{
+			Shards: spec.Shards,
+			P:      spec.P,
+			Policy: policy,
+			Router: router,
+			Opts:   opts,
+		}, global)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, tenants, nil
 	}
 	// Spread the task budget over the shards; the first Tasks%Shards shards
 	// absorb the remainder.
@@ -173,8 +218,25 @@ func renderLoadResult(w io.Writer, spec loadtestSpec, res *engine.LoadResult, te
 	if model == "" {
 		model = "linear"
 	}
-	fmt.Fprintf(w, "loadtest: policy=%s class=%s process=%s rate=%g tasks=%d shards=%d p=%g seed=%d speedup=%s stream=%v\n",
-		res.Policy, spec.Class, spec.Process, spec.Rate, spec.Tasks, spec.Shards, spec.P, spec.Seed, model, spec.Stream)
+	stream := spec.Stream
+	routed := ""
+	if spec.Router != "" {
+		// Cluster mode streams by construction and names its router.
+		stream = true
+		routed = fmt.Sprintf(" router=%s", spec.Router)
+	}
+	if spec.TenantSkew > 0 {
+		routed += fmt.Sprintf(" tenant-skew=%g", spec.TenantSkew)
+	}
+	fmt.Fprintf(w, "loadtest: policy=%s class=%s process=%s rate=%g tasks=%d shards=%d p=%g seed=%d speedup=%s stream=%v%s\n",
+		res.Policy, spec.Class, spec.Process, spec.Rate, spec.Tasks, spec.Shards, spec.P, spec.Seed, model, stream, routed)
+	renderLoadBody(w, res, tenants)
+}
+
+// renderLoadBody prints the report body shared by the generated-workload and
+// fleet-replay reports: per-shard lines, aggregate, imbalance, flow summary
+// and per-tenant rows. A nil tenants list falls back to tenant-N names.
+func renderLoadBody(w io.Writer, res *engine.LoadResult, tenants []workload.TenantSpec) {
 	for _, run := range res.Shards {
 		r := run.Result
 		fmt.Fprintf(w, "shard %d: tasks=%d events=%d max-alive=%d makespan=%.6g weighted-flow=%.6g mean-flow=%.6g throughput=%.6g\n",
@@ -182,6 +244,8 @@ func renderLoadResult(w io.Writer, spec loadtestSpec, res *engine.LoadResult, te
 	}
 	fmt.Fprintf(w, "aggregate: tasks=%d events=%d makespan=%.6g weighted-flow=%.6g throughput=%.6g\n",
 		res.TotalTasks, res.Events, res.Makespan, res.WeightedFlow, res.Throughput)
+	fmt.Fprintf(w, "imbalance: completed-min=%d completed-max=%d peak-backlog=%d\n",
+		res.MinShardCompleted, res.MaxShardCompleted, res.PeakBacklog)
 	if res.FlowApprox {
 		fmt.Fprintf(w, "flow: %s (quantiles from sketch)\n", res.Flow)
 	} else {
@@ -197,11 +261,13 @@ func renderLoadResult(w io.Writer, spec loadtestSpec, res *engine.LoadResult, te
 	}
 }
 
-// traceReplayReport replays a recorded JSONL trace through a single
-// streaming engine and renders the same report shape as a one-shard run,
-// returning the number of replayed tasks. Policy, capacity and speedup model
-// come from the spec; the workload fields are ignored (the trace is the
-// workload).
+// traceReplayReport replays a recorded JSONL trace, returning the number of
+// replayed tasks. Policy, capacity and speedup model come from the spec; the
+// workload fields are ignored (the trace is the workload). With one shard
+// and no router the trace drives a single streaming engine; with more
+// shards (or an explicit -router) the one recorded stream is dispatched
+// across the fleet by the cluster coordinator — the same trace replays at
+// any shard count, with the router deciding placement.
 func traceReplayReport(w io.Writer, spec loadtestSpec, trace io.Reader) (int, error) {
 	policy, err := engine.PolicyByName(spec.Policy)
 	if err != nil {
@@ -210,6 +276,34 @@ func traceReplayReport(w io.Writer, spec loadtestSpec, trace io.Reader) (int, er
 	model, err := speedup.ParseModel(spec.Speedup)
 	if err != nil {
 		return 0, err
+	}
+	if spec.Shards > 1 || spec.Router != "" {
+		routerName := spec.Router
+		if routerName == "" {
+			routerName = "round-robin"
+		}
+		router, err := cluster.RouterByName(routerName, spec.Seed)
+		if err != nil {
+			return 0, err
+		}
+		res, err := cluster.Run(cluster.Config{
+			Shards: spec.Shards,
+			P:      spec.P,
+			Policy: policy,
+			Router: router,
+			Opts:   engine.Options{Model: model},
+		}, workload.NewTraceReader(trace))
+		if err != nil {
+			return 0, err
+		}
+		modelName := spec.Speedup
+		if modelName == "" {
+			modelName = "linear"
+		}
+		fmt.Fprintf(w, "loadtest: policy=%s trace-replay tasks=%d shards=%d p=%g seed=%d speedup=%s stream=true router=%s\n",
+			res.Policy, res.TotalTasks, spec.Shards, spec.P, spec.Seed, modelName, routerName)
+		renderLoadBody(w, res, nil)
+		return res.TotalTasks, nil
 	}
 	agg := engine.NewAggregateSink()
 	sk := engine.NewSketchSink(0)
@@ -336,33 +430,37 @@ func runLoadtest(args []string) error {
 	tasks := fs.Int("n", 10000, "total number of tasks across all shards")
 	shards := fs.Int("shards", 4, "number of concurrent engine shards")
 	p := fs.Float64("p", 8, "per-shard platform capacity (processors)")
-	seed := fs.Int64("seed", 1, "base random seed (per-shard seeds are derived)")
+	seed := fs.Int64("seed", 1, "base random seed (per-shard seeds are derived; seeds the router RNG in cluster mode)")
 	tenants := fs.String("tenants", "", "tenant mix as name:weight:share,... (empty = single tenant)")
+	tenantSkew := fs.Float64("tenant-skew", 0, "Zipf exponent reshaping the tenant shares (tenant i's share is divided by (i+1)^skew); 0 keeps them as configured")
+	routerName := fs.String("router", "", "cluster mode: dispatch ONE global arrival stream (rate is then fleet-wide) across the shards with this router: round-robin, hash-tenant, least-backlog, po2; empty keeps independent per-shard streams")
 	speedupSpec := fs.String("speedup", "", "speedup model: linear, powerlaw[:alpha], amdahl[:sigma], platform:cap@t,... (empty = linear)")
 	curveMin := fs.Float64("curve-min", 0, "lower bound of per-task speedup-curve draws (0 with -curve-max 0 disables)")
 	curveMax := fs.Float64("curve-max", 0, "upper bound of per-task speedup-curve draws")
 	stream := fs.Bool("stream", false, "stream arrivals through the engine (O(alive) memory; flow quantiles from a sketch) — required for very large -n")
-	traceOut := fs.String("trace-out", "", "record the generated arrival stream to this JSONL file (requires -stream and -shards 1)")
-	traceIn := fs.String("trace-in", "", "replay a recorded JSONL arrival trace instead of generating a workload (single shard; implies -stream)")
+	traceOut := fs.String("trace-out", "", "record the generated arrival stream to this JSONL file (requires -stream and -shards 1, or -router, whose global stream is the one recorded)")
+	traceIn := fs.String("trace-in", "", "replay a recorded JSONL arrival trace instead of generating a workload (implies -stream; with -shards > 1 or -router the one trace is dispatched across the fleet by the cluster coordinator)")
 	mem := fs.Bool("mem", true, "print wall-clock throughput and memory statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	spec := loadtestSpec{
-		Policy:   *policy,
-		Class:    *class,
-		Process:  *process,
-		Rate:     *rate,
-		Burst:    *burst,
-		Tasks:    *tasks,
-		Shards:   *shards,
-		P:        *p,
-		Seed:     *seed,
-		Tenants:  *tenants,
-		Speedup:  *speedupSpec,
-		CurveMin: *curveMin,
-		CurveMax: *curveMax,
-		Stream:   *stream,
+		Policy:     *policy,
+		Class:      *class,
+		Process:    *process,
+		Rate:       *rate,
+		Burst:      *burst,
+		Tasks:      *tasks,
+		Shards:     *shards,
+		P:          *p,
+		Seed:       *seed,
+		Tenants:    *tenants,
+		TenantSkew: *tenantSkew,
+		Router:     *routerName,
+		Speedup:    *speedupSpec,
+		CurveMin:   *curveMin,
+		CurveMax:   *curveMax,
+		Stream:     *stream,
 	}
 	perfW := io.Discard
 	if *mem {
@@ -372,6 +470,15 @@ func runLoadtest(args []string) error {
 	if *traceIn != "" {
 		if *traceOut != "" {
 			return fmt.Errorf("loadtest: -trace-in and -trace-out are mutually exclusive")
+		}
+		// A bare -trace-in keeps its historical meaning — one trace, one
+		// streaming engine — even though the -shards flag defaults to 4.
+		// Only an explicit -shards or -router opts the replay into the
+		// cluster coordinator.
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["shards"] && !explicit["router"] {
+			spec.Shards = 1
 		}
 		f, err := os.Open(*traceIn)
 		if err != nil {
@@ -387,11 +494,13 @@ func runLoadtest(args []string) error {
 	var traceFile *os.File
 	var tee *teeStream
 	if *traceOut != "" {
-		if !spec.Stream {
-			return fmt.Errorf("loadtest: -trace-out records the streamed arrivals; add -stream")
-		}
-		if spec.Shards != 1 {
-			return fmt.Errorf("loadtest: -trace-out records one stream; use -shards 1")
+		if spec.Router == "" {
+			if !spec.Stream {
+				return fmt.Errorf("loadtest: -trace-out records the streamed arrivals; add -stream (or -router)")
+			}
+			if spec.Shards != 1 {
+				return fmt.Errorf("loadtest: -trace-out records one stream; use -shards 1 or a -router cluster (whose global stream is recorded)")
+			}
 		}
 		f, err := os.Create(*traceOut)
 		if err != nil {

@@ -361,3 +361,169 @@ func TestServeMetricsAccumulate(t *testing.T) {
 		t.Errorf("metrics after two runs: runs=%d tasks=%d meanFlow=%g", runs, tasks, meanFlow)
 	}
 }
+
+// Cluster mode: every bundled router renders a byte-deterministic report
+// carrying the router name and the imbalance line — the fixed-seed
+// reproducibility criterion at the CLI surface.
+func TestLoadtestReportClusterRouters(t *testing.T) {
+	for _, router := range []string{"round-robin", "hash-tenant", "least-backlog", "po2"} {
+		spec := testSpec()
+		spec.Router = router
+		spec.Tenants = "gold:4:0.25,silver:2:0.25,bronze:1:0.25,iron:1:0.25"
+		spec.TenantSkew = 1.2
+		spec.Rate = 40
+		var a, b bytes.Buffer
+		if err := loadtestReport(&a, spec); err != nil {
+			t.Fatalf("%s: %v", router, err)
+		}
+		if err := loadtestReport(&b, spec); err != nil {
+			t.Fatalf("%s: %v", router, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s: cluster reports differ:\n%s\nvs\n%s", router, a.String(), b.String())
+		}
+		out := a.String()
+		for _, want := range []string{
+			"router=" + router, "tenant-skew=1.2", "stream=true",
+			"aggregate: tasks=400", "imbalance: completed-min=", "peak-backlog=",
+			"quantiles from sketch",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: report misses %q:\n%s", router, want, out)
+			}
+		}
+	}
+	bad := testSpec()
+	bad.Router = "nope"
+	if _, _, err := runLoadtestSpec(bad); err == nil || !strings.Contains(err.Error(), "unknown router") {
+		t.Errorf("unknown router error = %v", err)
+	}
+}
+
+// One recorded trace must replay across a fleet of any shard count through
+// the cluster coordinator, conserving the task total and staying
+// byte-deterministic.
+func TestLoadtestTraceReplayAcrossFleet(t *testing.T) {
+	spec := testSpec()
+	spec.Stream = true
+	spec.Shards = 1
+	spec.Tasks = 300
+
+	var trace bytes.Buffer
+	var tee *teeStream
+	if _, _, err := runLoadtestSpecWrapped(spec, func(shard int, s engine.ArrivalStream) engine.ArrivalStream {
+		tee = &teeStream{inner: s, tw: workload.NewTraceWriter(&trace)}
+		return tee
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{2, 4} {
+		replay := spec
+		replay.Shards = shards
+		replay.Router = "least-backlog"
+		var a, b bytes.Buffer
+		n, err := traceReplayReport(&a, replay, bytes.NewReader(trace.Bytes()))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if n != spec.Tasks {
+			t.Fatalf("shards=%d: replayed %d tasks, want %d", shards, n, spec.Tasks)
+		}
+		if _, err := traceReplayReport(&b, replay, bytes.NewReader(trace.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("shards=%d: fleet replays differ:\n%s\nvs\n%s", shards, a.String(), b.String())
+		}
+		out := a.String()
+		for _, want := range []string{"trace-replay", "router=least-backlog", "shard 1:", "imbalance: completed-min="} {
+			if !strings.Contains(out, want) {
+				t.Errorf("shards=%d: replay report misses %q:\n%s", shards, want, out)
+			}
+		}
+	}
+}
+
+// -tenant-skew must visibly shift traffic toward the head tenant.
+func TestLoadtestTenantSkewShiftsTraffic(t *testing.T) {
+	headTasks := func(skew float64) int {
+		spec := testSpec()
+		spec.Tenants = "a:1:1,b:1:1,c:1:1,d:1:1"
+		spec.TenantSkew = skew
+		res, _, err := runLoadtestSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tm := range res.PerTenant {
+			if tm.Tenant == 0 {
+				return tm.Tasks
+			}
+		}
+		return 0
+	}
+	flat, skewed := headTasks(0), headTasks(2)
+	// Equal shares give tenant 0 ~25%; skew 2 gives 1/(sum 1/k^2) ~ 70%.
+	if skewed <= flat+flat/2 {
+		t.Errorf("head tenant tasks: flat=%d skew2=%d — skew did not concentrate traffic", flat, skewed)
+	}
+}
+
+// The serve endpoint must accept cluster specs and report the router and
+// imbalance fields.
+func TestServeLoadtestCluster(t *testing.T) {
+	srv := httptest.NewServer(newServeMux())
+	defer srv.Close()
+	spec := testSpec()
+	spec.Router = "po2"
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(srv.URL+"/v1/loadtest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster loadtest status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Router            string `json:"router"`
+		TotalTasks        int    `json:"totalTasks"`
+		MinShardCompleted *int   `json:"minShardCompleted"`
+		MaxShardCompleted *int   `json:"maxShardCompleted"`
+		PeakBacklog       *int   `json:"peakBacklog"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Router != "po2" || out.TotalTasks != 400 ||
+		out.MinShardCompleted == nil || out.MaxShardCompleted == nil || out.PeakBacklog == nil {
+		t.Errorf("cluster response = %+v", out)
+	}
+	if *out.MinShardCompleted+*out.MaxShardCompleted > 2**out.MaxShardCompleted {
+		t.Errorf("imbalance fields inconsistent: min=%d max=%d", *out.MinShardCompleted, *out.MaxShardCompleted)
+	}
+}
+
+// Cluster mode dispatches one global stream, so fewer tasks than shards is
+// legal (unused shards drain empty); the per-shard minimum only applies to
+// the independent-streams split.
+func TestLoadtestClusterFewerTasksThanShards(t *testing.T) {
+	spec := testSpec()
+	spec.Router = "round-robin"
+	spec.Shards = 8
+	spec.Tasks = 3
+	res, _, err := runLoadtestSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTasks != 3 || len(res.Shards) != 8 {
+		t.Errorf("total=%d shards=%d, want 3 tasks over 8 shards", res.TotalTasks, len(res.Shards))
+	}
+	spec.Router = ""
+	if _, _, err := runLoadtestSpec(spec); err == nil {
+		t.Error("independent-streams split accepted fewer tasks than shards")
+	}
+}

@@ -11,6 +11,7 @@
 //	mwct experiment -name e1 [-full]
 //	mwct bandwidth  -workers 8 -seed 7
 //	mwct loadtest   -policy wdeq -n 10000 -shards 4 -rate 8 -seed 1
+//	mwct loadtest   -router po2 -shards 8 -n 100000 -rate 120 -tenant-skew 1.5
 //	mwct bench      -json BENCH_2026-07-30.json -baseline BENCH_baseline.json
 //	mwct serve      -addr :8080
 //
@@ -72,8 +73,13 @@ Commands:
               weight-greedy, smith-ratio; see examples/onlineload for a
               runnable WDEQ-vs-DEQ comparison). -stream runs in O(alive)
               memory (use it for -n in the millions), -trace-out/-trace-in
-              record and replay JSONL arrival traces, and a perf footer on
-              stderr reports wall tasks/sec, allocs/task and peak heap
+              record and replay JSONL arrival traces (a recorded trace
+              replays at any -shards count), and a perf footer on stderr
+              reports wall tasks/sec, allocs/task and peak heap. -router
+              switches to cluster mode: ONE global arrival stream dispatched
+              across the shards by round-robin, hash-tenant, least-backlog
+              or po2 routing in a deterministic virtual timeline (see
+              examples/cluster); -tenant-skew Zipf-skews the tenant mix
   bench       run the pinned performance scenarios, write the JSON report,
               and optionally gate on a baseline (-baseline BENCH_baseline.json
               -max-regress 0.25); CI runs this on every push

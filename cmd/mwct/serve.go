@@ -195,19 +195,28 @@ func handleLoadtest(w http.ResponseWriter, r *http.Request, metrics *serveMetric
 			"throughput":   run.Result.Throughput(),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"policy":       res.Policy,
-		"p":            res.P,
-		"totalTasks":   res.TotalTasks,
-		"events":       res.Events,
-		"makespan":     res.Makespan,
-		"weightedFlow": res.WeightedFlow,
-		"throughput":   res.Throughput,
-		"flow":         res.Flow,
-		"flowApprox":   res.FlowApprox,
-		"perTenant":    res.PerTenant,
-		"shards":       shards,
-	})
+	out := map[string]any{
+		"policy":            res.Policy,
+		"p":                 res.P,
+		"totalTasks":        res.TotalTasks,
+		"events":            res.Events,
+		"makespan":          res.Makespan,
+		"weightedFlow":      res.WeightedFlow,
+		"throughput":        res.Throughput,
+		"flow":              res.Flow,
+		"flowApprox":        res.FlowApprox,
+		"perTenant":         res.PerTenant,
+		"shards":            shards,
+		"minShardCompleted": res.MinShardCompleted,
+		"maxShardCompleted": res.MaxShardCompleted,
+		"peakBacklog":       res.PeakBacklog,
+	}
+	if spec.Router != "" {
+		// Cluster runs name their router so a client can tell a routed
+		// fleet from independent per-shard streams.
+		out["router"] = spec.Router
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // runServe implements `mwct serve`.

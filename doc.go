@@ -52,7 +52,16 @@
 //     capacities — the same policies and workloads run unchanged under any
 //     of them (OnlineOptions.Model). RunStatic replays a static instance on
 //     the kernel and, under linear models, reconstructs the column-based
-//     schedule from the decision trace.
+//     schedule from the decision trace;
+//   - RunCluster, the virtual-time fleet layer: ONE global arrival stream is
+//     dispatched across many engine shards by a pluggable ClusterRouter
+//     (RouterByName: round-robin, hash-tenant, least-backlog, po2), which
+//     observes exact live backlog snapshots because the coordinator
+//     interleaves shard events in global order — shard count becomes a
+//     scheduling variable, and a fixed seed replays the whole fleet byte for
+//     byte. The kernel itself is exposed in resumable form as OnlineStepper
+//     (StartStream/StartFeed on an OnlineRunner), advancing one event at a
+//     time and suspendable between events.
 //
 // The heavy lifting lives in internal packages (internal/core,
 // internal/schedule, internal/engine, internal/lp, ...); this package is the

@@ -1,0 +1,205 @@
+// Package cluster is the virtual-time fleet layer above the engine kernel:
+// one coordinator owns N resumable steppers (one per shard) and ONE global
+// arrival stream, and dispatches each arrival at its release time to a shard
+// chosen by a pluggable Router. This is the layer where shard count becomes
+// a scheduling variable instead of a parallelism knob — the engine's
+// independent-streams drivers (engine.RunShards*) answer "how fast can N
+// decoupled schedulers run", this package answers "how should arriving tasks
+// be routed to schedulers, and what does the routing policy cost".
+//
+// The coordinator is strictly sequential and advances the fleet in global
+// event order: before an arrival is routed, every shard has processed every
+// event up to the arrival's release, so the Router observes exact live
+// backlog and allocation snapshots, not stale polls. That sequencing is also
+// what makes a cluster run byte-deterministic — same stream, same router,
+// same seed, same report, at any GOMAXPROCS.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/malleable-sched/malleable/internal/engine"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// Shards is the number of scheduler shards (engine steppers).
+	Shards int
+	// P is the per-shard platform capacity.
+	P float64
+	// Policy is the per-shard scheduling policy (shared; bundled policies
+	// are stateless values, and the coordinator is sequential anyway).
+	Policy engine.Policy
+	// Router picks the destination shard of each arrival; nil defaults to
+	// round-robin.
+	Router Router
+	// Opts are the per-shard engine options (speedup model, event bounds),
+	// applied uniformly to every shard.
+	Opts engine.Options
+	// Sink, when non-nil, observes every completed task of the whole fleet.
+	// The coordinator is sequential, so one shared sink sees completions in
+	// a deterministic order (global event order, shards stepped lowest
+	// index first on ties).
+	Sink engine.MetricSink
+}
+
+// Run dispatches the global arrival stream across the fleet and merges the
+// per-shard outcomes into the same LoadResult schema the independent-streams
+// drivers report: per-shard results in Shards, deterministic aggregate and
+// sketch merges, flow quantiles flagged FlowApprox, and the imbalance
+// fields (MinShardCompleted/MaxShardCompleted/PeakBacklog) that make router
+// quality visible without a profiler.
+//
+// Arrivals are validated at the coordinator boundary (well-formed,
+// non-decreasing releases) and fed to the routed shard at their release
+// time; per-task rows are never retained, so a run's memory is
+// O(shards · (alive tasks + sink size)) regardless of the stream length.
+func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
+	if stream == nil {
+		return nil, fmt.Errorf("cluster: nil arrival stream")
+	}
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one shard, got %d", cfg.Shards)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("cluster: nil policy")
+	}
+	router := cfg.Router
+	if router == nil {
+		router = NewRoundRobin()
+	}
+
+	n := cfg.Shards
+	runners := make([]*engine.Runner, n)
+	results := make([]*engine.Result, n)
+	aggs := make([]*engine.AggregateSink, n)
+	sketches := make([]*engine.SketchSink, n)
+	steppers := make([]*engine.Stepper, n)
+	states := make([]ShardState, n)
+	dispatched := make([]int, n)
+	for i := 0; i < n; i++ {
+		runners[i] = engine.NewRunner()
+		results[i] = &engine.Result{}
+		aggs[i] = engine.NewAggregateSink()
+		sketches[i] = engine.NewSketchSink(0)
+		st, err := runners[i].StartFeed(results[i], cfg.P, cfg.Policy, engine.MultiSink(aggs[i], sketches[i], cfg.Sink), cfg.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		steppers[i] = st
+	}
+
+	// One look-ahead into the global stream, with the same boundary
+	// validation the engine applies: every arrival well-formed, releases
+	// non-decreasing, errors labeled with the stream position.
+	count := 0
+	lastRelease := 0.0
+	pull := func() (engine.Arrival, bool, error) {
+		a, ok, err := stream.Next()
+		if err != nil {
+			return engine.Arrival{}, false, fmt.Errorf("cluster: arrival %d: %w", count, err)
+		}
+		if !ok {
+			return engine.Arrival{}, false, nil
+		}
+		if err := a.Validate(); err != nil {
+			return engine.Arrival{}, false, fmt.Errorf("cluster: arrival %d: %w", count, err)
+		}
+		if count > 0 && a.Release < lastRelease {
+			return engine.Arrival{}, false, fmt.Errorf(
+				"cluster: arrival %d: release %g precedes %g — the global stream must be non-decreasing in release time",
+				count, a.Release, lastRelease)
+		}
+		lastRelease = a.Release
+		count++
+		return a, true, nil
+	}
+
+	// step advances the earliest-next-event shard by one event; ties break
+	// toward the lowest shard index so the interleave is deterministic.
+	step := func(horizon float64) error {
+		for {
+			best, bestT := -1, math.Inf(1)
+			for i, st := range steppers {
+				if t := st.NextEventTime(); t < bestT {
+					best, bestT = i, t
+				}
+			}
+			if best < 0 || bestT > horizon {
+				return nil
+			}
+			if _, err := steppers[best].Step(); err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", best, err)
+			}
+		}
+	}
+
+	next, ok, err := pull()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("cluster: empty arrival stream")
+	}
+	for ok {
+		// Bring every shard up to the arrival's release time: completions
+		// (and capacity steps) due before it are processed first, so the
+		// router's snapshots are exact at dispatch time. Shard events at the
+		// same instant as the arrival retire before routing — a router
+		// should see a queue that just drained as drained.
+		if err := step(next.Release); err != nil {
+			return nil, err
+		}
+		for i, st := range steppers {
+			states[i] = ShardState{
+				Shard:      i,
+				Now:        st.Now(),
+				Backlog:    st.Backlog(),
+				Allocated:  st.Allocated(),
+				Completed:  st.Completed(),
+				Dispatched: dispatched[i],
+			}
+		}
+		idx := router.Route(next, states)
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("cluster: router %q routed arrival %d to shard %d of %d", router.Name(), count-1, idx, n)
+		}
+		if err := steppers[idx].Feed(next); err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", idx, err)
+		}
+		dispatched[idx]++
+		next, ok, err = pull()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The global stream is over: close every feed and drain the fleet in
+	// the same global event order.
+	for _, st := range steppers {
+		st.CloseFeed()
+	}
+	if err := step(math.Inf(1)); err != nil {
+		return nil, err
+	}
+	runs := make([]engine.ShardRun, n)
+	for i, st := range steppers {
+		// A shard that never received an arrival still needs its final Step
+		// to observe the closed feed and finish.
+		if !st.Done() {
+			if _, err := st.Step(); err != nil {
+				return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+			}
+		}
+		if err := st.Finish(); err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		runs[i] = engine.ShardRun{Shard: i, Result: results[i]}
+	}
+	res, err := engine.MergeShards(cfg.P, cfg.Policy.Name(), runs, aggs, sketches)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

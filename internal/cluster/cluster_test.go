@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// skewedConfig is the Zipf-skewed multi-tenant workload of the router
+// comparison: eight tenants, skew 1.5 (the head tenant absorbs ~58% of the
+// traffic), offered load ~0.95 of the fleet capacity so backlog actually
+// builds and routing quality shows in the tail.
+func skewedConfig(rate float64) workload.ArrivalConfig {
+	return workload.ArrivalConfig{
+		Class:   workload.Uniform,
+		P:       8,
+		Process: workload.Poisson,
+		Rate:    rate,
+		Tenants: []workload.TenantSpec{
+			{Name: "t0", Weight: 4, Share: 1}, {Name: "t1", Weight: 2, Share: 1},
+			{Name: "t2", Weight: 1, Share: 1}, {Name: "t3", Weight: 1, Share: 1},
+			{Name: "t4", Weight: 1, Share: 1}, {Name: "t5", Weight: 1, Share: 1},
+			{Name: "t6", Weight: 1, Share: 1}, {Name: "t7", Weight: 1, Share: 1},
+		},
+		TenantSkew: 1.5,
+	}
+}
+
+func wdeq(t *testing.T) engine.Policy {
+	t.Helper()
+	policy, err := engine.PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return policy
+}
+
+func runCluster(t *testing.T, router string, shards, n int, seed int64) *engine.LoadResult {
+	t.Helper()
+	stream, err := workload.NewStream(skewedConfig(60.8), n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RouterByName(router, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shards: shards, P: 8, Policy: wdeq(t), Router: r}, stream)
+	if err != nil {
+		t.Fatalf("%s: %v", router, err)
+	}
+	return res
+}
+
+// recordingRouter wraps a router and captures its dispatch sequence.
+type recordingRouter struct {
+	inner    Router
+	dispatch []int
+}
+
+func (r *recordingRouter) Name() string { return r.inner.Name() }
+func (r *recordingRouter) Route(a engine.Arrival, shards []ShardState) int {
+	i := r.inner.Route(a, shards)
+	r.dispatch = append(r.dispatch, i)
+	return i
+}
+
+// The cluster determinism contract: with a fixed seed, every bundled router
+// produces a byte-identical dispatch sequence and a byte-identical merged
+// report across repeated runs AND across GOMAXPROCS settings — the
+// coordinator is sequential by design, so parallelism must not be able to
+// leak into results.
+func TestClusterDeterministicAcrossRunsAndGOMAXPROCS(t *testing.T) {
+	const n = 4000
+	run := func(router string) ([]int, []byte) {
+		stream, err := workload.NewStream(skewedConfig(60.8), n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := RouterByName(router, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &recordingRouter{inner: inner}
+		res, err := Run(Config{Shards: 4, P: 8, Policy: wdeq(t), Router: rec}, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.dispatch, blob
+	}
+	for _, router := range RouterNames() {
+		t.Run(router, func(t *testing.T) {
+			dispatch, blob := run(router)
+			if len(dispatch) != n {
+				t.Fatalf("routed %d arrivals, want %d", len(dispatch), n)
+			}
+			prev := runtime.GOMAXPROCS(1)
+			dispatch1, blob1 := run(router)
+			runtime.GOMAXPROCS(prev)
+			dispatch2, blob2 := run(router)
+			for i := range dispatch {
+				if dispatch[i] != dispatch1[i] || dispatch[i] != dispatch2[i] {
+					t.Fatalf("dispatch %d differs across runs: %d vs %d vs %d", i, dispatch[i], dispatch1[i], dispatch2[i])
+				}
+			}
+			if string(blob) != string(blob1) || string(blob) != string(blob2) {
+				t.Fatalf("merged reports differ across runs/GOMAXPROCS")
+			}
+		})
+	}
+}
+
+// The router-quality acceptance criterion: on the Zipf-skewed near-saturated
+// workload, both backlog-aware routers beat blind round-robin on p99 flow by
+// a clear margin (the measured gap at this seed is ~1.2x; the assert leaves
+// slack). The numbers behind this test are recorded in EXPERIMENTS.md.
+func TestBacklogAwareRoutersBeatRoundRobinP99(t *testing.T) {
+	const n, seed = 30000, 12345
+	rr := runCluster(t, "round-robin", 4, n, seed)
+	lb := runCluster(t, "least-backlog", 4, n, seed)
+	po2 := runCluster(t, "po2", 4, n, seed)
+	if rr.TotalTasks != n || lb.TotalTasks != n || po2.TotalTasks != n {
+		t.Fatalf("task counts: rr=%d lb=%d po2=%d, want %d", rr.TotalTasks, lb.TotalTasks, po2.TotalTasks, n)
+	}
+	const margin = 1.05
+	if rr.Flow.P99 < margin*lb.Flow.P99 {
+		t.Errorf("least-backlog p99 %.4g does not beat round-robin %.4g by %.2fx", lb.Flow.P99, rr.Flow.P99, margin)
+	}
+	if rr.Flow.P99 < margin*po2.Flow.P99 {
+		t.Errorf("po2 p99 %.4g does not beat round-robin %.4g by %.2fx", po2.Flow.P99, rr.Flow.P99, margin)
+	}
+	// The mechanism, not just the outcome: the backlog-aware routers keep
+	// the worst per-shard queue strictly shorter.
+	if lb.PeakBacklog >= rr.PeakBacklog || po2.PeakBacklog >= rr.PeakBacklog {
+		t.Errorf("peak backlogs rr=%d lb=%d po2=%d: backlog-aware routers should cap the worst queue",
+			rr.PeakBacklog, lb.PeakBacklog, po2.PeakBacklog)
+	}
+}
+
+// A one-shard cluster is a single engine with extra bookkeeping: whatever
+// the router, the merged result must match RunStreamInto on the same stream
+// bit-for-bit — the anchor tying coordinator semantics to the kernel.
+func TestSingleShardClusterMatchesEngine(t *testing.T) {
+	const n, seed = 2000, 3
+	cfg := skewedConfig(12)
+	stream, err := workload.NewStream(cfg, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want engine.Result
+	agg := engine.NewAggregateSink()
+	if err := engine.NewRunner().RunStreamInto(&want, 8, wdeq(t), stream, agg, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	stream2, err := workload.NewStream(cfg, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shards: 1, P: 8, Policy: wdeq(t), Router: NewPowerOfTwo(5)}, stream2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Shards[0].Result
+	if got.Completed != want.Completed || got.Events != want.Events || got.MaxAlive != want.MaxAlive ||
+		got.Makespan != want.Makespan || got.WeightedFlow != want.WeightedFlow || got.TotalFlow != want.TotalFlow {
+		t.Fatalf("one-shard cluster diverges from the engine:\n%+v\nvs\n%+v", got, want)
+	}
+	if res.MinShardCompleted != n || res.MaxShardCompleted != n || res.PeakBacklog != want.MaxAlive {
+		t.Fatalf("imbalance fields: min=%d max=%d peak=%d, want %d/%d/%d",
+			res.MinShardCompleted, res.MaxShardCompleted, res.PeakBacklog, n, n, want.MaxAlive)
+	}
+}
+
+// hash-tenant affinity: every task of a tenant lands on the same shard, and
+// the per-shard completion spread mirrors the Zipf skew.
+func TestHashTenantAffinity(t *testing.T) {
+	const n = 3000
+	stream, err := workload.NewStream(skewedConfig(30), n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewHashTenant(1)
+	rec := &recordingRouter{inner: inner}
+	// Capture tenants alongside the dispatch through a teeing stream.
+	var tenants []int
+	tee := streamFunc(func() (engine.Arrival, bool, error) {
+		a, ok, err := stream.Next()
+		if ok {
+			tenants = append(tenants, a.Tenant)
+		}
+		return a, ok, err
+	})
+	res, err := Run(Config{Shards: 4, P: 8, Policy: wdeq(t), Router: rec}, tee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTasks != n {
+		t.Fatalf("completed %d, want %d", res.TotalTasks, n)
+	}
+	shardOf := map[int]int{}
+	for i, tenant := range tenants {
+		if prev, seen := shardOf[tenant]; seen && prev != rec.dispatch[i] {
+			t.Fatalf("tenant %d split across shards %d and %d", tenant, prev, rec.dispatch[i])
+		}
+		shardOf[tenant] = rec.dispatch[i]
+	}
+	if res.MaxShardCompleted <= res.MinShardCompleted {
+		t.Errorf("skewed affinity should imbalance shards: min=%d max=%d", res.MinShardCompleted, res.MaxShardCompleted)
+	}
+}
+
+// streamFunc adapts a closure to an ArrivalStream.
+type streamFunc func() (engine.Arrival, bool, error)
+
+func (f streamFunc) Next() (engine.Arrival, bool, error) { return f() }
+
+// Coordinator boundary validation and error paths.
+func TestClusterErrors(t *testing.T) {
+	policy := wdeq(t)
+	valid := func() engine.ArrivalStream {
+		s, err := workload.NewStream(skewedConfig(12), 32, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		in   engine.ArrivalStream
+		want string
+	}{
+		{"nil stream", Config{Shards: 2, P: 8, Policy: policy}, nil, "nil arrival stream"},
+		{"zero shards", Config{Shards: 0, P: 8, Policy: policy}, valid(), "at least one shard"},
+		{"nil policy", Config{Shards: 2, P: 8}, valid(), "nil policy"},
+		{"bad capacity", Config{Shards: 2, P: -1, Policy: policy}, valid(), "positive"},
+		{"empty stream", Config{Shards: 2, P: 8, Policy: policy},
+			streamFunc(func() (engine.Arrival, bool, error) { return engine.Arrival{}, false, nil }), "empty arrival stream"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(tc.cfg, tc.in)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("misordered stream", func(t *testing.T) {
+		task := schedule.Task{Weight: 1, Volume: 1, Delta: 2}
+		arr := []engine.Arrival{{Task: task, Release: 2}, {Task: task, Release: 1}}
+		pos := 0
+		s := streamFunc(func() (engine.Arrival, bool, error) {
+			if pos >= len(arr) {
+				return engine.Arrival{}, false, nil
+			}
+			a := arr[pos]
+			pos++
+			return a, true, nil
+		})
+		_, err := Run(Config{Shards: 2, P: 8, Policy: policy}, s)
+		if err == nil || !strings.Contains(err.Error(), "non-decreasing") {
+			t.Fatalf("error = %v, want release-order violation", err)
+		}
+	})
+
+	t.Run("out-of-range router", func(t *testing.T) {
+		bad := routerFunc(func(a engine.Arrival, shards []ShardState) int { return len(shards) })
+		_, err := Run(Config{Shards: 2, P: 8, Policy: policy, Router: bad}, valid())
+		if err == nil || !strings.Contains(err.Error(), "routed arrival") {
+			t.Fatalf("error = %v, want out-of-range routing", err)
+		}
+	})
+
+	t.Run("nil router defaults to round-robin", func(t *testing.T) {
+		res, err := Run(Config{Shards: 2, P: 8, Policy: policy}, valid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxShardCompleted-res.MinShardCompleted > 1 {
+			t.Errorf("default round-robin split %d/%d is not even", res.MinShardCompleted, res.MaxShardCompleted)
+		}
+	})
+}
+
+// routerFunc adapts a closure to a Router.
+type routerFunc func(a engine.Arrival, shards []ShardState) int
+
+func (f routerFunc) Name() string                                    { return "func" }
+func (f routerFunc) Route(a engine.Arrival, shards []ShardState) int { return f(a, shards) }
+
+// A shared Config.Sink must observe every completion of the fleet exactly
+// once, in a deterministic order, with non-decreasing completion times (the
+// global virtual timeline).
+func TestClusterSharedSinkGlobalOrder(t *testing.T) {
+	const n = 1500
+	var completions []float64
+	sink := sinkFunc(func(m engine.TaskMetrics) { completions = append(completions, m.Completion) })
+	stream, err := workload.NewStream(skewedConfig(40), n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shards: 3, P: 8, Policy: wdeq(t), Router: NewLeastBacklog(), Sink: sink}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completions) != n || res.TotalTasks != n {
+		t.Fatalf("sink saw %d completions, result %d, want %d", len(completions), res.TotalTasks, n)
+	}
+	for i := 1; i < len(completions); i++ {
+		if completions[i] < completions[i-1] {
+			t.Fatalf("completion %d at %g precedes %g — sink order is not the global timeline", i, completions[i], completions[i-1])
+		}
+	}
+	if math.IsNaN(res.Flow.P99) || res.Flow.P99 <= 0 {
+		t.Fatalf("merged p99 = %g", res.Flow.P99)
+	}
+}
+
+// sinkFunc adapts a closure to a MetricSink.
+type sinkFunc func(m engine.TaskMetrics)
+
+func (f sinkFunc) Observe(m engine.TaskMetrics) { f(m) }

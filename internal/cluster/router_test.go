@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/engine"
+)
+
+func states(backlogs ...int) []ShardState {
+	out := make([]ShardState, len(backlogs))
+	for i, b := range backlogs {
+		out[i] = ShardState{Shard: i, Backlog: b}
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := NewRoundRobin()
+	s := states(0, 0, 0)
+	for i := 0; i < 9; i++ {
+		if got := r.Route(engine.Arrival{}, s); got != i%3 {
+			t.Fatalf("dispatch %d went to %d, want %d", i, got, i%3)
+		}
+	}
+}
+
+func TestLeastBacklogArgminAndTies(t *testing.T) {
+	r := NewLeastBacklog()
+	if got := r.Route(engine.Arrival{}, states(3, 1, 2, 1)); got != 1 {
+		t.Errorf("argmin = %d, want 1 (lowest index among minima)", got)
+	}
+	// All-equal backlogs: the dispatched tie-break spreads instead of
+	// pinning shard 0.
+	s := states(0, 0, 0)
+	s[0].Dispatched = 2
+	s[1].Dispatched = 1
+	if got := r.Route(engine.Arrival{}, s); got != 2 {
+		t.Errorf("tie-break = %d, want 2 (fewest dispatched)", got)
+	}
+}
+
+func TestHashTenantStableMapping(t *testing.T) {
+	r := NewHashTenant(7)
+	s := states(0, 0, 0, 0)
+	for tenant := 0; tenant < 16; tenant++ {
+		a := engine.Arrival{Tenant: tenant}
+		first := r.Route(a, s)
+		for i := 0; i < 3; i++ {
+			if got := r.Route(a, s); got != first {
+				t.Fatalf("tenant %d moved from shard %d to %d", tenant, first, got)
+			}
+		}
+	}
+	// A different seed permutes the mapping (with 16 tenants over 4 shards
+	// at least one must move).
+	other := NewHashTenant(8)
+	moved := false
+	for tenant := 0; tenant < 16; tenant++ {
+		a := engine.Arrival{Tenant: tenant}
+		if r.Route(a, s) != other.Route(a, s) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("seed change left the tenant mapping identical")
+	}
+}
+
+func TestPowerOfTwoSeededReplay(t *testing.T) {
+	s := states(5, 0, 7, 3)
+	a := NewPowerOfTwo(123)
+	b := NewPowerOfTwo(123)
+	c := NewPowerOfTwo(124)
+	var seqA, seqC []int
+	for i := 0; i < 64; i++ {
+		ra := a.Route(engine.Arrival{}, s)
+		if rb := b.Route(engine.Arrival{}, s); ra != rb {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, ra, rb)
+		}
+		seqA = append(seqA, ra)
+		seqC = append(seqC, c.Route(engine.Arrival{}, s))
+	}
+	same := true
+	for i := range seqA {
+		if seqA[i] != seqC[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical 64-draw sequence")
+	}
+	// po2 must always prefer the smaller backlog of its two samples: shard
+	// 2 (backlog 7) can only win against itself.
+	for i, v := range seqA {
+		if v == 2 {
+			// Legal only if both draws hit shard 2; rare but possible. Check
+			// it is not the norm.
+			_ = i
+		}
+	}
+	count2 := 0
+	for _, v := range seqA {
+		if v == 2 {
+			count2++
+		}
+	}
+	if count2 > len(seqA)/4 {
+		t.Errorf("deepest shard won %d of %d po2 draws", count2, len(seqA))
+	}
+}
+
+func TestRouterByName(t *testing.T) {
+	for _, name := range RouterNames() {
+		r, err := RouterByName(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Name() != name {
+			t.Errorf("RouterByName(%q).Name() = %q", name, r.Name())
+		}
+	}
+	if _, err := RouterByName("nope", 1); err == nil || !strings.Contains(err.Error(), "unknown router") {
+		t.Errorf("unknown router error = %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// The cluster soak: a quarter-million arrivals routed across an
+// eight-shard fleet in one virtual timeline. It asserts the two properties
+// a long cluster run must keep — every task completes exactly once, and the
+// coordinator's memory stays O(shards · alive), not O(stream) (per-task
+// rows are never retained). CI runs it under the race detector as a
+// dedicated step; -short skips it to keep local iteration fast.
+func TestClusterSoakRoutedFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak drives 250k arrivals; skipped with -short")
+	}
+	const n = 250_000
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	stream, err := workload.NewStream(skewedConfig(57.6), n, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := RouterByName("po2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shards: 4, P: 8, Policy: wdeq(t), Router: router}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTasks != n {
+		t.Fatalf("completed %d tasks, want %d", res.TotalTasks, n)
+	}
+	min, max := res.MinShardCompleted, res.MaxShardCompleted
+	if min <= 0 || max >= n {
+		t.Fatalf("degenerate dispatch: min=%d max=%d", min, max)
+	}
+	if res.Flow.P99 <= 0 {
+		t.Fatalf("p99 flow = %g", res.Flow.P99)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	// The live-heap delta must be a fleet-sized constant, nowhere near the
+	// ~40 MiB retaining 250k TaskMetrics rows would cost. 4 MiB of slack
+	// absorbs sketch windows and allocator noise.
+	if delta := int64(after.HeapAlloc) - int64(before.HeapAlloc); delta > 4<<20 {
+		t.Errorf("live heap grew by %d bytes over a %d-task cluster run; want a fleet-sized constant", delta, n)
+	}
+}

@@ -304,6 +304,11 @@ type Runner struct {
 	checked checkedStream
 	tasks   resultSink
 
+	// step is the embedded resumable state machine of the event loop; one
+	// Runner drives one stepper at a time, and embedding it keeps
+	// StartStream/StartFeed allocation-free on reuse.
+	step Stepper
+
 	// policySrc/policyRun cache the per-run clone of scratch-holding
 	// policies (RunCloner), so repeated runs with the same policy value skip
 	// the clone allocation too.
@@ -418,7 +423,10 @@ func (r *Runner) RunInto(res *Result, p float64, policy Policy, arrivals []Arriv
 		}
 	}
 	r.tasks.tasks = tasks
-	err := r.runCore(res, p, policy, &r.slice, &r.tasks, opts, tasks)
+	st, err := r.start(res, p, policy, &r.slice, &r.tasks, opts, tasks, false)
+	if err == nil {
+		err = st.drain()
+	}
 	r.slice = sliceSource{}
 	r.tasks.tasks = nil
 	return err
@@ -464,30 +472,92 @@ func (r *Runner) RunStreamWithOptions(p float64, policy Policy, stream ArrivalSt
 // Like RunInto, a warmed Runner driving a reused res (with sinks that do not
 // allocate in steady state, like a warmed AggregateSink or SketchSink)
 // performs no heap allocation per event.
+//
+// RunStreamInto is a thin drive-to-completion loop over the resumable
+// Stepper; callers that need to suspend between events (or interleave many
+// engines in one virtual timeline, like internal/cluster) use StartStream or
+// StartFeed and drive the Stepper themselves.
 func (r *Runner) RunStreamInto(res *Result, p float64, policy Policy, stream ArrivalStream, sink MetricSink, opts Options) error {
-	if stream == nil {
-		return fmt.Errorf("engine: nil arrival stream")
+	st, err := r.StartStream(res, p, policy, stream, sink, opts)
+	if err == nil {
+		err = st.drain()
 	}
-	r.checked = checkedStream{stream: stream}
-	err := r.runCore(res, p, policy, &r.checked, sink, opts, res.Tasks[:0])
 	r.checked = checkedStream{}
 	return err
 }
 
-// runCore is the single event loop behind both entry points.
+// Stepper is the kernel event loop in resumable form: an explicit state
+// machine that advances the run one event at a time and can be suspended
+// between events. Its rest state is always "all events at times <= Now()
+// have been processed and an allocation has been decided for the current
+// alive set"; the integration toward the next event happens lazily at the
+// start of the next Step. That lazy advance is what makes a suspended
+// stepper composable: between two Step calls the clock has not committed
+// past Now(), so a coordinator may still Feed an arrival with a release
+// date before the shard's next internal event and the stepper will land on
+// it exactly — the same arithmetic the monolithic loop used for its
+// one-arrival look-ahead.
 //
-// The loop advances from event to event: at every arrival, completion or
-// capacity change the alive set is updated and the policy is re-invoked once
-// — simultaneous events at the same instant are coalesced, which is the
-// event granularity of the paper's model. Between events every alive task i
-// processes Model.Rate(shape_i, alloc_i)·dt units of work; under the default
-// LinearCap model that is exactly the paper's alloc_i·dt. Completed tasks
-// are retired from the alive slots by swap-delete: order within the slots is
-// not meaningful (policies rank tasks themselves), so compaction is O(1) per
-// completion instead of an O(alive) rebuild.
-func (r *Runner) runCore(res *Result, p float64, policy Policy, src arrivalSource, sink MetricSink, opts Options, tasks []TaskMetrics) error {
+// A Stepper is obtained from StartStream (arrivals pulled from an
+// ArrivalStream; end of stream ends the run) or StartFeed (arrivals handed
+// in by Feed until CloseFeed; the coordinator form). It borrows its
+// Runner's scratch buffers: one Runner drives one stepper at a time, and
+// Step performs no heap allocation in steady state, exactly like the
+// monolithic loop it replaces.
+type Stepper struct {
+	r      *Runner
+	res    *Result
+	policy Policy
+	src    arrivalSource
+	sink   MetricSink
+
+	model       speedup.Model
+	budgeter    speedup.Budgeter
+	budgetBound int
+	maxEvents   int
+	trace       bool
+	p           float64
+
+	now      float64
+	admitted int
+
+	// One look-ahead into the source: `pending` is the next arrival not yet
+	// released. Everything before it has been admitted; everything after it
+	// has not been pulled — that look-ahead is the entire input-side memory.
+	pending     Arrival
+	pendingID   int
+	havePending bool
+
+	// Feed-mode state: arrivals queue here between Feed and the admit loop.
+	// The queue stays tiny (a coordinator feeds at dispatch time and the
+	// stepper consumes at its next event) and its storage is reused across
+	// runs of the same Runner.
+	feedable bool
+	closed   bool
+	feedQ    []Arrival
+	feedHead int
+	pulled   int
+	fed      int
+	lastFed  float64
+
+	// decided marks the rest state: rates are valid for the current alive
+	// set and dtComp holds the earliest completion delta. allocated is the
+	// capacity the policy handed out at that decision (the router-visible
+	// load signal).
+	decided   bool
+	dtComp    float64
+	allocated float64
+
+	done bool
+	err  error
+}
+
+// start initializes the Runner's embedded stepper for one run. It performs
+// the up-front validation the monolithic loop did (capacity, model probe,
+// empty stream) so Step never has to re-check per event.
+func (r *Runner) start(res *Result, p float64, policy Policy, src arrivalSource, sink MetricSink, opts Options, tasks []TaskMetrics, feedable bool) (*Stepper, error) {
 	if !(p > 0) || math.IsInf(p, 0) || math.IsNaN(p) {
-		return fmt.Errorf("engine: platform capacity must be positive and finite, got %g", p)
+		return nil, fmt.Errorf("engine: platform capacity must be positive and finite, got %g", p)
 	}
 	model := opts.model()
 	if opts.Model != nil {
@@ -497,7 +567,7 @@ func (r *Runner) runCore(res *Result, p float64, policy Policy, src arrivalSourc
 		// default LinearCap is exempt — it is the contract's reference point
 		// and the probe would tax the hot path for nothing.
 		if err := speedup.Validate(opts.Model); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	budgeter, _ := model.(speedup.Budgeter)
@@ -509,169 +579,247 @@ func (r *Runner) runCore(res *Result, p float64, policy Policy, src arrivalSourc
 	}
 
 	*res = Result{Policy: policy.Name(), P: p, Model: model.Name(), Tasks: tasks, Decisions: res.Decisions[:0]}
-	trace := opts.TraceDecisions
 
-	runPolicy := r.instantiate(policy)
-
+	st := &r.step
+	*st = Stepper{
+		r:           r,
+		res:         res,
+		policy:      r.instantiate(policy),
+		src:         src,
+		sink:        sink,
+		model:       model,
+		budgeter:    budgeter,
+		budgetBound: budgetBound,
+		maxEvents:   opts.MaxEvents,
+		trace:       opts.TraceDecisions,
+		p:           p,
+		feedable:    feedable,
+		feedQ:       st.feedQ[:0],
+	}
 	r.live = r.live[:0]
-	now := 0.0
-	admitted := 0
+	if !feedable {
+		if err := st.pull(); err != nil {
+			return nil, err
+		}
+		if !st.havePending {
+			return nil, fmt.Errorf("engine: empty arrival stream")
+		}
+	}
+	return st, nil
+}
 
-	// One look-ahead into the source: `pending` is the next arrival not yet
-	// released. Everything before it has been admitted; everything after it
-	// has not been pulled — that look-ahead is the entire input-side memory.
-	pending, pendingID, havePending, err := src.next()
+// StartStream begins a resumable streaming run over a pulled arrival stream
+// (validated and order-checked at the boundary, exactly like RunStreamInto).
+// The returned Stepper is embedded in the Runner — one active stepper per
+// Runner — and stays valid until the Runner starts another run.
+func (r *Runner) StartStream(res *Result, p float64, policy Policy, stream ArrivalStream, sink MetricSink, opts Options) (*Stepper, error) {
+	if stream == nil {
+		return nil, fmt.Errorf("engine: nil arrival stream")
+	}
+	r.checked = checkedStream{stream: stream}
+	st, err := r.start(res, p, policy, &r.checked, sink, opts, res.Tasks[:0], false)
+	if err != nil {
+		r.checked = checkedStream{}
+		return nil, err
+	}
+	return st, nil
+}
+
+// StartFeed begins a resumable run whose arrivals are handed in one at a
+// time via Feed instead of pulled from a stream — the entry point of the
+// cluster coordinator, which routes one global arrival stream across many
+// steppers. The run does not end when the stepper drains: it suspends
+// (Step returns false with Done() still false) until more arrivals are fed
+// or CloseFeed declares the stream over.
+func (r *Runner) StartFeed(res *Result, p float64, policy Policy, sink MetricSink, opts Options) (*Stepper, error) {
+	return r.start(res, p, policy, nil, sink, opts, res.Tasks[:0], true)
+}
+
+// pull advances the one-arrival look-ahead from the source (stream mode) or
+// the fed queue (feed mode).
+func (st *Stepper) pull() error {
+	if st.feedable {
+		if st.feedHead < len(st.feedQ) {
+			st.pending = st.feedQ[st.feedHead]
+			st.feedHead++
+			if st.feedHead == len(st.feedQ) {
+				// Queue drained: rewind so the backing array is reused.
+				st.feedQ = st.feedQ[:0]
+				st.feedHead = 0
+			}
+			st.pendingID = st.pulled
+			st.pulled++
+			st.havePending = true
+		} else {
+			st.havePending = false
+		}
+		return nil
+	}
+	a, id, ok, err := st.src.next()
 	if err != nil {
 		return err
 	}
-	if !havePending {
-		return fmt.Errorf("engine: empty arrival stream")
+	st.pending, st.pendingID, st.havePending = a, id, ok
+	return nil
+}
+
+// Feed hands one arrival to a feed-mode stepper. Arrivals must be fed in
+// non-decreasing release order and never before the stepper's current time
+// (a coordinator dispatches at the arrival's release, so both hold by
+// construction there). Task IDs number arrivals in feed order.
+func (st *Stepper) Feed(a Arrival) error {
+	if !st.feedable {
+		return fmt.Errorf("engine: Feed on a stream-driven stepper (use StartFeed)")
 	}
+	if st.closed {
+		return fmt.Errorf("engine: Feed after CloseFeed")
+	}
+	if st.err != nil {
+		return st.err
+	}
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("engine: fed arrival %d: %w", st.fed, err)
+	}
+	if st.fed > 0 && a.Release < st.lastFed {
+		return fmt.Errorf("engine: fed arrival %d: release %g precedes %g — arrivals must be fed in non-decreasing release order", st.fed, a.Release, st.lastFed)
+	}
+	if a.Release < st.now {
+		return fmt.Errorf("engine: fed arrival %d: release %g is in the stepper's past (now %g)", st.fed, a.Release, st.now)
+	}
+	st.lastFed = a.Release
+	st.fed++
+	if !st.havePending && st.feedHead == len(st.feedQ) {
+		st.pending = a
+		st.pendingID = st.pulled
+		st.pulled++
+		st.havePending = true
+		return nil
+	}
+	st.feedQ = append(st.feedQ, a)
+	return nil
+}
 
-	for havePending || len(r.live) > 0 {
-		// Admit every arrival released by now, then retire every task whose
-		// volume is exhausted (including zero-volume tasks that were just
-		// admitted). Doing both before the policy call coalesces simultaneous
-		// arrivals and completions into one event.
-		for havePending && pending.Release <= now {
-			r.live = append(r.live, liveTask{arr: pending, id: pendingID, remaining: pending.Task.Volume})
-			admitted++
-			pending, pendingID, havePending, err = src.next()
-			if err != nil {
-				return err
-			}
-		}
-		for k := 0; k < len(r.live); {
-			lt := &r.live[k]
-			if lt.remaining > 1e-9*math.Max(1, lt.arr.Task.Volume) {
-				k++
-				continue
-			}
-			m := TaskMetrics{
-				ID:         lt.id,
-				Tenant:     lt.arr.Tenant,
-				Weight:     lt.arr.Task.Weight,
-				Release:    lt.arr.Release,
-				Completion: now,
-				Flow:       now - lt.arr.Release,
-				Processed:  lt.processed,
-			}
-			if sink != nil {
-				sink.Observe(m)
-			}
-			res.WeightedFlow += m.Weight * m.Flow
-			res.WeightedCompletion += m.Weight * now
-			res.TotalFlow += m.Flow
-			if now > res.Makespan {
-				res.Makespan = now
-			}
-			res.Completed++
-			last := len(r.live) - 1
-			r.live[k] = r.live[last]
-			r.live = r.live[:last]
-		}
-		if len(r.live) > res.MaxAlive {
-			res.MaxAlive = len(r.live)
-		}
-		if len(r.live) == 0 {
-			if !havePending {
-				break
-			}
-			now = pending.Release
-			continue
-		}
+// CloseFeed declares the fed stream over: once the queue and the alive set
+// drain, the run completes instead of suspending.
+func (st *Stepper) CloseFeed() { st.closed = true }
 
-		// The capacity the policy may hand out right now: the nominal p,
-		// further capped by the model's time-varying budget if it has one.
-		budget := p
-		if budgeter != nil {
-			budget = budgeter.BudgetAt(p, now)
-			if budget < 0 || math.IsNaN(budget) {
-				budget = 0
-			}
-		}
+// Now returns the stepper's current virtual time: every event at or before
+// it has been processed.
+func (st *Stepper) Now() float64 { return st.now }
 
-		res.Events++
-		// The safety bound grows with the admitted prefix (a correct run
-		// needs at most 3 events per admitted task), so it needs no advance
-		// knowledge of the stream length.
-		maxEvents := opts.MaxEvents
-		if maxEvents <= 0 {
-			maxEvents = 4*admitted + 64 + budgetBound
-		}
-		if res.Events > maxEvents {
-			return fmt.Errorf("engine: policy %q did not finish after %d events (%d of %d admitted tasks done at time %g)",
-				policy.Name(), res.Events, res.Completed, admitted, now)
-		}
-		r.states = r.states[:0]
-		for i := range r.live {
-			lt := &r.live[i]
-			r.states = append(r.states, TaskState{
-				ID:        lt.id,
-				Tenant:    lt.arr.Tenant,
-				Release:   lt.arr.Release,
-				Weight:    lt.arr.Task.Weight,
-				Delta:     math.Min(lt.arr.Task.Delta, budget),
-				Curve:     lt.arr.Task.Curve,
-				Processed: lt.processed,
-				Remaining: lt.remaining,
-			})
-		}
-		r.alloc = runPolicy.Allocate(budget, r.states, r.alloc[:0])
-		alloc := r.alloc
-		if err := validateAllocation(budget, r.states, alloc); err != nil {
-			return fmt.Errorf("engine: policy %q: %w", policy.Name(), err)
-		}
-		if trace {
-			d := Decision{Time: now, Alloc: append([]float64(nil), alloc...)}
-			for i := range r.live {
-				d.Alive = append(d.Alive, r.live[i].id)
-			}
-			res.Decisions = append(res.Decisions, d)
-		}
+// Backlog returns the number of alive tasks — the live load signal routers
+// observe at dispatch time. It is exact at any instant up to the stepper's
+// next event, because the alive set only changes at events.
+func (st *Stepper) Backlog() int { return len(st.r.live) }
 
-		// Advance to the next event: the earliest completion under the
-		// model's rates, the next arrival, or the next capacity change,
-		// whichever comes first. Arrival and capacity events are known by
-		// their absolute times; `snap` remembers the winning one so the
-		// clock lands on it exactly — now + (c - now) can round to just
-		// below c, and without the snap the same breakpoint would be
-		// crossed twice (a duplicate near-zero-dt event). Completions are
-		// scanned first, so snap is still NaN here and only the later
-		// absolute-time candidates set it.
-		dt := math.Inf(1)
-		snap := math.NaN()
-		r.rates = r.rates[:0]
-		for k := range r.live {
-			rate := 0.0
-			if alloc[k] > 0 {
-				rate = model.Rate(r.states[k].shape(), alloc[k])
-			}
-			r.rates = append(r.rates, rate)
-			if rate <= 0 {
-				continue
-			}
-			if d := r.live[k].remaining / rate; d < dt {
-				dt = d
-			}
+// Allocated returns the capacity the policy handed out at the current
+// decision (0 when the stepper is idle) — the second router-visible load
+// signal: a shard may have a deep backlog yet allocate little of its
+// capacity when every alive task is degree-bound.
+func (st *Stepper) Allocated() float64 {
+	if !st.decided {
+		return 0
+	}
+	return st.allocated
+}
+
+// Completed returns the number of tasks retired so far.
+func (st *Stepper) Completed() int { return st.res.Completed }
+
+// Done reports whether the run has completed. A feed-mode stepper whose
+// Step returned false with Done() still false is merely blocked waiting for
+// more arrivals (or a CloseFeed).
+func (st *Stepper) Done() bool { return st.done }
+
+// Err returns the run's terminal error, if any.
+func (st *Stepper) Err() error { return st.err }
+
+// nextDelta computes the delta to the stepper's next event from its rest
+// state: the earliest completion under the decided rates (dtComp), the
+// pending arrival, or the next capacity change, whichever comes first.
+// Arrival and capacity events are known by their absolute times; `snap`
+// remembers the winning one so the clock lands on it exactly — now +
+// (c - now) can round to just below c, and without the snap the same
+// breakpoint would be crossed twice (a duplicate near-zero-dt event).
+// Completions were folded into dtComp first, so snap only reflects the
+// later absolute-time candidates.
+func (st *Stepper) nextDelta() (dt, snap float64) {
+	dt = st.dtComp
+	snap = math.NaN()
+	if st.havePending {
+		if rel := st.pending.Release; rel-st.now < dt {
+			dt = rel - st.now
+			snap = rel
 		}
-		if havePending {
-			if rel := pending.Release; rel-now < dt {
-				dt = rel - now
-				snap = rel
-			}
+	}
+	if st.budgeter != nil {
+		// NextBudgetChange returns a time strictly after now, so dt stays
+		// positive and every capacity step is crossed at most once.
+		if c := st.budgeter.NextBudgetChange(st.now); c-st.now < dt {
+			dt = c - st.now
+			snap = c
 		}
-		if budgeter != nil {
-			// NextBudgetChange returns a time strictly after now, so dt stays
-			// positive and every capacity step is crossed at most once.
-			if c := budgeter.NextBudgetChange(now); c-now < dt {
-				dt = c - now
-				snap = c
-			}
+	}
+	return dt, snap
+}
+
+// NextEventTime returns the absolute virtual time of the stepper's next
+// event, or +Inf when none is scheduled (run done, or a feed-mode stepper
+// blocked until more arrivals are fed). It is pure: a coordinator may call
+// it repeatedly between Steps to order many steppers on one timeline.
+func (st *Stepper) NextEventTime() float64 {
+	if st.done || st.err != nil {
+		return math.Inf(1)
+	}
+	if !st.decided {
+		if st.havePending {
+			return st.pending.Release
 		}
+		return math.Inf(1)
+	}
+	dt, snap := st.nextDelta()
+	if !math.IsNaN(snap) {
+		return snap
+	}
+	if math.IsInf(dt, 1) {
+		return math.Inf(1)
+	}
+	return st.now + dt
+}
+
+// Step advances the run by one event: integrate to the next event time
+// (using the rates decided at the previous event), then admit every arrival
+// released by then, retire every exhausted task, and re-invoke the policy
+// once — simultaneous arrivals and completions at the same instant are
+// coalesced, the event granularity of the paper's model. Between events
+// every alive task i processes Model.Rate(shape_i, alloc_i)·dt units of
+// work; under the default LinearCap model that is exactly the paper's
+// alloc_i·dt.
+//
+// Step returns true while the run can make progress. It returns false when
+// the run has completed (Done() true), failed (the error is returned and
+// sticky), or — feed mode only — when the stepper is blocked waiting for
+// more arrivals.
+func (st *Stepper) Step() (bool, error) {
+	if st.err != nil {
+		return false, st.err
+	}
+	if st.done {
+		return false, nil
+	}
+	if st.decided {
+		dt, snap := st.nextDelta()
 		if math.IsInf(dt, 1) {
-			return fmt.Errorf("engine: policy %q starves all remaining tasks at time %g with no pending arrivals", policy.Name(), now)
+			if st.feedable && !st.closed {
+				// Every alive task is starved and nothing is queued, but the
+				// feed is still open: a later arrival may change the
+				// allocation, so suspend instead of failing.
+				return false, nil
+			}
+			st.err = fmt.Errorf("engine: policy %q starves all remaining tasks at time %g with no pending arrivals", st.policy.Name(), st.now)
+			return false, st.err
 		}
+		r := st.r
 		for k := range r.live {
 			if r.rates[k] <= 0 {
 				continue
@@ -679,10 +827,190 @@ func (r *Runner) runCore(res *Result, p float64, policy Policy, src arrivalSourc
 			r.live[k].remaining -= r.rates[k] * dt
 			r.live[k].processed += r.rates[k] * dt
 		}
-		now += dt
+		st.now += dt
 		if !math.IsNaN(snap) {
-			now = snap
+			st.now = snap
 		}
+		st.decided = false
+	} else if len(st.r.live) == 0 {
+		// Idle (or initial) state: nothing alive, so the next event is the
+		// pending arrival — or the end of the run.
+		if !st.havePending {
+			if st.feedable && !st.closed {
+				return false, nil // blocked until Feed or CloseFeed
+			}
+			st.done = true
+			return false, nil
+		}
+		if st.pending.Release > st.now {
+			st.now = st.pending.Release
+		}
+	}
+	return st.process()
+}
+
+// process runs the event at the current time: admit, retire, decide. It
+// leaves the stepper in its rest state (decided, idle, or done).
+func (st *Stepper) process() (bool, error) {
+	r := st.r
+	res := st.res
+	// Admit every arrival released by now, then retire every task whose
+	// volume is exhausted (including zero-volume tasks that were just
+	// admitted). Doing both before the policy call coalesces simultaneous
+	// arrivals and completions into one event.
+	for st.havePending && st.pending.Release <= st.now {
+		r.live = append(r.live, liveTask{arr: st.pending, id: st.pendingID, remaining: st.pending.Task.Volume})
+		st.admitted++
+		if err := st.pull(); err != nil {
+			st.err = err
+			return false, err
+		}
+	}
+	for k := 0; k < len(r.live); {
+		lt := &r.live[k]
+		if lt.remaining > 1e-9*math.Max(1, lt.arr.Task.Volume) {
+			k++
+			continue
+		}
+		m := TaskMetrics{
+			ID:         lt.id,
+			Tenant:     lt.arr.Tenant,
+			Weight:     lt.arr.Task.Weight,
+			Release:    lt.arr.Release,
+			Completion: st.now,
+			Flow:       st.now - lt.arr.Release,
+			Processed:  lt.processed,
+		}
+		if st.sink != nil {
+			st.sink.Observe(m)
+		}
+		res.WeightedFlow += m.Weight * m.Flow
+		res.WeightedCompletion += m.Weight * st.now
+		res.TotalFlow += m.Flow
+		if st.now > res.Makespan {
+			res.Makespan = st.now
+		}
+		res.Completed++
+		// Retire by swap-delete: order within the slots is not meaningful
+		// (policies rank tasks themselves), so compaction is O(1) per
+		// completion instead of an O(alive) rebuild.
+		last := len(r.live) - 1
+		r.live[k] = r.live[last]
+		r.live = r.live[:last]
+	}
+	if len(r.live) > res.MaxAlive {
+		res.MaxAlive = len(r.live)
+	}
+	if len(r.live) == 0 {
+		st.decided = false
+		if !st.havePending && !(st.feedable && !st.closed) {
+			st.done = true
+			return false, nil
+		}
+		// Idle: the next Step jumps to the pending arrival (or suspends, in
+		// feed mode, until one is fed).
+		return true, nil
+	}
+
+	// The capacity the policy may hand out right now: the nominal p,
+	// further capped by the model's time-varying budget if it has one.
+	budget := st.p
+	if st.budgeter != nil {
+		budget = st.budgeter.BudgetAt(st.p, st.now)
+		if budget < 0 || math.IsNaN(budget) {
+			budget = 0
+		}
+	}
+
+	res.Events++
+	// The safety bound grows with the admitted prefix (a correct run
+	// needs at most 3 events per admitted task), so it needs no advance
+	// knowledge of the stream length.
+	maxEvents := st.maxEvents
+	if maxEvents <= 0 {
+		maxEvents = 4*st.admitted + 64 + st.budgetBound
+	}
+	if res.Events > maxEvents {
+		st.err = fmt.Errorf("engine: policy %q did not finish after %d events (%d of %d admitted tasks done at time %g)",
+			st.policy.Name(), res.Events, res.Completed, st.admitted, st.now)
+		return false, st.err
+	}
+	r.states = r.states[:0]
+	for i := range r.live {
+		lt := &r.live[i]
+		r.states = append(r.states, TaskState{
+			ID:        lt.id,
+			Tenant:    lt.arr.Tenant,
+			Release:   lt.arr.Release,
+			Weight:    lt.arr.Task.Weight,
+			Delta:     math.Min(lt.arr.Task.Delta, budget),
+			Curve:     lt.arr.Task.Curve,
+			Processed: lt.processed,
+			Remaining: lt.remaining,
+		})
+	}
+	r.alloc = st.policy.Allocate(budget, r.states, r.alloc[:0])
+	alloc := r.alloc
+	total, err := validateAllocation(budget, r.states, alloc)
+	if err != nil {
+		st.err = fmt.Errorf("engine: policy %q: %w", st.policy.Name(), err)
+		return false, st.err
+	}
+	st.allocated = total
+	if st.trace {
+		d := Decision{Time: st.now, Alloc: append([]float64(nil), alloc...)}
+		for i := range r.live {
+			d.Alive = append(d.Alive, r.live[i].id)
+		}
+		res.Decisions = append(res.Decisions, d)
+	}
+
+	// Decide the rates and the earliest completion delta; the actual clock
+	// advance happens lazily at the start of the next Step, after any
+	// intervening Feed has had its chance to bound it.
+	dt := math.Inf(1)
+	r.rates = r.rates[:0]
+	for k := range r.live {
+		rate := 0.0
+		if alloc[k] > 0 {
+			rate = st.model.Rate(r.states[k].shape(), alloc[k])
+		}
+		r.rates = append(r.rates, rate)
+		if rate <= 0 {
+			continue
+		}
+		if d := r.live[k].remaining / rate; d < dt {
+			dt = d
+		}
+	}
+	st.dtComp = dt
+	st.decided = true
+	return true, nil
+}
+
+// drain drives the stepper to completion — the monolithic run loop.
+func (st *Stepper) drain() error {
+	for {
+		ok, err := st.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return st.Finish()
+		}
+	}
+}
+
+// Finish reports the run's terminal state: nil after a clean completion,
+// the sticky error after a failure, and a distinct error when the run is
+// still in progress (Step would still advance it, or a feed-mode stepper is
+// blocked on its feed).
+func (st *Stepper) Finish() error {
+	if st.err != nil {
+		return st.err
+	}
+	if !st.done {
+		return fmt.Errorf("engine: run not finished (%d tasks alive at time %g)", len(st.r.live), st.now)
 	}
 	return nil
 }
@@ -705,22 +1033,24 @@ func (s *arrivalSorter) Less(i, j int) bool {
 	return a < b
 }
 
-func validateAllocation(p float64, states []TaskState, alloc []float64) error {
+// validateAllocation checks a policy's output against the engine contract
+// and returns the allocated total (the Stepper's Allocated() snapshot).
+func validateAllocation(p float64, states []TaskState, alloc []float64) (float64, error) {
 	if len(alloc) != len(states) {
-		return fmt.Errorf("allocation has %d entries for %d alive tasks", len(alloc), len(states))
+		return 0, fmt.Errorf("allocation has %d entries for %d alive tasks", len(alloc), len(states))
 	}
 	var total float64
 	for k, a := range alloc {
 		if a < -1e-9 || math.IsNaN(a) {
-			return fmt.Errorf("negative allocation %g for task %d", a, states[k].ID)
+			return 0, fmt.Errorf("negative allocation %g for task %d", a, states[k].ID)
 		}
 		if a > states[k].Delta+1e-6 {
-			return fmt.Errorf("allocation %g for task %d exceeds its degree bound %g", a, states[k].ID, states[k].Delta)
+			return 0, fmt.Errorf("allocation %g for task %d exceeds its degree bound %g", a, states[k].ID, states[k].Delta)
 		}
 		total += a
 	}
 	if total > p+1e-6 {
-		return fmt.Errorf("allocation total %g exceeds the platform capacity %g", total, p)
+		return 0, fmt.Errorf("allocation total %g exceeds the platform capacity %g", total, p)
 	}
-	return nil
+	return total, nil
 }

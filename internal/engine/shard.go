@@ -58,6 +58,16 @@ type LoadResult struct {
 	Flow stats.Summary `json:"flow"`
 	// FlowApprox reports that the Flow quantiles come from a sketch.
 	FlowApprox bool `json:"flowApprox,omitempty"`
+	// MinShardCompleted and MaxShardCompleted bound the per-shard completed
+	// counts — how evenly the fleet's work was spread. Under independent
+	// per-shard streams the split is fixed up front; under a routed cluster
+	// the gap is the router's doing, so it is the first number to read when
+	// comparing routers.
+	MinShardCompleted int `json:"minShardCompleted"`
+	MaxShardCompleted int `json:"maxShardCompleted"`
+	// PeakBacklog is the largest alive-set size any single shard reached —
+	// the worst queue a task could have landed behind.
+	PeakBacklog int `json:"peakBacklog"`
 	// PerTenant aggregates tenants across shards, sorted by tenant index.
 	PerTenant []TenantMetrics `json:"perTenant"`
 	// Aggregate is the merged streaming aggregate of every shard — the same
@@ -186,15 +196,17 @@ func runShards(p float64, policy Policy, shards int, baseSeed int64,
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 	}
-	return mergeShards(p, policy.Name(), runs, aggs, sketches)
+	return MergeShards(p, policy.Name(), runs, aggs, sketches)
 }
 
-// mergeShards folds the per-shard results into a LoadResult. Everything is
+// MergeShards folds per-shard results into a LoadResult. Everything is
 // iterated in shard order, so the merge is deterministic. On the slice path
 // (no sketches) the flow samples concatenate for exact quantiles; on the
 // streaming path the sketches merge instead and the quantiles carry the
-// sketch accuracy.
-func mergeShards(p float64, policy string, runs []ShardRun, aggs []*AggregateSink, sketches []*SketchSink) (*LoadResult, error) {
+// sketch accuracy. It is shared by the concurrent independent-streams
+// drivers above and the virtual-time cluster coordinator
+// (internal/cluster), so both report through one schema.
+func MergeShards(p float64, policy string, runs []ShardRun, aggs []*AggregateSink, sketches []*SketchSink) (*LoadResult, error) {
 	out := &LoadResult{Policy: policy, P: p, Shards: runs}
 	agg := NewAggregateSink()
 	streaming := sketches[0] != nil
@@ -211,6 +223,15 @@ func mergeShards(p float64, policy string, runs []ShardRun, aggs []*AggregateSin
 		out.TotalFlow += r.TotalFlow
 		if r.Makespan > out.Makespan {
 			out.Makespan = r.Makespan
+		}
+		if s == 0 || r.Completed < out.MinShardCompleted {
+			out.MinShardCompleted = r.Completed
+		}
+		if r.Completed > out.MaxShardCompleted {
+			out.MaxShardCompleted = r.Completed
+		}
+		if r.MaxAlive > out.PeakBacklog {
+			out.PeakBacklog = r.MaxAlive
 		}
 		agg.Merge(aggs[s])
 		if streaming {

@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/speedup"
+)
+
+// captureSink retains every observed row for exact comparisons.
+type captureSink struct {
+	rows []TaskMetrics
+}
+
+func (c *captureSink) Observe(m TaskMetrics) { c.rows = append(c.rows, m) }
+
+// aggregateEqual compares every aggregate field two runs must agree on
+// bit-for-bit.
+func aggregateEqual(a, b *Result) bool {
+	return a.Policy == b.Policy && a.P == b.P && a.Model == b.Model &&
+		a.Completed == b.Completed && a.Events == b.Events && a.MaxAlive == b.MaxAlive &&
+		a.Makespan == b.Makespan && a.WeightedFlow == b.WeightedFlow &&
+		a.WeightedCompletion == b.WeightedCompletion && a.TotalFlow == b.TotalFlow
+}
+
+// Driving the stepper by hand — with accessor calls interleaved between
+// events, the suspension the resumable refactor exists for — must reproduce
+// RunStreamInto bit-identically: same aggregates, same per-task rows in the
+// same order.
+func TestStepperManualDriveMatchesRunStream(t *testing.T) {
+	arrivals := allocArrivals(t, 400, 17)
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want Result
+	wantSink := &captureSink{}
+	if err := NewRunner().RunStreamInto(&want, 8, policy, NewSliceStream(arrivals), wantSink, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got Result
+	gotSink := &captureSink{}
+	st, err := NewRunner().StartStream(&got, 8, policy, NewSliceStream(arrivals), gotSink, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	lastNow := math.Inf(-1)
+	for {
+		// The suspended accessors must be consistent at every rest state.
+		if now := st.Now(); now < lastNow {
+			t.Fatalf("clock ran backwards: %g after %g", now, lastNow)
+		} else {
+			lastNow = now
+		}
+		if bl := st.Backlog(); bl < 0 || bl > got.MaxAlive+len(arrivals) {
+			t.Fatalf("implausible backlog %d", bl)
+		}
+		if next := st.NextEventTime(); !math.IsInf(next, 1) && next < st.Now() {
+			t.Fatalf("next event %g before now %g", next, st.Now())
+		}
+		ok, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		steps++
+	}
+	if !st.Done() {
+		t.Fatal("stepper stopped without finishing")
+	}
+	if err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if steps < want.Events {
+		t.Fatalf("drove %d steps for %d events", steps, want.Events)
+	}
+	if !aggregateEqual(&want, &got) {
+		t.Fatalf("stepper drive diverges:\n%+v\nvs\n%+v", got, want)
+	}
+	if len(wantSink.rows) != len(gotSink.rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(gotSink.rows), len(wantSink.rows))
+	}
+	for i := range wantSink.rows {
+		if wantSink.rows[i] != gotSink.rows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, gotSink.rows[i], wantSink.rows[i])
+		}
+	}
+}
+
+// Feed mode with the whole stream fed up front must match the pull-stream
+// path bit-identically — the equivalence that lets the cluster coordinator
+// claim engine semantics per shard.
+func TestStepperFeedMatchesStream(t *testing.T) {
+	for _, model := range []string{"", "powerlaw:0.75", "platform:8@0,4@40,8@80"} {
+		t.Run("model="+model, func(t *testing.T) {
+			arrivals := allocArrivals(t, 300, 23)
+			policy, err := PolicyByName("wdeq")
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{}
+			if model != "" {
+				m, err := speedup.ParseModel(model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Model = m
+			}
+
+			var want Result
+			wantSink := &captureSink{}
+			if err := NewRunner().RunStreamInto(&want, 8, policy, NewSliceStream(arrivals), wantSink, opts); err != nil {
+				t.Fatal(err)
+			}
+
+			var got Result
+			gotSink := &captureSink{}
+			st, err := NewRunner().StartFeed(&got, 8, policy, gotSink, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range arrivals {
+				if err := st.Feed(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st.CloseFeed()
+			for {
+				ok, err := st.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+			if err := st.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if !aggregateEqual(&want, &got) {
+				t.Fatalf("feed mode diverges:\n%+v\nvs\n%+v", got, want)
+			}
+			for i := range wantSink.rows {
+				if wantSink.rows[i] != gotSink.rows[i] {
+					t.Fatalf("row %d differs: %+v vs %+v", i, gotSink.rows[i], wantSink.rows[i])
+				}
+			}
+		})
+	}
+}
+
+// A feed-mode stepper with an empty queue suspends (Step false, Done false)
+// and resumes when more arrivals are fed — the coordinator contract.
+func TestStepperFeedSuspendResume(t *testing.T) {
+	arrivals := allocArrivals(t, 64, 31)
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	st, err := NewRunner().StartFeed(&res, 8, policy, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing fed yet: the stepper blocks without finishing.
+	ok, err := st.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || st.Done() {
+		t.Fatalf("fresh feed stepper: ok=%v done=%v, want blocked", ok, st.Done())
+	}
+	if !math.IsInf(st.NextEventTime(), 1) {
+		t.Fatalf("blocked stepper has next event %g", st.NextEventTime())
+	}
+	if err := st.Finish(); err == nil {
+		t.Fatal("Finish succeeded on a blocked stepper")
+	}
+
+	// Feed half, drain to the block, feed the rest, close, drain to done.
+	half := len(arrivals) / 2
+	for _, a := range arrivals[:half] {
+		if err := st.Feed(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		ok, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if st.Done() {
+		t.Fatal("stepper finished with the feed still open")
+	}
+	if st.Completed() != half {
+		t.Fatalf("completed %d of the %d fed tasks", st.Completed(), half)
+	}
+	for _, a := range arrivals[half:] {
+		if err := st.Feed(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.CloseFeed()
+	for {
+		ok, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(arrivals) {
+		t.Fatalf("completed %d tasks, want %d", res.Completed, len(arrivals))
+	}
+}
+
+// Feed's boundary validation: misordered releases, releases in the
+// stepper's past, feeding a stream-driven stepper, and feeding after
+// CloseFeed are all rejected.
+func TestStepperFeedValidation(t *testing.T) {
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := func(rel float64) Arrival {
+		return Arrival{Task: schedule.Task{Weight: 1, Volume: 1, Delta: 2}, Release: rel}
+	}
+
+	var res Result
+	st, err := NewRunner().StartFeed(&res, 8, policy, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Feed(arr(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Feed(arr(3)); err == nil || !strings.Contains(err.Error(), "non-decreasing") {
+		t.Fatalf("misordered feed error = %v", err)
+	}
+	// Drain the fed task; the clock is now at 5 and feeding before it fails.
+	for {
+		ok, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	// The clock now sits at the completion of the fed task, past its
+	// release: feeding behind it is rejected, feeding at exactly now is
+	// legal.
+	if err := st.Feed(arr(5)); err == nil || !strings.Contains(err.Error(), "past") {
+		t.Fatalf("feed into the past error = %v", err)
+	}
+	if err := st.Feed(arr(st.Now())); err != nil {
+		t.Fatalf("feed at now rejected: %v", err)
+	}
+	st.CloseFeed()
+	if err := st.Feed(arr(st.Now() + 1)); err == nil || !strings.Contains(err.Error(), "CloseFeed") {
+		t.Fatalf("feed after close error = %v", err)
+	}
+
+	var res2 Result
+	st2, err := NewRunner().StartStream(&res2, 8, policy, NewSliceStream([]Arrival{arr(0)}), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Feed(arr(1)); err == nil || !strings.Contains(err.Error(), "StartFeed") {
+		t.Fatalf("feed on stream stepper error = %v", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/malleable-sched/malleable/internal/cluster"
 	"github.com/malleable-sched/malleable/internal/engine"
 	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/stats"
@@ -45,6 +46,16 @@ type Scenario struct {
 	Burst float64 `json:"burst,omitempty"`
 	// Tenants is a name:weight:share list; empty means a single tenant.
 	Tenants string `json:"tenants,omitempty"`
+	// TenantSkew is the Zipf exponent reshaping the tenant shares (see
+	// workload.ArrivalConfig.TenantSkew); 0 keeps them as configured.
+	TenantSkew float64 `json:"tenantSkew,omitempty"`
+	// Router switches the scenario to cluster mode: ONE global arrival
+	// stream (Rate is fleet-wide) dispatched across Shards engine steppers
+	// by the named router on a single virtual timeline. Cluster scenarios
+	// pin the coordinator's sequential interleave — the routed fleet's
+	// throughput ceiling — rather than the concurrent independent-shards
+	// driver.
+	Router string `json:"router,omitempty"`
 	// Tasks is the number of tasks per run (total across shards).
 	Tasks int `json:"tasks"`
 	// Shards is the number of concurrent engines; 1 runs a single engine on
@@ -118,6 +129,30 @@ func Scenarios() []Scenario {
 			Process: "poisson", Rate: 8, Tasks: 4096, Shards: 1, P: 8, Seed: 407,
 			Stream: true,
 		},
+		{
+			// The routed fleet, power-of-two-choices: one Zipf-skewed global
+			// stream dispatched across four steppers on a single virtual
+			// timeline. Pins the coordinator's sequential interleave — the
+			// per-arrival advance-route-feed cycle plus two sampled
+			// snapshots per dispatch.
+			Name: "cluster-po2", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 57.6,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      8192, Shards: 4, P: 8, Seed: 409,
+			Router: "po2",
+		},
+		{
+			// Same fleet and load under the full-information least-backlog
+			// router: every dispatch scans all shard snapshots, the O(shards)
+			// upper envelope of routing cost.
+			Name: "cluster-least-backlog", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 57.6,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      8192, Shards: 4, P: 8, Seed: 410,
+			Router: "least-backlog",
+		},
 	}
 }
 
@@ -186,14 +221,15 @@ func (s Scenario) arrivalConfig() (workload.ArrivalConfig, error) {
 		return workload.ArrivalConfig{}, err
 	}
 	return workload.ArrivalConfig{
-		Class:     class,
-		P:         s.P,
-		Process:   process,
-		Rate:      s.Rate,
-		MeanBurst: s.Burst,
-		Tenants:   tenants,
-		CurveMin:  s.CurveMin,
-		CurveMax:  s.CurveMax,
+		Class:      class,
+		P:          s.P,
+		Process:    process,
+		Rate:       s.Rate,
+		MeanBurst:  s.Burst,
+		Tenants:    tenants,
+		TenantSkew: s.TenantSkew,
+		CurveMin:   s.CurveMin,
+		CurveMax:   s.CurveMax,
 	}, nil
 }
 
@@ -250,6 +286,12 @@ func RunScenario(s Scenario, budget time.Duration) (Result, error) {
 	opts, err := s.options()
 	if err != nil {
 		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	if s.Router != "" {
+		if s.Process == ProcessStatic {
+			return Result{}, fmt.Errorf("perf: scenario %q: static scenarios cannot run the cluster coordinator", s.Name)
+		}
+		return runClusterScenario(s, policy, cfg, opts, budget)
 	}
 	if s.Stream {
 		if s.Process == ProcessStatic {
@@ -350,6 +392,44 @@ func runStreamSingle(s Scenario, policy engine.Policy, cfg workload.ArrivalConfi
 		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
 	}
 	return newResult(s, m, events, engine.FlowSummary(agg, sk)), nil
+}
+
+// runClusterScenario benchmarks the virtual-time cluster coordinator end to
+// end: lazy global-stream generation, the per-arrival
+// advance-route-feed cycle, and the deterministic merge. The timed region
+// covers setup (runners, sinks, router) plus the run, which is how a
+// capacity planner would invoke it; per-event work stays allocation-free,
+// so allocs/op is a per-run setup constant the baseline pins.
+func runClusterScenario(s Scenario, policy engine.Policy, cfg workload.ArrivalConfig, opts engine.Options, budget time.Duration) (Result, error) {
+	var load *engine.LoadResult
+	run := func() error {
+		stream, err := workload.NewStream(cfg, s.Tasks, s.Seed)
+		if err != nil {
+			return err
+		}
+		router, err := cluster.RouterByName(s.Router, s.Seed)
+		if err != nil {
+			return err
+		}
+		load, err = cluster.Run(cluster.Config{
+			Shards: s.Shards,
+			P:      s.P,
+			Policy: policy,
+			Router: router,
+			Opts:   opts,
+		}, stream)
+		return err
+	}
+	// Warm/validate once outside the clock.
+	if err := run(); err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	events := load.Events
+	m, err := timedLoop(budget, run)
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	return newResult(s, m, events, load.Flow), nil
 }
 
 // runSharded benchmarks the concurrent multi-shard driver end to end,

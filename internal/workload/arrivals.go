@@ -109,6 +109,14 @@ type ArrivalConfig struct {
 	MeanBurst float64
 	// Tenants is the tenant mix; nil means DefaultTenants.
 	Tenants []TenantSpec
+	// TenantSkew is a Zipf exponent reshaping the tenant shares: tenant i's
+	// effective share becomes Share_i / (i+1)^TenantSkew, so with equal base
+	// shares the traffic follows a Zipf law over the tenant list — the
+	// canonical skewed multi-tenant load for router and affinity studies. 0
+	// (the default) leaves the configured shares untouched; the skew draws
+	// nothing from the random streams, so skew 0 is byte-identical to the
+	// pre-skew generator.
+	TenantSkew float64
 	// CurveMin and CurveMax draw each task's speedup-curve parameter
 	// (schedule.Task.Curve) uniformly from [CurveMin, CurveMax] — per-task
 	// power-law exponents or Amdahl serial fractions, interpreted by the
@@ -140,7 +148,26 @@ func (c *ArrivalConfig) Validate() error {
 		math.IsInf(c.CurveMin, 0) || math.IsInf(c.CurveMax, 0) || c.CurveMin > c.CurveMax {
 		return fmt.Errorf("workload: curve range [%g, %g] must be finite, non-negative and ordered", c.CurveMin, c.CurveMax)
 	}
+	if c.TenantSkew < 0 || math.IsNaN(c.TenantSkew) || math.IsInf(c.TenantSkew, 0) {
+		return fmt.Errorf("workload: tenant skew must be finite and non-negative, got %g", c.TenantSkew)
+	}
 	return nil
+}
+
+// TenantSkew reshapes a tenant mix by a Zipf law with exponent skew:
+// tenant i's share is scaled by 1/(i+1)^skew, so earlier tenants absorb
+// disproportionally more of the traffic (with equal base shares, exactly a
+// Zipf distribution over ranks). Weights and names are preserved; skew 0
+// returns an unscaled copy. It is what ArrivalConfig.TenantSkew applies
+// under the hood, exported so callers can inspect or pre-compute the
+// effective mix.
+func TenantSkew(tenants []TenantSpec, skew float64) []TenantSpec {
+	out := make([]TenantSpec, len(tenants))
+	for i, t := range tenants {
+		t.Share /= math.Pow(float64(i+1), skew)
+		out[i] = t
+	}
+	return out
 }
 
 // GenerateArrivals draws n arrivals deterministically from the seed: task

@@ -21,25 +21,27 @@ import (
 // Configurations the generator rejects with an error are fine — the fuzz
 // checks that nothing invalid slips through as data.
 func FuzzGenerateArrivals(f *testing.F) {
-	f.Add(16, int64(1), 0, 0, 8.0, 0.0, 0.0, 0.0, 1.0, 1.0, 4.0, 0.25)
-	f.Add(64, int64(99), 1, 1, 2.0, 8.0, 0.4, 0.9, 2.0, 0.5, 1.0, 0.5)
-	f.Add(1, int64(-7), 5, 1, 1e-3, 1e18, 0.0, 0.0, 1e9, 1e-9, 1.0, 1.0)
-	f.Add(32, int64(0), 3, 0, math.MaxFloat64, 1.0, 0.9, 0.9, 1.0, 1.0, 1.0, 1.0)
-	f.Add(8, int64(42), 2, 1, 4.0, math.NaN(), 0.5, 0.25, math.Inf(1), 1.0, 1.0, 1.0)
+	f.Add(16, int64(1), 0, 0, 8.0, 0.0, 0.0, 0.0, 1.0, 1.0, 4.0, 0.25, 0.0)
+	f.Add(64, int64(99), 1, 1, 2.0, 8.0, 0.4, 0.9, 2.0, 0.5, 1.0, 0.5, 1.2)
+	f.Add(1, int64(-7), 5, 1, 1e-3, 1e18, 0.0, 0.0, 1e9, 1e-9, 1.0, 1.0, 0.0)
+	f.Add(32, int64(0), 3, 0, math.MaxFloat64, 1.0, 0.9, 0.9, 1.0, 1.0, 1.0, 1.0, math.NaN())
+	f.Add(8, int64(42), 2, 1, 4.0, math.NaN(), 0.5, 0.25, math.Inf(1), 1.0, 1.0, 1.0, 1e9)
+	f.Add(128, int64(17), 0, 0, 16.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 2.5)
 	f.Fuzz(func(t *testing.T, n int, seed int64, classIdx, processIdx int,
-		rate, meanBurst, curveMin, curveMax, w1, s1, w2, s2 float64) {
+		rate, meanBurst, curveMin, curveMax, w1, s1, w2, s2, tenantSkew float64) {
 		if n < 1 || n > 512 {
 			n = 1 + (abs(n) % 512)
 		}
 		classes := []Class{Uniform, ConstantWeight, ConstantWeightVolume, LargeDelta, UnitClass, Heterogeneous}
 		cfg := ArrivalConfig{
-			Class:     classes[abs(classIdx)%len(classes)],
-			P:         8,
-			Process:   ArrivalProcess(abs(processIdx) % 2),
-			Rate:      rate,
-			MeanBurst: meanBurst,
-			CurveMin:  curveMin,
-			CurveMax:  curveMax,
+			Class:      classes[abs(classIdx)%len(classes)],
+			P:          8,
+			Process:    ArrivalProcess(abs(processIdx) % 2),
+			Rate:       rate,
+			MeanBurst:  meanBurst,
+			CurveMin:   curveMin,
+			CurveMax:   curveMax,
+			TenantSkew: tenantSkew,
 			Tenants: []TenantSpec{
 				{Name: "a", Weight: w1, Share: s1},
 				{Name: "b", Weight: w2, Share: s2},

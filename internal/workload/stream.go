@@ -48,6 +48,12 @@ func NewStream(cfg ArrivalConfig, n int, seed int64) (*Stream, error) {
 	if len(tenants) == 0 {
 		tenants = DefaultTenants()
 	}
+	if cfg.TenantSkew > 0 {
+		// The Zipf reshape only rescales the share table; it draws nothing,
+		// so skew 0 leaves the random streams — and therefore existing
+		// seeds — byte-identical.
+		tenants = TenantSkew(tenants, cfg.TenantSkew)
+	}
 	var shareSum float64
 	for _, t := range tenants {
 		shareSum += t.Share

@@ -2,8 +2,11 @@ package workload
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
+	"testing/iotest"
 
 	"github.com/malleable-sched/malleable/internal/schedule"
 )
@@ -72,3 +75,80 @@ func TestTraceCodecEdges(t *testing.T) {
 		t.Errorf("count = %d after rejected write", tw.Count())
 	}
 }
+
+// Corrupt-input error paths of the streaming reader: every failure must name
+// the offending line so a damaged multi-gigabyte trace is debuggable, and a
+// truncated final line (the classic torn tail of a killed recorder) must
+// fail the replay rather than silently shortening the workload.
+func TestTraceReaderCorruptInput(t *testing.T) {
+	goodLine := `{"task":{"weight":1,"volume":2,"delta":1},"release":0.5}`
+
+	t.Run("truncated final line", func(t *testing.T) {
+		// Two good arrivals, then a tail cut mid-object — no trailing
+		// newline, as a torn write would leave it.
+		src := goodLine + "\n" + goodLine + "\n" + `{"task":{"weight":1,"vol`
+		tr := NewTraceReader(strings.NewReader(src))
+		for i := 0; i < 2; i++ {
+			if _, ok, err := tr.Next(); err != nil || !ok {
+				t.Fatalf("arrival %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+		_, ok, err := tr.Next()
+		if ok || err == nil {
+			t.Fatalf("truncated tail: ok=%v err=%v, want a line-3 error", ok, err)
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("error %v does not name line 3", err)
+		}
+	})
+
+	t.Run("blank lines do not shift numbering", func(t *testing.T) {
+		src := "\n\n" + goodLine + "\n\nnot json\n"
+		tr := NewTraceReader(strings.NewReader(src))
+		if _, ok, err := tr.Next(); err != nil || !ok {
+			t.Fatalf("good arrival: ok=%v err=%v", ok, err)
+		}
+		_, _, err := tr.Next()
+		// "not json" is the 5th physical line: blank lines count.
+		if err == nil || !strings.Contains(err.Error(), "line 5") {
+			t.Errorf("error %v does not name line 5", err)
+		}
+	})
+
+	t.Run("oversized line", func(t *testing.T) {
+		huge := `{"task":{"weight":1,"volume":2,"delta":1},"name":"` + strings.Repeat("x", maxTraceLine) + `"}`
+		tr := NewTraceReader(strings.NewReader(goodLine + "\n" + huge + "\n"))
+		if _, ok, err := tr.Next(); err != nil || !ok {
+			t.Fatalf("good arrival: ok=%v err=%v", ok, err)
+		}
+		_, ok, err := tr.Next()
+		if ok || err == nil || !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("oversized line: ok=%v err=%v, want a line-2 error", ok, err)
+		}
+	})
+
+	t.Run("reader failure carries position", func(t *testing.T) {
+		failing := io.MultiReader(strings.NewReader(goodLine+"\n"), iotest.ErrReader(errBoom))
+		tr := NewTraceReader(failing)
+		if _, ok, err := tr.Next(); err != nil || !ok {
+			t.Fatalf("good arrival: ok=%v err=%v", ok, err)
+		}
+		_, ok, err := tr.Next()
+		if ok || err == nil || !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("failing reader: ok=%v err=%v, want a line-2 error", ok, err)
+		}
+		if !strings.Contains(err.Error(), "boom") {
+			t.Errorf("error %v lost the underlying cause", err)
+		}
+	})
+
+	t.Run("error is terminal after a good prefix replays", func(t *testing.T) {
+		// ReadTrace surfaces the same line-numbered error as the streaming
+		// loop would, discarding the partial prefix.
+		if _, err := ReadTrace(strings.NewReader(goodLine + "\n{")); err == nil || !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("ReadTrace error = %v, want line-2 failure", err)
+		}
+	})
+}
+
+var errBoom = errors.New("boom")

@@ -4,6 +4,7 @@ import (
 	"io"
 	"math/rand"
 
+	"github.com/malleable-sched/malleable/internal/cluster"
 	"github.com/malleable-sched/malleable/internal/core"
 	"github.com/malleable-sched/malleable/internal/engine"
 	"github.com/malleable-sched/malleable/internal/exact"
@@ -291,6 +292,55 @@ func RunOnlineShardsStreamWithOptions(p float64, policy OnlinePolicy, source fun
 	return engine.RunShardsStreamWithOptions(p, policy, source, shards, baseSeed, opts)
 }
 
+// OnlineStepper is the resumable form of the engine event loop: it advances
+// a run one event at a time (Step), exposes the virtual clock (Now), the
+// live backlog (Backlog) and the next scheduled event (NextEventTime), and
+// can be suspended between events — the building block the cluster
+// coordinator interleaves into one fleet-wide timeline. Obtain one from an
+// OnlineRunner via StartStream (pull a stream to completion on your own
+// schedule) or StartFeed (hand arrivals in one at a time with Feed /
+// CloseFeed).
+type OnlineStepper = engine.Stepper
+
+// ClusterRouter decides which shard each arriving task is dispatched to,
+// observing live per-shard backlog/allocation snapshots at dispatch time.
+// Bundled routers: "round-robin", "hash-tenant", "least-backlog" and "po2"
+// (power-of-two-choices with a deterministic splitmix-seeded RNG); custom
+// placements implement the interface directly.
+type ClusterRouter = cluster.Router
+
+// ClusterShardState is the live snapshot a router observes about one shard
+// at dispatch time.
+type ClusterShardState = cluster.ShardState
+
+// ClusterConfig parameterizes RunCluster: shard count, per-shard capacity
+// and policy, the router, per-shard engine options, and an optional sink
+// observing every completion of the fleet in global virtual-time order.
+type ClusterConfig = cluster.Config
+
+// RouterByName constructs one of the bundled cluster routers; the seed
+// parameterizes the randomized ones ("po2", "hash-tenant") so a fixed seed
+// replays a byte-identical dispatch sequence.
+func RouterByName(name string, seed int64) (ClusterRouter, error) {
+	return cluster.RouterByName(name, seed)
+}
+
+// RouterNames lists the bundled cluster router names.
+func RouterNames() []string { return cluster.RouterNames() }
+
+// RunCluster dispatches ONE global arrival stream across a fleet of engine
+// shards in a single deterministic virtual timeline: each arrival is routed
+// at its release time by the configured router, which sees exact per-shard
+// backlog snapshots because the coordinator interleaves shard events in
+// global order. This is the layer that makes shard count a scheduling
+// variable — compare it with RunOnlineShardsStream, where every shard draws
+// its own independent stream and no routing question exists. The merged
+// result reports per-shard imbalance (MinShardCompleted, MaxShardCompleted,
+// PeakBacklog) so router quality is visible at a glance.
+func RunCluster(cfg ClusterConfig, stream ArrivalStream) (*OnlineLoadResult, error) {
+	return cluster.Run(cfg, stream)
+}
+
 // ArrivalTraceWriter records an arrival stream as JSONL (one arrival per
 // line) so a workload can be replayed later; ArrivalTraceReader streams it
 // back and plugs directly into RunOnlineStream.
@@ -334,6 +384,10 @@ type OnlineWorkload struct {
 	// per-task curves. The parameters are interpreted by the run's
 	// SpeedupModel (power-law exponent, Amdahl serial fraction).
 	CurveMin, CurveMax float64
+	// TenantSkew is a Zipf exponent reshaping the tenant shares: tenant i's
+	// effective share is divided by (i+1)^TenantSkew, so equal base shares
+	// become a Zipf-skewed mix. 0 leaves the shares as configured.
+	TenantSkew float64
 }
 
 // arrivalConfig resolves the workload's class and process names into the
@@ -356,14 +410,15 @@ func (w OnlineWorkload) arrivalConfig() (workload.ArrivalConfig, error) {
 		return workload.ArrivalConfig{}, err
 	}
 	return workload.ArrivalConfig{
-		Class:     class,
-		P:         w.P,
-		Process:   process,
-		Rate:      w.Rate,
-		MeanBurst: w.MeanBurst,
-		Tenants:   w.Tenants,
-		CurveMin:  w.CurveMin,
-		CurveMax:  w.CurveMax,
+		Class:      class,
+		P:          w.P,
+		Process:    process,
+		Rate:       w.Rate,
+		MeanBurst:  w.MeanBurst,
+		Tenants:    w.Tenants,
+		CurveMin:   w.CurveMin,
+		CurveMax:   w.CurveMax,
+		TenantSkew: w.TenantSkew,
 	}, nil
 }
 

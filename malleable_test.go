@@ -419,3 +419,76 @@ func TestRunOnlineStreamFacade(t *testing.T) {
 		}
 	}
 }
+
+// The cluster facade: one global Zipf-skewed stream routed across a fleet,
+// deterministic under a fixed seed, with the imbalance fields populated and
+// the resumable stepper surfaced.
+func TestRunClusterFacade(t *testing.T) {
+	w := malleable.OnlineWorkload{
+		P: 4, Rate: 24,
+		Tenants: []malleable.TenantSpec{
+			{Name: "a", Weight: 2, Share: 1}, {Name: "b", Weight: 1, Share: 1},
+			{Name: "c", Weight: 1, Share: 1}, {Name: "d", Weight: 1, Share: 1},
+		},
+		TenantSkew: 1.5,
+	}
+	const n = 1200
+	run := func(routerName string) *malleable.OnlineLoadResult {
+		t.Helper()
+		stream, err := malleable.StreamArrivals(w, n, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		router, err := malleable.RouterByName(routerName, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := malleable.RunCluster(malleable.ClusterConfig{
+			Shards: 3, P: 4, Policy: mustPolicy(t, "wdeq"), Router: router,
+		}, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, name := range malleable.RouterNames() {
+		res := run(name)
+		if res.TotalTasks != n {
+			t.Errorf("%s: completed %d tasks, want %d", name, res.TotalTasks, n)
+		}
+		if res.MaxShardCompleted < res.MinShardCompleted || res.PeakBacklog <= 0 {
+			t.Errorf("%s: imbalance fields min=%d max=%d peak=%d", name, res.MinShardCompleted, res.MaxShardCompleted, res.PeakBacklog)
+		}
+	}
+	a, b := run("po2"), run("po2")
+	if a.WeightedFlow != b.WeightedFlow || a.Makespan != b.Makespan || a.PeakBacklog != b.PeakBacklog {
+		t.Errorf("po2 cluster not deterministic: %+v vs %+v", a, b)
+	}
+
+	// The resumable stepper through the facade: drive a few events by hand.
+	stream, err := malleable.StreamArrivals(w, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res malleable.OnlineResult
+	runner := malleable.NewOnlineRunner()
+	st, err := runner.StartStream(&res, 4, mustPolicy(t, "wdeq"), stream, nil, malleable.OnlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ok, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 64 {
+		t.Errorf("stepper completed %d of 64", res.Completed)
+	}
+}
