@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 
 	"github.com/malleable-sched/malleable/internal/cluster"
 	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/obs"
 	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/workload"
 )
@@ -111,17 +113,39 @@ func (spec loadtestSpec) parse() (engine.Policy, workload.ArrivalConfig, []workl
 	return policy, cfg, tenants, engine.Options{Model: model}, nil
 }
 
+// loadtestObservers carries the optional observability attachments of a
+// load test — the hooks `-timeline` uses to watch the run without touching
+// the deterministic report. All fields are optional; the zero value
+// observes nothing.
+type loadtestObservers struct {
+	// probe observes the single-shard streaming run at its rest state,
+	// thinned to probeInterval on the virtual-time grid (0 = every event).
+	probe         engine.Probe
+	probeInterval float64
+	// sink additionally observes every completed task (flow statistics).
+	sink engine.MetricSink
+	// fleetProbe observes cluster-mode dispatches.
+	fleetProbe cluster.Probe
+}
+
+// observed reports whether any attachment is set.
+func (o loadtestObservers) observed() bool {
+	return o.probe != nil || o.sink != nil || o.fleetProbe != nil
+}
+
 // runLoadtestSpec generates the per-shard arrival streams, runs the sharded
 // engine and returns the merged result plus the parsed tenant mix (so the
 // report prints the same tenants the workload actually ran with).
 func runLoadtestSpec(spec loadtestSpec) (*engine.LoadResult, []workload.TenantSpec, error) {
-	return runLoadtestSpecWrapped(spec, nil)
+	return runLoadtestSpecWrapped(spec, nil, loadtestObservers{})
 }
 
 // runLoadtestSpecWrapped is runLoadtestSpec with an optional per-shard
 // stream wrapper (streaming mode only) — the hook `-trace-out` uses to tee
-// the generated arrivals into a trace file.
-func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.ArrivalStream) engine.ArrivalStream) (*engine.LoadResult, []workload.TenantSpec, error) {
+// the generated arrivals into a trace file — plus optional observers.
+// Observers require a single observable timeline: cluster mode (any shard
+// count; the coordinator is sequential) or a one-shard streaming run.
+func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.ArrivalStream) engine.ArrivalStream, obsv loadtestObservers) (*engine.LoadResult, []workload.TenantSpec, error) {
 	if spec.Tasks <= 0 {
 		return nil, nil, fmt.Errorf("loadtest: need a positive task count, got %d", spec.Tasks)
 	}
@@ -160,11 +184,45 @@ func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.Arr
 			Policy: policy,
 			Router: router,
 			Opts:   opts,
+			Sink:   obsv.sink,
+			Probe:  obsv.fleetProbe,
 		}, global)
 		if err != nil {
 			return nil, nil, err
 		}
 		return res, tenants, nil
+	}
+	if obsv.observed() {
+		// Observed single-engine path: the same seed derivation, sinks and
+		// merge as RunShardsStream with one shard, plus the probe and the
+		// extra sink. Multi-shard independent streams have no single
+		// observable timeline, so the flag layer rejects them before here.
+		if !spec.Stream || spec.Shards != 1 {
+			return nil, nil, fmt.Errorf("loadtest: observers need -stream with one shard, or a -router cluster")
+		}
+		seed := engine.ShardSeed(spec.Seed, 0)
+		stream, err := workload.NewStream(cfg, spec.Tasks, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		var arrivals engine.ArrivalStream = stream
+		if wrap != nil {
+			arrivals = wrap(0, arrivals)
+		}
+		agg := engine.NewAggregateSink()
+		sk := engine.NewSketchSink(0)
+		opts.Probe = obsv.probe
+		opts.ProbeInterval = obsv.probeInterval
+		res, err := engine.RunStreamWithOptions(spec.P, policy, arrivals, engine.MultiSink(agg, sk, obsv.sink), opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		runs := []engine.ShardRun{{Shard: 0, Seed: seed, Result: res}}
+		merged, err := engine.MergeShards(spec.P, policy.Name(), runs, []*engine.AggregateSink{agg}, []*engine.SketchSink{sk})
+		if err != nil {
+			return nil, nil, err
+		}
+		return merged, tenants, nil
 	}
 	// Spread the task budget over the shards; the first Tasks%Shards shards
 	// absorb the remainder.
@@ -346,15 +404,17 @@ func (t *teeStream) Next() (engine.Arrival, bool, error) {
 }
 
 // memReport instruments one load-test run: wall time, tasks/sec of wall
-// clock, allocation counters per task, the live-heap delta, and the peak
-// heap sampled during the run. run returns the number of tasks it pushed
-// through. memReport prints to its own writer (stderr in production) so the
-// deterministic report on stdout stays byte-stable.
-func memReport(perfW io.Writer, run func() (int, error)) error {
+// clock, allocation counters per task, the live-heap delta, the peak heap
+// sampled during the run (at the given sampling interval; <= 0 disables
+// mid-run sampling), and the GC cycles the run itself triggered. run
+// returns the number of tasks it pushed through. memReport prints to its
+// own writer (stderr in production) so the deterministic report on stdout
+// stays byte-stable.
+func memReport(perfW io.Writer, heapSample time.Duration, run func() (int, error)) error {
 	runtime.GC()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
-	sampler := startHeapSampler()
+	sampler := startHeapSampler(heapSample)
 	start := time.Now()
 	tasks, err := run()
 	elapsed := time.Since(start)
@@ -365,6 +425,11 @@ func memReport(perfW io.Writer, run func() (int, error)) error {
 	if tasks <= 0 {
 		tasks = 1
 	}
+	// GC cycles are read before the explicit collection below, so the count
+	// reflects what the run's own allocation pressure triggered.
+	var atEnd runtime.MemStats
+	runtime.ReadMemStats(&atEnd)
+	gcCycles := atEnd.NumGC - before.NumGC
 	runtime.GC()
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
@@ -372,30 +437,36 @@ func memReport(perfW io.Writer, run func() (int, error)) error {
 		peak = after.HeapAlloc
 	}
 	perTask := func(v uint64) float64 { return float64(v) / float64(tasks) }
-	fmt.Fprintf(perfW, "perf: wall=%.3gs tasks/sec=%.4g allocs/task=%.4g bytes/task=%.4g peak-heap=%.1fMiB live-heap-delta=%+.2fMiB\n",
+	fmt.Fprintf(perfW, "perf: wall=%.3gs tasks/sec=%.4g allocs/task=%.4g bytes/task=%.4g peak-heap=%.1fMiB live-heap-delta=%+.2fMiB gc-cycles=%d\n",
 		elapsed.Seconds(),
 		float64(tasks)/elapsed.Seconds(),
 		perTask(after.Mallocs-before.Mallocs),
 		perTask(after.TotalAlloc-before.TotalAlloc),
 		float64(peak)/(1<<20),
-		(float64(after.HeapAlloc)-float64(before.HeapAlloc))/(1<<20))
+		(float64(after.HeapAlloc)-float64(before.HeapAlloc))/(1<<20),
+		gcCycles)
 	return nil
 }
 
 // heapSampler polls runtime.MemStats.HeapAlloc while a run is in flight so
 // the report can show the peak heap, the number the O(alive tasks) claim is
-// about.
+// about. A non-positive interval disables mid-run sampling (the reported
+// peak then falls back to the end-of-run live heap).
 type heapSampler struct {
 	stopCh chan struct{}
 	doneCh chan struct{}
 	peak   uint64
 }
 
-func startHeapSampler() *heapSampler {
+func startHeapSampler(interval time.Duration) *heapSampler {
 	h := &heapSampler{stopCh: make(chan struct{}), doneCh: make(chan struct{})}
+	if interval <= 0 {
+		close(h.doneCh)
+		return h
+	}
 	go func() {
 		defer close(h.doneCh)
-		ticker := time.NewTicker(10 * time.Millisecond)
+		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		var ms runtime.MemStats
 		for {
@@ -440,6 +511,9 @@ func runLoadtest(args []string) error {
 	stream := fs.Bool("stream", false, "stream arrivals through the engine (O(alive) memory; flow quantiles from a sketch) — required for very large -n")
 	traceOut := fs.String("trace-out", "", "record the generated arrival stream to this JSONL file (requires -stream and -shards 1, or -router, whose global stream is the one recorded)")
 	traceIn := fs.String("trace-in", "", "replay a recorded JSONL arrival trace instead of generating a workload (implies -stream; with -shards > 1 or -router the one trace is dispatched across the fleet by the cluster coordinator)")
+	timelineOut := fs.String("timeline", "", "record a JSONL run timeline (backlog, throughput, p99 flow over virtual time) to this file (requires -stream and -shards 1, or -router)")
+	timelineInterval := fs.Float64("timeline-interval", 1, "virtual-time spacing of timeline samples; 0 samples every observation")
+	heapSample := fs.Duration("heap-sample", 10*time.Millisecond, "sampling interval of the peak-heap figure in the perf footer; 0 disables mid-run sampling")
 	mem := fs.Bool("mem", true, "print wall-clock throughput and memory statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -471,6 +545,9 @@ func runLoadtest(args []string) error {
 		if *traceOut != "" {
 			return fmt.Errorf("loadtest: -trace-in and -trace-out are mutually exclusive")
 		}
+		if *timelineOut != "" {
+			return fmt.Errorf("loadtest: -timeline is not supported with -trace-in")
+		}
 		// A bare -trace-in keeps its historical meaning — one trace, one
 		// streaming engine — even though the -shards flag defaults to 4.
 		// Only an explicit -shards or -router opts the replay into the
@@ -485,7 +562,7 @@ func runLoadtest(args []string) error {
 			return err
 		}
 		defer f.Close()
-		return memReport(perfW, func() (int, error) {
+		return memReport(perfW, *heapSample, func() (int, error) {
 			return traceReplayReport(os.Stdout, spec, f)
 		})
 	}
@@ -513,8 +590,39 @@ func runLoadtest(args []string) error {
 		}
 	}
 
-	err := memReport(perfW, func() (int, error) {
-		res, tenantSpecs, err := runLoadtestSpecWrapped(spec, wrap)
+	var obsv loadtestObservers
+	var timeline *obs.Timeline
+	var timelineFile *os.File
+	var timelineBuf *bufio.Writer
+	if *timelineOut != "" {
+		if spec.Router == "" {
+			if !spec.Stream {
+				return fmt.Errorf("loadtest: -timeline records the streamed run; add -stream (or -router)")
+			}
+			if spec.Shards != 1 {
+				return fmt.Errorf("loadtest: -timeline records one timeline; use -shards 1 or a -router cluster")
+			}
+		}
+		if *timelineInterval < 0 {
+			return fmt.Errorf("loadtest: -timeline-interval must be >= 0, got %g", *timelineInterval)
+		}
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			return err
+		}
+		timelineFile = f
+		timelineBuf = bufio.NewWriter(f)
+		timeline = obs.NewTimeline(timelineBuf, *timelineInterval)
+		obsv = loadtestObservers{
+			probe:         timeline,
+			probeInterval: *timelineInterval,
+			sink:          timeline,
+			fleetProbe:    timeline,
+		}
+	}
+
+	err := memReport(perfW, *heapSample, func() (int, error) {
+		res, tenantSpecs, err := runLoadtestSpecWrapped(spec, wrap, obsv)
 		if err != nil {
 			return 0, err
 		}
@@ -527,6 +635,20 @@ func runLoadtest(args []string) error {
 		}
 		if cerr := traceFile.Close(); err == nil {
 			err = cerr
+		}
+	}
+	if timelineFile != nil {
+		if err == nil {
+			err = timeline.Close()
+		}
+		if err == nil {
+			err = timelineBuf.Flush()
+		}
+		if cerr := timelineFile.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Fprintf(perfW, "timeline: %d samples -> %s\n", timeline.Records(), *timelineOut)
 		}
 	}
 	return err

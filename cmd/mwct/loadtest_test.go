@@ -85,7 +85,7 @@ func TestLoadtestSpecValidation(t *testing.T) {
 }
 
 func TestServeHealthz(t *testing.T) {
-	srv := httptest.NewServer(newServeMux())
+	srv := httptest.NewServer(newServeMux(false))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -98,7 +98,7 @@ func TestServeHealthz(t *testing.T) {
 }
 
 func TestServeSolve(t *testing.T) {
-	srv := httptest.NewServer(newServeMux())
+	srv := httptest.NewServer(newServeMux(false))
 	defer srv.Close()
 	body := `{"processors": 2, "tasks": [{"weight": 1, "volume": 2, "delta": 1}, {"weight": 2, "volume": 1, "delta": 2}]}`
 	resp, err := http.Post(srv.URL+"/v1/solve?algo=wdeq", "application/json", strings.NewReader(body))
@@ -132,7 +132,7 @@ func TestServeSolve(t *testing.T) {
 }
 
 func TestServeLoadtest(t *testing.T) {
-	srv := httptest.NewServer(newServeMux())
+	srv := httptest.NewServer(newServeMux(false))
 	defer srv.Close()
 	spec, _ := json.Marshal(testSpec())
 	resp, err := http.Post(srv.URL+"/v1/loadtest", "application/json", bytes.NewReader(spec))
@@ -273,7 +273,7 @@ func TestLoadtestTraceRecordReplay(t *testing.T) {
 	res, _, err := runLoadtestSpecWrapped(spec, func(shard int, s engine.ArrivalStream) engine.ArrivalStream {
 		tee = &teeStream{inner: s, tw: workload.NewTraceWriter(f)}
 		return tee
-	})
+	}, loadtestObservers{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +312,7 @@ func TestLoadtestTraceRecordReplay(t *testing.T) {
 // /v1/metrics must accumulate across load tests: runs, tasks and mean flow
 // come from the cumulative aggregate sink.
 func TestServeMetricsAccumulate(t *testing.T) {
-	srv := httptest.NewServer(newServeMux())
+	srv := httptest.NewServer(newServeMux(false))
 	defer srv.Close()
 
 	readMetrics := func() (runs int, tasks int, meanFlow float64) {
@@ -414,7 +414,7 @@ func TestLoadtestTraceReplayAcrossFleet(t *testing.T) {
 	if _, _, err := runLoadtestSpecWrapped(spec, func(shard int, s engine.ArrivalStream) engine.ArrivalStream {
 		tee = &teeStream{inner: s, tw: workload.NewTraceWriter(&trace)}
 		return tee
-	}); err != nil {
+	}, loadtestObservers{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := tee.tw.Flush(); err != nil {
@@ -475,7 +475,7 @@ func TestLoadtestTenantSkewShiftsTraffic(t *testing.T) {
 // The serve endpoint must accept cluster specs and report the router and
 // imbalance fields.
 func TestServeLoadtestCluster(t *testing.T) {
-	srv := httptest.NewServer(newServeMux())
+	srv := httptest.NewServer(newServeMux(false))
 	defer srv.Close()
 	spec := testSpec()
 	spec.Router = "po2"

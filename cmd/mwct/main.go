@@ -13,7 +13,8 @@
 //	mwct loadtest   -policy wdeq -n 10000 -shards 4 -rate 8 -seed 1
 //	mwct loadtest   -router po2 -shards 8 -n 100000 -rate 120 -tenant-skew 1.5
 //	mwct bench      -json BENCH_2026-07-30.json -baseline BENCH_baseline.json
-//	mwct serve      -addr :8080
+//	mwct serve      -addr :8080 [-pprof]
+//	mwct promcheck  -input exposition.txt -require mwct_loadtest_runs_total
 //
 // Instances are read and written as JSON (see `mwct gen` for the format).
 package main
@@ -46,6 +47,8 @@ func main() {
 		err = runBench(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "promcheck":
+		err = runPromcheck(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -79,12 +82,18 @@ Commands:
               switches to cluster mode: ONE global arrival stream dispatched
               across the shards by round-robin, hash-tenant, least-backlog
               or po2 routing in a deterministic virtual timeline (see
-              examples/cluster); -tenant-skew Zipf-skews the tenant mix
+              examples/cluster); -tenant-skew Zipf-skews the tenant mix;
+              -timeline records sampled backlog/throughput/p99-flow
+              trajectories as JSONL (see examples/observability)
   bench       run the pinned performance scenarios, write the JSON report,
               and optionally gate on a baseline (-baseline BENCH_baseline.json
               -max-regress 0.25); CI runs this on every push
   serve       expose solve and loadtest over an HTTP API, with cumulative
-              run counters on GET /v1/metrics
+              run counters on GET /v1/metrics, a Prometheus text exposition
+              on GET /metrics, and net/http/pprof behind -pprof
+  promcheck   strictly validate a Prometheus text exposition (stdin or
+              -input), optionally requiring named families; CI pipes a
+              scrape of a live serve through it
 
 Run "mwct <command> -h" for the flags of each command.
 `)

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/malleable-sched/malleable/internal/obs"
+)
+
+// runPromcheck implements `mwct promcheck`: strictly validate a Prometheus
+// text exposition (format 0.0.4) from a file or stdin against the same
+// parser the test suite uses, optionally requiring named families to be
+// present. CI scrapes a live `mwct serve` and pipes the body through here,
+// so a malformed exposition fails the build without a Prometheus server in
+// the loop.
+func runPromcheck(args []string) error {
+	fs := flag.NewFlagSet("promcheck", flag.ExitOnError)
+	input := fs.String("input", "-", "exposition file to validate (- = stdin)")
+	var require stringList
+	fs.Var(&require, "require", "metric family that must be present (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	fams, err := obs.ParseExposition(r)
+	if err != nil {
+		return fmt.Errorf("promcheck: %w", err)
+	}
+	for _, name := range require {
+		fam := fams[name]
+		if fam == nil {
+			return fmt.Errorf("promcheck: required family %q missing", name)
+		}
+		if len(fam.Samples) == 0 {
+			return fmt.Errorf("promcheck: required family %q has no samples", name)
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("promcheck: valid exposition, %d families\n", len(names))
+	for _, name := range names {
+		fmt.Printf("  %-40s %s (%d samples)\n", name, fams[name].Type, len(fams[name].Samples))
+	}
+	return nil
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPromcheck(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(good, []byte(
+		"# HELP mwct_x_total A counter.\n# TYPE mwct_x_total counter\nmwct_x_total 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPromcheck([]string{"-input", good, "-require", "mwct_x_total"}); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+	if err := runPromcheck([]string{"-input", good, "-require", "mwct_missing"}); err == nil {
+		t.Error("missing required family accepted")
+	}
+
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("mwct_x_total not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPromcheck([]string{"-input", bad}); err == nil {
+		t.Error("malformed exposition accepted")
+	}
+	if err := runPromcheck([]string{"-input", filepath.Join(dir, "absent.txt")}); err == nil {
+		t.Error("unreadable input accepted")
+	}
+}

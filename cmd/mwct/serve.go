@@ -7,46 +7,89 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"time"
 
 	malleable "github.com/malleable-sched/malleable"
 	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/obs"
 	"github.com/malleable-sched/malleable/internal/schedule"
 )
 
 // newServeMux builds the HTTP API of `mwct serve`:
 //
 //	GET  /healthz              liveness probe
-//	GET  /v1/metrics           cumulative counters over every load test served
+//	GET  /metrics              Prometheus text exposition of the server registry
+//	GET  /v1/metrics           cumulative counters over every load test served (JSON)
 //	POST /v1/solve?algo=NAME   schedule a JSON instance, return completions
 //	POST /v1/loadtest          run a sharded online load test (loadtestSpec)
 //
+// enablePprof additionally mounts the net/http/pprof handlers under
+// /debug/pprof/ — off by default because the profiling endpoints expose
+// internals (and a symbol-resolution CPU cost) operators may not want on an
+// open port.
+//
 // Each mux owns its own metrics state (nothing global), so tests drive
 // independent instances through net/http/httptest.
-func newServeMux() *http.ServeMux {
-	metrics := &serveMetrics{agg: engine.NewAggregateSink()}
+func newServeMux(enablePprof bool) *http.ServeMux {
+	metrics := newServeMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		metrics.requests.With("/healthz").Inc()
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /metrics", metrics.handleProm)
 	mux.HandleFunc("GET /v1/metrics", metrics.handle)
-	mux.HandleFunc("POST /v1/solve", handleSolve)
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		metrics.requests.With("/v1/solve").Inc()
+		handleSolve(w, r)
+	})
 	mux.HandleFunc("POST /v1/loadtest", func(w http.ResponseWriter, r *http.Request) {
+		metrics.requests.With("/v1/loadtest").Inc()
 		handleLoadtest(w, r, metrics)
 	})
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 // serveMetrics accumulates every served load test into one AggregateSink —
-// the process-lifetime counters behind GET /v1/metrics. The sink itself is
-// mergeable, so folding each run's merged shard aggregate in keeps the
-// cumulative mean flow exact without retaining anything per task or per run.
+// the process-lifetime counters behind GET /v1/metrics — and mirrors the
+// same totals into an obs.Registry for the Prometheus exposition at
+// GET /metrics. The sink itself is mergeable, so folding each run's merged
+// shard aggregate in keeps the cumulative mean flow exact without retaining
+// anything per task or per run.
 type serveMetrics struct {
 	mu   sync.Mutex
 	runs int
 	agg  *engine.AggregateSink
+
+	reg          *obs.Registry
+	requests     *obs.CounterVec
+	runsTotal    *obs.Counter
+	tasksTotal   *obs.Counter
+	weightedFlow *obs.Counter
+	meanFlow     *obs.Gauge
+}
+
+func newServeMetrics() *serveMetrics {
+	reg := obs.NewRegistry()
+	return &serveMetrics{
+		agg:          engine.NewAggregateSink(),
+		reg:          reg,
+		requests:     reg.CounterVec("mwct_http_requests_total", "HTTP requests served, by path.", "path"),
+		runsTotal:    reg.Counter("mwct_loadtest_runs_total", "Load tests completed by this server."),
+		tasksTotal:   reg.Counter("mwct_loadtest_tasks_total", "Tasks scheduled across every served load test."),
+		weightedFlow: reg.Counter("mwct_loadtest_weighted_flow_total", "Cumulative weighted flow over every served load test."),
+		meanFlow:     reg.Gauge("mwct_loadtest_mean_flow", "Mean flow time over every served load test."),
+	}
 }
 
 // record folds one completed load test into the counters.
@@ -55,12 +98,26 @@ func (m *serveMetrics) record(res *engine.LoadResult) {
 	defer m.mu.Unlock()
 	m.runs++
 	m.agg.Merge(res.Aggregate)
+	m.runsTotal.Inc()
+	m.tasksTotal.Set(float64(m.agg.Tasks()))
+	m.weightedFlow.Set(m.agg.WeightedFlow())
+	m.meanFlow.Set(m.agg.MeanFlow())
+}
+
+// handleProm implements GET /metrics: the Prometheus text exposition of the
+// server's registry. Metric reads are atomic, so rendering does not take
+// the serveMetrics lock and cannot stall load tests.
+func (m *serveMetrics) handleProm(w http.ResponseWriter, r *http.Request) {
+	m.requests.With("/metrics").Inc()
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = m.reg.WritePrometheus(w)
 }
 
 // handle implements GET /v1/metrics. The counters are snapshotted under the
 // lock but written after releasing it, so a slow-reading metrics client
 // cannot stall load tests trying to record their results.
 func (m *serveMetrics) handle(w http.ResponseWriter, r *http.Request) {
+	m.requests.With("/v1/metrics").Inc()
 	m.mu.Lock()
 	snapshot := map[string]any{
 		"runs":         m.runs,
@@ -223,6 +280,7 @@ func handleLoadtest(w http.ResponseWriter, r *http.Request, metrics *serveMetric
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,7 +289,7 @@ func runServe(args []string) error {
 	// goroutines) open indefinitely.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServeMux(),
+		Handler:           newServeMux(*enablePprof),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute, // large load tests take a while to run

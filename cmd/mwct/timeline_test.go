@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/malleable-sched/malleable/internal/obs"
+)
+
+// runLoadtestQuiet drives the flag-level entry point with stdout redirected
+// to /dev/null — the report itself is covered elsewhere; these tests are
+// about the side-channel files.
+func runLoadtestQuiet(t *testing.T, args ...string) error {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	old := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+	return runLoadtest(args)
+}
+
+// `mwct loadtest -timeline` on a single streamed shard emits at least one
+// sample per crossed interval, and the file round-trips through the reader.
+func TestLoadtestTimelineSingleShard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timeline.jsonl")
+	err := runLoadtestQuiet(t,
+		"-n", "2000", "-shards", "1", "-stream", "-rate", "20",
+		"-timeline", path, "-timeline-interval", "2", "-mem=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadTimeline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty timeline")
+	}
+	last := recs[len(recs)-1]
+	if !last.Done || last.Backlog != 0 || last.Completed != 2000 {
+		t.Fatalf("terminal record %+v, want done with 2000 completed", last)
+	}
+	// At least one sample per crossed 2-unit grid cell over the makespan.
+	if want := int(math.Floor(last.T / 2)); len(recs) < want {
+		t.Fatalf("%d samples over makespan %g at interval 2, want >= %d", len(recs), last.T, want)
+	}
+	for i, rec := range recs {
+		if rec.Admitted != rec.Completed+rec.Backlog {
+			t.Fatalf("record %d inconsistent: %+v", i, rec)
+		}
+		if i > 0 && rec.T < recs[i-1].T {
+			t.Fatalf("record %d time went backwards", i)
+		}
+	}
+	if last.P99Flow <= 0 {
+		t.Fatalf("terminal p99 flow = %g, want > 0", last.P99Flow)
+	}
+}
+
+// The same flag in cluster mode records fleet-wide samples with the shard
+// count and dispatch totals.
+func TestLoadtestTimelineCluster(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timeline.jsonl")
+	err := runLoadtestQuiet(t,
+		"-n", "2000", "-shards", "3", "-router", "least-backlog", "-rate", "40",
+		"-timeline", path, "-timeline-interval", "5", "-mem=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadTimeline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("want several fleet samples, got %d", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Shards != 3 {
+			t.Fatalf("record %d shards = %d, want 3", i, rec.Shards)
+		}
+	}
+	last := recs[len(recs)-1]
+	if !last.Done || last.Dispatched != 2000 || last.Completed != 2000 {
+		t.Fatalf("terminal record %+v, want done with 2000 dispatched and completed", last)
+	}
+}
+
+// Observation must not perturb the run: the observed single-shard path
+// reproduces the plain streaming driver's report byte for byte.
+func TestLoadtestTimelineDoesNotPerturbRun(t *testing.T) {
+	spec := testSpec()
+	spec.Shards = 1
+	spec.Stream = true
+	spec.Tasks = 800
+	render := func(obsv loadtestObservers) string {
+		res, tenants, err := runLoadtestSpecWrapped(spec, nil, obsv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		renderLoadResult(&buf, spec, res, tenants)
+		return buf.String()
+	}
+	plain := render(loadtestObservers{})
+	tl := obs.NewTimeline(io.Discard, 1)
+	observed := render(loadtestObservers{probe: tl, probeInterval: 1, sink: tl, fleetProbe: tl})
+	if plain != observed {
+		t.Fatalf("observed run diverged from plain run:\n%s\nvs\n%s", plain, observed)
+	}
+	if tl.Records() == 0 {
+		t.Fatal("timeline observed nothing")
+	}
+}
+
+// The timeline flag rejects shapes without a single observable timeline,
+// mirroring -trace-out.
+func TestLoadtestTimelineValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timeline.jsonl")
+	cases := map[string][]string{
+		"no -stream":       {"-n", "100", "-shards", "1", "-timeline", path},
+		"multi-shard":      {"-n", "100", "-shards", "2", "-stream", "-timeline", path},
+		"with -trace-in":   {"-trace-in", path, "-timeline", path},
+		"negative spacing": {"-n", "100", "-shards", "1", "-stream", "-timeline", path, "-timeline-interval", "-1"},
+	}
+	for name, args := range cases {
+		if err := runLoadtestQuiet(t, append(args, "-mem=false")...); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// The perf footer reports GC cycles and honors the heap-sample interval
+// (including 0 = disabled).
+func TestMemReportFooter(t *testing.T) {
+	for _, interval := range []time.Duration{0, time.Millisecond} {
+		var buf bytes.Buffer
+		err := memReport(&buf, interval, func() (int, error) {
+			waste := make([][]byte, 0, 64)
+			for i := 0; i < 64; i++ {
+				waste = append(waste, make([]byte, 1<<20))
+			}
+			_ = waste
+			return 1000, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, field := range []string{"gc-cycles=", "peak-heap=", "tasks/sec=", "allocs/task="} {
+			if !strings.Contains(out, field) {
+				t.Fatalf("interval %v: footer missing %q: %s", interval, field, out)
+			}
+		}
+	}
+}

@@ -61,7 +61,15 @@
 //     scheduling variable, and a fixed seed replays the whole fleet byte for
 //     byte. The kernel itself is exposed in resumable form as OnlineStepper
 //     (StartStream/StartFeed on an OnlineRunner), advancing one event at a
-//     time and suspendable between events.
+//     time and suspendable between events;
+//   - the observability plane: a RunProbe observes any run at its rest state
+//     at configurable intervals (OnlineOptions.Probe) without perturbing it,
+//     MetricsRegistry + NewEngineCollector/NewClusterCollector/NewFlowCollector
+//     mirror live runs into Prometheus-rendered metrics (`mwct serve` answers
+//     GET /metrics; `-pprof` adds net/http/pprof), and NewRunTimeline records
+//     sampled backlog/throughput/flow-quantile trajectories as JSONL
+//     (`mwct loadtest -timeline out.jsonl`) that ReadRunTimeline loads back —
+//     all of it allocation-free in steady state.
 //
 // The heavy lifting lives in internal packages (internal/core,
 // internal/schedule, internal/engine, internal/lp, ...); this package is the

@@ -42,6 +42,28 @@ type Config struct {
 	// a deterministic order (global event order, shards stepped lowest
 	// index first on ties).
 	Sink engine.MetricSink
+	// Probe, when non-nil, observes the fleet at dispatch time: it is handed
+	// the same exact per-shard snapshots the Router just saw (after the
+	// dispatch was counted), so probe output and routing decisions describe
+	// the same instant. A final observation fires after the fleet drains,
+	// with every shard's terminal counters. See Probe.
+	Probe Probe
+	// ProbeEveryDispatches fires the probe every k-th dispatch (k > 0); 0
+	// observes every dispatch. The snapshots are assembled for the router
+	// anyway, so thinning only saves the probe body, not the scan.
+	ProbeEveryDispatches int
+}
+
+// Probe observes the fleet's per-shard state on the coordinator's virtual
+// timeline — the cluster half of the observability plane (internal/obs
+// exposes implementations as labeled Prometheus gauge families).
+//
+// ObserveFleet is called from the coordinator goroutine; now is the release
+// time of the arrival just dispatched (or the fleet's final virtual time on
+// the closing observation). The shards slice is the coordinator's scratch:
+// implementations must read it synchronously and must not retain it.
+type Probe interface {
+	ObserveFleet(now float64, shards []ShardState)
 }
 
 // Run dispatches the global arrival stream across the fleet and merges the
@@ -142,6 +164,7 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("cluster: empty arrival stream")
 	}
+	routed := 0
 	for ok {
 		// Bring every shard up to the arrival's release time: completions
 		// (and capacity steps) due before it are processed first, so the
@@ -169,6 +192,14 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 			return nil, fmt.Errorf("cluster: shard %d: %w", idx, err)
 		}
 		dispatched[idx]++
+		routed++
+		if cfg.Probe != nil && (cfg.ProbeEveryDispatches <= 1 || routed%cfg.ProbeEveryDispatches == 0) {
+			// The probe sees exactly what the router saw, plus the dispatch
+			// it just caused — the fed arrival itself is not admitted until
+			// the shard's next event, so Backlog is still the routed view.
+			states[idx].Dispatched = dispatched[idx]
+			cfg.Probe.ObserveFleet(next.Release, states)
+		}
 		next, ok, err = pull()
 		if err != nil {
 			return nil, err
@@ -196,6 +227,26 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
 		runs[i] = engine.ShardRun{Shard: i, Result: results[i]}
+	}
+	if cfg.Probe != nil {
+		// Closing observation: every shard's terminal counters at the
+		// fleet's final virtual time, so samplers always capture the
+		// drained endpoint whatever the dispatch thinning.
+		final := 0.0
+		for i, st := range steppers {
+			states[i] = ShardState{
+				Shard:      i,
+				Now:        st.Now(),
+				Backlog:    st.Backlog(),
+				Allocated:  st.Allocated(),
+				Completed:  st.Completed(),
+				Dispatched: dispatched[i],
+			}
+			if results[i].Makespan > final {
+				final = results[i].Makespan
+			}
+		}
+		cfg.Probe.ObserveFleet(final, states)
 	}
 	res, err := engine.MergeShards(cfg.P, cfg.Policy.Name(), runs, aggs, sketches)
 	if err != nil {

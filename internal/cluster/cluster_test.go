@@ -332,3 +332,149 @@ func TestClusterSharedSinkGlobalOrder(t *testing.T) {
 type sinkFunc func(m engine.TaskMetrics)
 
 func (f sinkFunc) Observe(m engine.TaskMetrics) { f(m) }
+
+// fleetProbe retains per-observation fleet summaries (test-only).
+type fleetProbe struct {
+	times      []float64
+	dispatched []int
+	backlogs   []int
+	completed  []int
+	shardCount int
+}
+
+func (p *fleetProbe) ObserveFleet(now float64, shards []ShardState) {
+	p.shardCount = len(shards)
+	d, b, c := 0, 0, 0
+	for _, s := range shards {
+		d += s.Dispatched
+		b += s.Backlog
+		c += s.Completed
+	}
+	p.times = append(p.times, now)
+	p.dispatched = append(p.dispatched, d)
+	p.backlogs = append(p.backlogs, b)
+	p.completed = append(p.completed, c)
+}
+
+// Config.Probe observes every dispatch with exact fleet state: the total
+// dispatch count advances by one per observation, times are non-decreasing,
+// and the closing observation shows the fleet fully drained.
+func TestClusterProbeObservesEveryDispatch(t *testing.T) {
+	const n = 2000
+	stream, err := workload.NewStream(skewedConfig(40), n, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &fleetProbe{}
+	res, err := Run(Config{Shards: 3, P: 8, Policy: wdeq(t), Router: NewLeastBacklog(), Probe: probe}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(probe.times); got != n+1 {
+		t.Fatalf("probe fired %d times, want %d dispatches + 1 final", got, n)
+	}
+	if probe.shardCount != 3 {
+		t.Fatalf("probe saw %d shards, want 3", probe.shardCount)
+	}
+	for i := 0; i < n; i++ {
+		if probe.dispatched[i] != i+1 {
+			t.Fatalf("observation %d: fleet dispatched %d, want %d", i, probe.dispatched[i], i+1)
+		}
+		// The rest-state invariant, fleet-wide: every dispatched task is
+		// alive, completed, or still pending admission on its shard (the
+		// just-fed arrival), so backlog+completed never exceeds dispatches.
+		if probe.backlogs[i]+probe.completed[i] > probe.dispatched[i] {
+			t.Fatalf("observation %d: backlog %d + completed %d exceeds dispatched %d",
+				i, probe.backlogs[i], probe.completed[i], probe.dispatched[i])
+		}
+		if i > 0 && probe.times[i] < probe.times[i-1] {
+			t.Fatalf("observation %d time %g precedes %g", i, probe.times[i], probe.times[i-1])
+		}
+	}
+	final := len(probe.times) - 1
+	if probe.completed[final] != n || probe.backlogs[final] != 0 {
+		t.Fatalf("final observation: completed %d backlog %d, want %d and 0", probe.completed[final], probe.backlogs[final], n)
+	}
+	if probe.times[final] != res.Makespan {
+		t.Fatalf("final observation at %g, want makespan %g", probe.times[final], res.Makespan)
+	}
+}
+
+// ProbeEveryDispatches thins observations to every k-th dispatch; the final
+// drained observation still always arrives.
+func TestClusterProbeThinning(t *testing.T) {
+	const n, k = 2000, 64
+	stream, err := workload.NewStream(skewedConfig(40), n, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &fleetProbe{}
+	_, err = Run(Config{Shards: 3, P: 8, Policy: wdeq(t), Router: NewLeastBacklog(), Probe: probe, ProbeEveryDispatches: k}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(probe.times), n/k+1; got != want {
+		t.Fatalf("probe fired %d times, want %d", got, want)
+	}
+	for i := 0; i < len(probe.dispatched)-1; i++ {
+		if probe.dispatched[i] != (i+1)*k {
+			t.Fatalf("observation %d at dispatch %d, want %d", i, probe.dispatched[i], (i+1)*k)
+		}
+	}
+	if probe.completed[len(probe.completed)-1] != n {
+		t.Fatalf("final observation completed %d, want %d", probe.completed[len(probe.completed)-1], n)
+	}
+}
+
+// The coordinator's merged aggregate folds per-shard sinks in shard order —
+// the satellite check that the deterministic merge and a global-order fold
+// of the very same completions agree: task counts exactly, floating-point
+// sums within round-off.
+func TestClusterAggregateMergeOrdering(t *testing.T) {
+	const n = 2500
+	stream, err := workload.NewStream(skewedConfig(40), n, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalAgg := engine.NewAggregateSink()
+	res, err := Run(Config{Shards: 4, P: 8, Policy: wdeq(t), Router: NewPowerOfTwo(7), Sink: globalAgg}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := res.Aggregate.PerTenant()
+	global := globalAgg.PerTenant()
+	if len(merged) != len(global) || len(merged) == 0 {
+		t.Fatalf("tenant rows: merged %d vs global %d", len(merged), len(global))
+	}
+	relClose := func(a, b float64) bool {
+		diff := math.Abs(a - b)
+		return diff <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	}
+	for i := range merged {
+		m, g := merged[i], global[i]
+		if m.Tenant != g.Tenant || m.Tasks != g.Tasks {
+			t.Fatalf("tenant row %d: shard-order merge %+v vs global-order fold %+v", i, m, g)
+		}
+		if !relClose(m.WeightedFlow, g.WeightedFlow) || !relClose(m.MeanFlow, g.MeanFlow) || !relClose(m.MaxFlow, g.MaxFlow) {
+			t.Fatalf("tenant row %d flow mismatch beyond round-off: %+v vs %+v", i, m, g)
+		}
+	}
+	if res.Aggregate.Tasks() != n || globalAgg.Tasks() != n {
+		t.Fatalf("aggregate totals %d/%d, want %d", res.Aggregate.Tasks(), globalAgg.Tasks(), n)
+	}
+	// Repeating the run reproduces the shard-order merge byte-for-byte.
+	stream2, err := workload.NewStream(skewedConfig(40), n, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(Config{Shards: 4, P: 8, Policy: wdeq(t), Router: NewPowerOfTwo(7)}, stream2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := res2.Aggregate.PerTenant()
+	for i := range merged {
+		if merged[i] != again[i] {
+			t.Fatalf("tenant row %d not reproducible: %+v vs %+v", i, merged[i], again[i])
+		}
+	}
+}

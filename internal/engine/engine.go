@@ -245,6 +245,21 @@ type Options struct {
 	// safety bound 4n+64 (a correct run needs at most 3n+1), plus the model's
 	// budget-change event bound when the model is time-varying.
 	MaxEvents int
+	// Probe, when non-nil, observes the run at its rest state — the engine
+	// hands it an alloc-free Snapshot after each event that crosses a probe
+	// interval (see ProbeEveryEvents and ProbeInterval; with both zero, every
+	// event). The final event always fires with Snapshot.Done set. Probes are
+	// called from the engine goroutine and must not block; see Probe.
+	Probe Probe
+	// ProbeEveryEvents fires the probe every k policy events (k > 0). It can
+	// be combined with ProbeInterval; the probe fires when either threshold
+	// is crossed.
+	ProbeEveryEvents int
+	// ProbeInterval fires the probe at the first event at or after each
+	// multiple of the interval in virtual time (d > 0). The engine never
+	// injects extra events for probing, so sampling cannot perturb the run:
+	// an interval finer than the event spacing simply observes every event.
+	ProbeInterval float64
 }
 
 // model resolves the configured speedup model, defaulting to the paper's.
@@ -548,6 +563,16 @@ type Stepper struct {
 	dtComp    float64
 	allocated float64
 
+	// Probe state: the configured observer, its interval thresholds, and
+	// the firing bookkeeping (events at last firing, next virtual-time grid
+	// point, whether the final Done snapshot has been delivered).
+	probe            Probe
+	probeEveryEvents int
+	probeInterval    float64
+	probeLastEvents  int
+	probeNext        float64
+	probeFinal       bool
+
 	done bool
 	err  error
 }
@@ -595,6 +620,10 @@ func (r *Runner) start(res *Result, p float64, policy Policy, src arrivalSource,
 		p:           p,
 		feedable:    feedable,
 		feedQ:       st.feedQ[:0],
+
+		probe:            opts.Probe,
+		probeEveryEvents: opts.ProbeEveryEvents,
+		probeInterval:    opts.ProbeInterval,
 	}
 	r.live = r.live[:0]
 	if !feedable {
@@ -801,6 +830,18 @@ func (st *Stepper) NextEventTime() float64 {
 // sticky), or — feed mode only — when the stepper is blocked waiting for
 // more arrivals.
 func (st *Stepper) Step() (bool, error) {
+	ok, err := st.stepOnce()
+	// Probe at the rest state the event left behind. A suspended feed-mode
+	// stepper (ok false, not done) processed nothing, so nothing fires; nor
+	// do further Step calls after the final Done snapshot was delivered.
+	if st.probe != nil && err == nil && (ok || (st.done && !st.probeFinal)) {
+		st.observeProbe()
+	}
+	return ok, err
+}
+
+// stepOnce is Step without the probe hook — the state machine itself.
+func (st *Stepper) stepOnce() (bool, error) {
 	if st.err != nil {
 		return false, st.err
 	}

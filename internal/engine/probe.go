@@ -1,0 +1,162 @@
+package engine
+
+import "math"
+
+// Snapshot is the alloc-free view of a run a Probe observes at the
+// Stepper's rest state. Every field is a scalar copied out of the Runner's
+// existing scratch and the run's Result, so assembling one costs a handful
+// of register moves and no heap allocation — the zero-allocation contract of
+// the event loop extends through the probe hook.
+//
+// A snapshot is taken only at the rest state ("all events at times <= Now
+// processed, an allocation decided for the current alive set"), which makes
+// it internally consistent: Backlog, Allocated, Completed and the flow sums
+// all describe the same instant of virtual time. Per-tenant views are not
+// part of the snapshot — they live in the run's MetricSink (typically an
+// AggregateSink), which a probe may share with the run and read between
+// events, since sinks and probes are both invoked from the engine goroutine.
+type Snapshot struct {
+	// Now is the stepper's virtual time.
+	Now float64
+	// Backlog is the number of alive tasks (the live queue depth).
+	Backlog int
+	// Admitted is the number of arrivals admitted so far.
+	Admitted int
+	// Completed is the number of tasks retired so far.
+	Completed int
+	// Events is the number of policy invocations so far.
+	Events int
+	// MaxAlive is the peak backlog observed so far.
+	MaxAlive int
+	// Allocated is the capacity the policy handed out at the current
+	// decision (0 while the stepper is idle or done).
+	Allocated float64
+	// WeightedFlow is Σ w_i·F_i over the completed tasks so far.
+	WeightedFlow float64
+	// TotalFlow is Σ F_i over the completed tasks so far.
+	TotalFlow float64
+	// Done reports that this is the run's final snapshot: the stream is
+	// exhausted and the last task has retired. Every probed run ends with
+	// exactly one Done snapshot, so samplers always capture the endpoint.
+	Done bool
+}
+
+// Throughput returns completed tasks per unit of virtual time so far (0 at
+// time zero).
+func (s Snapshot) Throughput() float64 {
+	if s.Now <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / s.Now
+}
+
+// MeanFlow returns the mean flow time of the completed tasks so far (0 when
+// none completed).
+func (s Snapshot) MeanFlow() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.TotalFlow / float64(s.Completed)
+}
+
+// Probe observes a running engine at configurable intervals — the
+// instrumentation half of the observability plane (internal/obs has the
+// bundled implementations: metrics collectors, timeline recorders).
+//
+// ObserveSnapshot is called from the engine goroutine at the stepper's rest
+// state, after the event's admissions, retirements and policy decision are
+// committed; the run is suspended for exactly the duration of the call, so
+// implementations must be fast and must not allocate in steady state if the
+// run's zero-allocation property matters to the caller. The snapshot is a
+// value; retaining it is safe and free.
+//
+// Probes are per-run (or per-shard) observers like MetricSinks: the engine
+// never calls a probe from more than one goroutine, but a probe attached to
+// several concurrent shards must synchronize internally (the bundled
+// collectors use atomics for exactly that reason).
+type Probe interface {
+	ObserveSnapshot(s Snapshot)
+}
+
+// ProbeFunc adapts a plain function to the Probe interface.
+type ProbeFunc func(s Snapshot)
+
+// ObserveSnapshot calls f(s).
+func (f ProbeFunc) ObserveSnapshot(s Snapshot) { f(s) }
+
+// MultiProbe fans every snapshot out to each probe in order, mirroring
+// MultiSink: a run takes one Options.Probe, so attaching a collector AND a
+// timeline goes through here. Nil entries are skipped; an empty MultiProbe
+// discards everything.
+func MultiProbe(probes ...Probe) Probe {
+	return multiProbe(probes)
+}
+
+type multiProbe []Probe
+
+func (m multiProbe) ObserveSnapshot(s Snapshot) {
+	for _, p := range m {
+		if p != nil {
+			p.ObserveSnapshot(s)
+		}
+	}
+}
+
+// snapshot assembles the probe view from the stepper's rest state.
+func (st *Stepper) snapshot() Snapshot {
+	return Snapshot{
+		Now:          st.now,
+		Backlog:      len(st.r.live),
+		Admitted:     st.admitted,
+		Completed:    st.res.Completed,
+		Events:       st.res.Events,
+		MaxAlive:     st.res.MaxAlive,
+		Allocated:    st.Allocated(),
+		WeightedFlow: st.res.WeightedFlow,
+		TotalFlow:    st.res.TotalFlow,
+		Done:         st.done,
+	}
+}
+
+// observeProbe fires the configured probe if an interval threshold was
+// crossed by the event that just committed. Threshold semantics:
+//
+//   - ProbeEveryEvents k > 0: fire when at least k policy events have
+//     happened since the last firing.
+//   - ProbeInterval d > 0: fire at the first event at or after each multiple
+//     of d on the virtual-time grid. The engine never injects events, so a
+//     quiet stretch of the run yields one sample at its first event, not a
+//     backlog of catch-up samples.
+//   - Neither configured: fire at every event.
+//   - The final event additionally always fires (Snapshot.Done), whatever
+//     the intervals, so the run's endpoint is never lost to sampling.
+func (st *Stepper) observeProbe() {
+	fire := false
+	switch {
+	case st.probeEveryEvents > 0:
+		fire = st.res.Events-st.probeLastEvents >= st.probeEveryEvents
+	case st.probeInterval > 0:
+		// Handled below so both intervals may be combined.
+	default:
+		fire = st.probeInterval <= 0
+	}
+	if !fire && st.probeInterval > 0 && st.now >= st.probeNext {
+		fire = true
+	}
+	if st.done && !st.probeFinal {
+		fire = true
+	}
+	if !fire {
+		return
+	}
+	st.probe.ObserveSnapshot(st.snapshot())
+	st.probeLastEvents = st.res.Events
+	if st.probeInterval > 0 && st.now >= st.probeNext {
+		// Advance to the smallest grid multiple strictly after now, so a
+		// clock jump across several intervals emits one sample, not many.
+		st.probeNext = st.probeInterval * (math.Floor(st.now/st.probeInterval) + 1)
+	}
+	if st.done {
+		st.probeFinal = true
+	}
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// recordSink appends every observed task ID, so tests can check fan-out
+// order.
+type recordSink struct{ ids []int }
+
+func (r *recordSink) Observe(m TaskMetrics) { r.ids = append(r.ids, m.ID) }
+
+// MultiSink with zero children (and with only nil children) is a valid
+// discard-everything sink, and non-nil children see every observation in
+// declaration order.
+func TestMultiSinkEdgeCases(t *testing.T) {
+	m := TaskMetrics{ID: 7, Tenant: 1, Flow: 2.5, Weight: 2}
+
+	// Zero children: observing must be a safe no-op.
+	MultiSink().Observe(m)
+	// All-nil children likewise.
+	MultiSink(nil, nil).Observe(m)
+
+	// nil entries are skipped without disturbing their siblings.
+	a, b := &recordSink{}, &recordSink{}
+	fan := MultiSink(a, nil, b)
+	fan.Observe(m)
+	fan.Observe(TaskMetrics{ID: 8})
+	for name, got := range map[string][]int{"first": a.ids, "last": b.ids} {
+		if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+			t.Errorf("%s child saw %v, want [7 8]", name, got)
+		}
+	}
+}
+
+// Merging empty and nil sketch sinks must neither error nor disturb the
+// receiver; merging into an empty receiver adopts the argument exactly.
+func TestSketchSinkMergeEmpty(t *testing.T) {
+	full := NewSketchSink(0)
+	for i := 1; i <= 1000; i++ {
+		full.Observe(TaskMetrics{Flow: float64(i)})
+	}
+	p50, p99 := full.Quantile(0.5), full.Quantile(0.99)
+
+	// Empty argument: receiver unchanged, bit for bit on the quantiles.
+	if err := full.Merge(NewSketchSink(0)); err != nil {
+		t.Fatal(err)
+	}
+	if full.Sketch.Count() != 1000 || full.Quantile(0.5) != p50 || full.Quantile(0.99) != p99 {
+		t.Errorf("empty merge disturbed the receiver: count=%d p50=%g p99=%g",
+			full.Sketch.Count(), full.Quantile(0.5), full.Quantile(0.99))
+	}
+	// nil argument is the documented no-op.
+	if err := full.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if full.Sketch.Count() != 1000 {
+		t.Errorf("nil merge disturbed the receiver: count=%d", full.Sketch.Count())
+	}
+
+	// Empty receiver adopts the argument: same count and quantiles.
+	empty := NewSketchSink(0)
+	if err := empty.Merge(full); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Sketch.Count() != 1000 || empty.Quantile(0.5) != p50 || empty.Quantile(0.99) != p99 {
+		t.Errorf("merge into empty lost data: count=%d p50=%g p99=%g",
+			empty.Sketch.Count(), empty.Quantile(0.5), empty.Quantile(0.99))
+	}
+
+	// Empty into empty stays empty, and quantiles of nothing are NaN — the
+	// "no data" signal, not a fake zero.
+	e1, e2 := NewSketchSink(0), NewSketchSink(0)
+	if err := e1.Merge(e2); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Sketch.Count() != 0 || !math.IsNaN(e1.Quantile(0.5)) {
+		t.Errorf("empty/empty merge: count=%d p50=%g, want 0 and NaN", e1.Sketch.Count(), e1.Quantile(0.5))
+	}
+
+	// Mismatched accuracies must refuse to merge.
+	if err := full.Merge(NewSketchSink(0.01)); err == nil {
+		t.Error("merge across alphas accepted")
+	}
+}
+
+// AggregateSink's nil/empty merges are no-ops, and FlowSummary of empty
+// sinks is the zero summary rather than a panic.
+func TestAggregateSinkMergeEmpty(t *testing.T) {
+	agg := NewAggregateSink()
+	agg.Observe(TaskMetrics{ID: 0, Tenant: 2, Flow: 3, Weight: 2})
+	agg.Observe(TaskMetrics{ID: 1, Tenant: 0, Flow: 1, Weight: 1})
+
+	agg.Merge(nil)
+	agg.Merge(NewAggregateSink())
+	if agg.Tasks() != 2 || agg.WeightedFlow() != 7 || agg.MeanFlow() != 2 {
+		t.Errorf("empty merges disturbed the receiver: tasks=%d weighted=%g mean=%g",
+			agg.Tasks(), agg.WeightedFlow(), agg.MeanFlow())
+	}
+	perTenant := agg.PerTenant()
+	if len(perTenant) != 2 || perTenant[0].Tenant != 0 || perTenant[1].Tenant != 2 {
+		t.Errorf("per-tenant rows %+v, want tenants 0 and 2 in order", perTenant)
+	}
+
+	// Empty receiver adopts the argument.
+	fresh := NewAggregateSink()
+	fresh.Merge(agg)
+	if fresh.Tasks() != 2 || fresh.WeightedFlow() != 7 {
+		t.Errorf("merge into empty lost data: tasks=%d weighted=%g", fresh.Tasks(), fresh.WeightedFlow())
+	}
+
+	// FlowSummary degrades to the zero summary on missing or empty inputs.
+	if s := FlowSummary(nil, nil); s.Count != 0 {
+		t.Errorf("FlowSummary(nil, nil) = %+v", s)
+	}
+	if s := FlowSummary(NewAggregateSink(), NewSketchSink(0)); s.Count != 0 {
+		t.Errorf("FlowSummary of empty sinks = %+v", s)
+	}
+}

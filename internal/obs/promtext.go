@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition format
+// this package writes.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each preceded
+// by its # HELP and # TYPE lines, vector children in first-use order under a
+// deterministic secondary sort by label value. All formatting cost is paid
+// here, on the scraper's goroutine — metric updates never format anything.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	buf := make([]byte, 0, 1024)
+	for _, f := range r.snapshotFamilies() {
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = appendEscapedHelp(buf, f.help)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.kind.String()...)
+		buf = append(buf, '\n')
+		switch {
+		case f.summary != nil:
+			buf = f.summary.appendSamples(buf, f.name)
+		case f.label != "":
+			buf = f.appendChildren(buf)
+		case f.counter != nil:
+			buf = appendSample(buf, f.name, "", "", f.counter.Value())
+		case f.gauge != nil:
+			buf = appendSample(buf, f.name, "", "", f.gauge.Value())
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendChildren renders a vector's children sorted by label value, so the
+// exposition is byte-deterministic whatever order shards touched the family.
+func (f *family) appendChildren(buf []byte) []byte {
+	f.mu.Lock()
+	vals := make([]string, len(f.order))
+	copy(vals, f.order)
+	f.mu.Unlock()
+	sort.Strings(vals)
+	for _, lv := range vals {
+		f.mu.Lock()
+		c := f.children[lv]
+		f.mu.Unlock()
+		buf = appendSample(buf, f.name, f.label, lv, c.load())
+	}
+	return buf
+}
+
+// appendSamples renders the summary's quantile series plus _sum and _count.
+func (s *Summary) appendSamples(buf []byte, name string) []byte {
+	s.mu.Lock()
+	qs := make([]float64, 0, len(s.quantiles))
+	qs = append(qs, s.quantiles...)
+	sum := s.sum
+	count := s.sketch.Count()
+	vals := make([]float64, len(qs))
+	for i, q := range qs {
+		vals[i] = s.sketch.Quantile(q)
+	}
+	s.mu.Unlock()
+	for i, q := range qs {
+		buf = appendSample(buf, name, "quantile", strconv.FormatFloat(q, 'g', -1, 64), vals[i])
+	}
+	buf = appendSample(buf, name+"_sum", "", "", sum)
+	buf = appendSample(buf, name+"_count", "", "", float64(count))
+	return buf
+}
+
+// appendSample renders one sample line, with at most one label.
+func appendSample(buf []byte, name, label, labelValue string, v float64) []byte {
+	buf = append(buf, name...)
+	if label != "" {
+		buf = append(buf, '{')
+		buf = append(buf, label...)
+		buf = append(buf, '=', '"')
+		buf = appendEscapedLabelValue(buf, labelValue)
+		buf = append(buf, '"', '}')
+	}
+	buf = append(buf, ' ')
+	switch {
+	case math.IsNaN(v):
+		buf = append(buf, "NaN"...)
+	case math.IsInf(v, 1):
+		buf = append(buf, "+Inf"...)
+	case math.IsInf(v, -1):
+		buf = append(buf, "-Inf"...)
+	default:
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	}
+	return append(buf, '\n')
+}
+
+func appendEscapedHelp(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+func appendEscapedLabelValue(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	// Name is the sample's metric name (for summaries this may be the
+	// family name or its _sum/_count series).
+	Name string
+	// Labels holds the sample's label pairs (nil when unlabeled).
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseExposition parses and validates a Prometheus text-format exposition —
+// the test-side inverse of WritePrometheus, strict enough to catch format
+// regressions: every sample must belong to a family announced by a # TYPE
+// line, names and labels must be well-formed, values must parse as floats,
+// and counters must be non-negative. It returns the families keyed by name.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	families := map[string]*Family{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := families[familyOf(s.Name, families)]
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q precedes its # TYPE line", lineNo, s.Name)
+		}
+		if fam.Type == "counter" && s.Value < 0 {
+			return nil, fmt.Errorf("line %d: counter %q has negative value %g", lineNo, s.Name, s.Value)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// familyOf maps a sample name to its family, stripping the summary/histogram
+// suffixes when the base family is known.
+func familyOf(name string, families map[string]*Family) string {
+	if _, ok := families[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if _, known := families[base]; known {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseComment(line string, families map[string]*Family) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		fam := families[fields[2]]
+		if fam == nil {
+			fam = &Family{Name: fields[2]}
+			families[fields[2]] = fam
+		}
+		if len(fields) == 4 {
+			fam.Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "summary", "histogram", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		fam := families[fields[2]]
+		if fam == nil {
+			fam = &Family{Name: fields[2]}
+			families[fields[2]] = fam
+		}
+		if fam.Type != "" {
+			return fmt.Errorf("family %q typed twice", fields[2])
+		}
+		if len(fam.Samples) > 0 {
+			return fmt.Errorf("TYPE line for %q after its samples", fields[2])
+		}
+		fam.Type = fields[3]
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if rest[i] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[i+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	} else {
+		rest = rest[i:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal in the format; we accept and
+	// ignore it.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c", s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		labels[name] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}

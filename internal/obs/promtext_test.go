@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The writer and parser are inverses: everything written renders back with
+// the same families, types, labels and values.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rt_tasks_total", "Tasks processed.")
+	g := r.Gauge("rt_backlog", "Current backlog.")
+	v := r.GaugeVec("rt_shard_backlog", "Per-shard backlog.", "shard")
+	s := r.Summary("rt_flow", "Flow times.", 0, 0.5, 0.99)
+	c.Add(42)
+	g.Set(-3.25)
+	v.With("0").Set(1)
+	v.With("1").Set(2)
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	fams, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+
+	if f := fams["rt_tasks_total"]; f == nil || f.Type != "counter" || f.Help != "Tasks processed." {
+		t.Fatalf("counter family: %+v", f)
+	} else if len(f.Samples) != 1 || f.Samples[0].Value != 42 {
+		t.Fatalf("counter samples: %+v", f.Samples)
+	}
+	if f := fams["rt_backlog"]; f == nil || f.Type != "gauge" || f.Samples[0].Value != -3.25 {
+		t.Fatalf("gauge family: %+v", f)
+	}
+	f := fams["rt_shard_backlog"]
+	if f == nil || len(f.Samples) != 2 {
+		t.Fatalf("vec family: %+v", f)
+	}
+	for i, want := range []float64{1, 2} {
+		smp := f.Samples[i]
+		if smp.Labels["shard"] != []string{"0", "1"}[i] || smp.Value != want {
+			t.Fatalf("vec sample %d: %+v", i, smp)
+		}
+	}
+	sf := fams["rt_flow"]
+	if sf == nil || sf.Type != "summary" {
+		t.Fatalf("summary family: %+v", sf)
+	}
+	var sawCount, sawSum, quantiles int
+	for _, smp := range sf.Samples {
+		switch smp.Name {
+		case "rt_flow_count":
+			sawCount++
+			if smp.Value != 100 {
+				t.Fatalf("summary count = %g", smp.Value)
+			}
+		case "rt_flow_sum":
+			sawSum++
+			if smp.Value != 5050 {
+				t.Fatalf("summary sum = %g", smp.Value)
+			}
+		case "rt_flow":
+			quantiles++
+			if smp.Labels["quantile"] == "" {
+				t.Fatalf("quantile sample missing label: %+v", smp)
+			}
+		}
+	}
+	if sawCount != 1 || sawSum != 1 || quantiles != 2 {
+		t.Fatalf("summary shape: count=%d sum=%d quantiles=%d", sawCount, sawSum, quantiles)
+	}
+}
+
+// Exposition output is byte-deterministic: families sorted by name, vector
+// children sorted by label value, regardless of registration or touch order.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		r.Gauge("det_z", "last")
+		v := r.GaugeVec("det_a", "first", "shard")
+		for _, lv := range order {
+			v.With(lv).Set(float64(len(lv)))
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := build([]string{"2", "0", "1"})
+	b := build([]string{"1", "2", "0"})
+	if a != b {
+		t.Fatalf("touch order changed the exposition:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "# HELP det_a") {
+		t.Fatalf("families not sorted by name:\n%s", a)
+	}
+}
+
+// Label values with quotes, backslashes and newlines survive the round
+// trip.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("esc_metric", "h", "name")
+	hostile := `he said "hi"` + "\n" + `back\slash`
+	v.With(hostile).Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := fams["esc_metric"].Samples
+	if len(smp) != 1 || smp[0].Labels["name"] != hostile {
+		t.Fatalf("escaped label did not round-trip: %+v", smp)
+	}
+}
+
+// The parser is a validator: malformed expositions are rejected with
+// positioned errors.
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":   "orphan_metric 1\n",
+		"negative counter":     "# TYPE bad_total counter\nbad_total -1\n",
+		"unknown type":         "# TYPE x foobar\n",
+		"bad value":            "# TYPE x gauge\nx notanumber\n",
+		"unterminated labels":  "# TYPE x gauge\nx{a=\"b\" 1\n",
+		"double TYPE":          "# TYPE x gauge\n# TYPE x counter\n",
+		"TYPE after samples":   "# TYPE x gauge\nx 1\n# TYPE x gauge\n",
+		"invalid metric name":  "# TYPE x gauge\n0bad 1\n",
+		"unquoted label value": "# TYPE x gauge\nx{a=b} 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, text)
+		}
+	}
+}
+
+// Timestamps after the value are part of the format and are tolerated.
+func TestParseExpositionTimestamp(t *testing.T) {
+	fams, err := ParseExposition(strings.NewReader("# TYPE ts_metric gauge\nts_metric 3.5 1712000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["ts_metric"].Samples[0].Value != 3.5 {
+		t.Fatalf("sample: %+v", fams["ts_metric"].Samples)
+	}
+}

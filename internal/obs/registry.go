@@ -1,0 +1,325 @@
+// Package obs is the observability plane: a dependency-free metrics
+// registry with Prometheus text exposition, engine/cluster probe collectors,
+// and a run-timeline recorder — the instrumentation half of the scheduling
+// kernel's streaming contract.
+//
+// The design constraint is the same one the engine's MetricSink obeys: the
+// hot path must stay zero-allocation. Counters and gauges are single atomic
+// words updated lock-free; vector children are interned once and cached by
+// the collectors, so steady-state probe firing performs no map lookups, no
+// formatting and no heap allocation. All rendering cost (name sorting, label
+// escaping, float formatting) is paid by the scraper at exposition time, on
+// the scraper's goroutine.
+//
+// Concurrency: metric updates are atomic and may race freely with scrapes.
+// A scrape therefore sees a near-point-in-time view, not a consistent cut —
+// the same contract Prometheus client libraries offer. Run-consistent views
+// come from the probes themselves (engine.Snapshot is assembled at the
+// stepper's rest state).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/malleable-sched/malleable/internal/stats"
+)
+
+// value is one atomically updated float64 — the storage shared by Counter
+// and Gauge, which differ only in the exposition TYPE and the update surface
+// they export.
+type value struct {
+	bits atomic.Uint64
+}
+
+func (v *value) load() float64 { return math.Float64frombits(v.bits.Load()) }
+
+func (v *value) store(x float64) { v.bits.Store(math.Float64bits(x)) }
+
+func (v *value) add(d float64) {
+	for {
+		old := v.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if v.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically non-decreasing metric. Updates are lock-free
+// and allocation-free. (Counter and Gauge are views over the same atomic
+// storage, so vector children hand out typed pointers without copying.)
+type Counter value
+
+// Inc adds one.
+func (c *Counter) Inc() { (*value)(c).add(1) }
+
+// Add adds d, which must be non-negative; negative deltas are dropped (a
+// counter never goes down — use a Gauge for that).
+func (c *Counter) Add(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		return
+	}
+	(*value)(c).add(d)
+}
+
+// Set overwrites the counter with an absolute value. It exists for
+// collectors that mirror an upstream quantity that is already monotone (the
+// engine's admitted/completed/event counts, cumulative flow sums): the
+// mirror stays a well-formed counter because the source never decreases.
+// Regressions are dropped rather than published.
+func (c *Counter) Set(x float64) {
+	for {
+		old := c.bits.Load()
+		if x <= math.Float64frombits(old) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return (*value)(c).load() }
+
+// Gauge is a metric that can go up and down. Updates are lock-free and
+// allocation-free.
+type Gauge value
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(x float64) { (*value)(g).store(x) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d float64) { (*value)(g).add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return (*value)(g).load() }
+
+// Summary is a quantile metric backed by a stats.QuantileSketch plus exact
+// count and sum, rendered in the Prometheus summary shape
+// (name{quantile="0.99"}, name_sum, name_count). Observations take a mutex
+// (the sketch is not lock-free) but do not allocate in steady state, so a
+// Summary may sit on a MetricSink without breaking the zero-alloc contract.
+type Summary struct {
+	mu        sync.Mutex
+	sketch    *stats.QuantileSketch
+	sum       float64
+	quantiles []float64
+}
+
+// Observe records one observation.
+func (s *Summary) Observe(x float64) {
+	s.mu.Lock()
+	s.sketch.Add(x)
+	s.sum += x
+	s.mu.Unlock()
+}
+
+// Quantile returns the current q-quantile estimate (NaN when empty).
+func (s *Summary) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sketch.Quantile(q)
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sketch.Count()
+}
+
+// metricKind selects the exposition TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindSummary
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// family is one registered metric family: a single unlabeled series, or a
+// vector of labeled children.
+type family struct {
+	name  string
+	help  string
+	kind  metricKind
+	label string // label name for vectors, "" for plain series
+
+	counter *Counter
+	gauge   *Gauge
+	summary *Summary
+
+	mu       sync.Mutex // guards children maps of vectors
+	children map[string]*value
+	order    []string // child label values in first-use order
+}
+
+// CounterVec is a family of counters keyed by one label value. With interns
+// the child on first use; collectors cache the returned *Counter so the hot
+// path never touches the map again.
+type CounterVec struct {
+	f *family
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use. The returned pointer is stable for the life of the registry.
+func (v *CounterVec) With(labelValue string) *Counter {
+	return (*Counter)(v.f.child(labelValue))
+}
+
+// GaugeVec is a family of gauges keyed by one label value.
+type GaugeVec struct {
+	f *family
+}
+
+// With returns the child gauge for the given label value, creating it on
+// first use. The returned pointer is stable for the life of the registry.
+func (v *GaugeVec) With(labelValue string) *Gauge {
+	return (*Gauge)(v.f.child(labelValue))
+}
+
+func (f *family) child(labelValue string) *value {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[labelValue]; ok {
+		return c
+	}
+	c := &value{}
+	f.children[labelValue] = c
+	f.order = append(f.order, labelValue)
+	return c
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Registration is cheap and panics on misuse (invalid or
+// duplicate names) — metric identity is a compile-time property of the call
+// site, not data, exactly like sketch accuracy.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// register validates and stores a new family.
+func (r *Registry) register(name, help, label string, kind metricKind) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if label != "" && !validLabelName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{name: name, help: help, kind: kind, label: label}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "", kindCounter)
+	f.counter = &Counter{}
+	return f.counter
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "", kindGauge)
+	f.gauge = &Gauge{}
+	return f.gauge
+}
+
+// CounterVec registers a counter family keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	f := r.register(name, help, label, kindCounter)
+	f.children = map[string]*value{}
+	return &CounterVec{f: f}
+}
+
+// GaugeVec registers a gauge family keyed by one label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	f := r.register(name, help, label, kindGauge)
+	f.children = map[string]*value{}
+	return &GaugeVec{f: f}
+}
+
+// Summary registers a quantile summary; alpha <= 0 selects the default
+// sketch accuracy, and quantiles defaults to {0.5, 0.9, 0.99}.
+func (r *Registry) Summary(name, help string, alpha float64, quantiles ...float64) *Summary {
+	if alpha <= 0 {
+		alpha = stats.DefaultSketchAlpha
+	}
+	if len(quantiles) == 0 {
+		quantiles = []float64{0.5, 0.9, 0.99}
+	}
+	for _, q := range quantiles {
+		if !(q >= 0 && q <= 1) {
+			panic(fmt.Sprintf("obs: summary quantile %g outside [0, 1]", q))
+		}
+	}
+	f := r.register(name, help, "", kindSummary)
+	f.summary = &Summary{sketch: stats.NewQuantileSketch(alpha), quantiles: quantiles}
+	return f.summary
+}
+
+// snapshotFamilies copies the family list under the lock so exposition can
+// render without blocking registration.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	copy(out, r.families)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

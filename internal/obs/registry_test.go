@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestCounterMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	c.Add(-1) // dropped: counters never go down
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter after negative Add = %g, want 3.5", got)
+	}
+	c.Set(10) // monotone mirror: forward jumps apply
+	c.Set(4)  // ...regressions are dropped
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter after Set = %g, want 10", got)
+	}
+}
+
+func TestGaugeUpDown(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %g, want 3", got)
+	}
+}
+
+// Vector children are interned once: the same label value always returns
+// the same storage, and updates through a cached pointer are visible to the
+// vector.
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_shard", "help", "shard")
+	a := v.With("0")
+	b := v.With("0")
+	if a != b {
+		t.Fatal("same label value returned distinct children")
+	}
+	a.Set(7)
+	if got := v.With("0").Value(); got != 7 {
+		t.Fatalf("child = %g, want 7", got)
+	}
+	if v.With("1") == a {
+		t.Fatal("distinct label values share a child")
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "0abc", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	r.Counter("dup_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration accepted")
+			}
+		}()
+		r.Gauge("dup_total", "")
+	}()
+}
+
+// Metric updates race freely with each other and with scrapes; counts must
+// not be lost (atomic adds) under the race detector.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "")
+	v := r.CounterVec("test_conc_vec_total", "", "worker")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := v.With(strconv.Itoa(w % 2))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				child.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %g, want %d", got, workers*per)
+	}
+	if got := v.With("0").Value() + v.With("1").Value(); got != workers*per {
+		t.Fatalf("vec total = %g, want %d", got, workers*per)
+	}
+}
+
+// Counter and gauge updates through cached pointers allocate nothing.
+func TestUpdateZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_alloc_total", "")
+	g := r.Gauge("test_alloc_gauge", "")
+	child := r.GaugeVec("test_alloc_vec", "", "shard").With("0")
+	s := r.Summary("test_alloc_summary", "", 0)
+	for i := 0; i < 1000; i++ {
+		s.Observe(float64(i)) // warm the sketch window
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+		g.Add(-1)
+		child.Set(4)
+		s.Observe(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric updates allocate %.1f allocs/run, want 0", allocs)
+	}
+}
+
+func TestSummaryQuantiles(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("test_lat", "", 0, 0.5, 0.99)
+	for i := 1; i <= 1000; i++ {
+		s.Observe(float64(i))
+	}
+	if got := s.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	p50 := s.Quantile(0.5)
+	if p50 < 450 || p50 > 550 {
+		t.Fatalf("p50 = %g, want ≈500", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 950 || p99 > 1000 {
+		t.Fatalf("p99 = %g, want ≈990", p99)
+	}
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"github.com/malleable-sched/malleable/internal/cluster"
+	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/stats"
+)
+
+// TimelineRecord is one sampled point of a run's evolution over virtual
+// time — the JSONL row a Timeline emits and ReadTimeline parses back.
+type TimelineRecord struct {
+	// T is the virtual time of the sample.
+	T float64 `json:"t"`
+	// Shards is the fleet width the sample describes (1 for single-engine
+	// runs).
+	Shards int `json:"shards"`
+	// Backlog is the alive-task count at T (fleet-wide for cluster runs).
+	Backlog int `json:"backlog"`
+	// Admitted counts admitted arrivals at T. Cluster samples report
+	// completed+backlog, which equals admissions at the coordinator's rest
+	// state.
+	Admitted int `json:"admitted"`
+	// Completed counts retired tasks at T.
+	Completed int `json:"completed"`
+	// Events counts kernel events at T (0 for cluster samples — the
+	// coordinator's dispatch trigger is not a kernel event count).
+	Events int `json:"events"`
+	// Dispatched counts routed arrivals at T (0 for single-engine runs).
+	Dispatched int `json:"dispatched"`
+	// Allocated is the capacity allocated at T (summed across shards).
+	Allocated float64 `json:"allocated"`
+	// Throughput is Completed/T (0 at T=0).
+	Throughput float64 `json:"throughput"`
+	// MeanFlow is the mean flow time of tasks completed so far, as observed
+	// through the recorder's sink (0 if the recorder is not wired as one).
+	MeanFlow float64 `json:"mean_flow"`
+	// P99Flow is the 0.99 flow quantile so far, from the recorder's sketch
+	// (0 if the recorder is not wired as a sink).
+	P99Flow float64 `json:"p99_flow"`
+	// Done marks the run's terminal sample.
+	Done bool `json:"done"`
+}
+
+// Timeline records a run's trajectory as JSON Lines: one TimelineRecord per
+// sample, written with a reused buffer and strconv appends so steady-state
+// recording allocates nothing (given an allocation-free io.Writer).
+//
+// A Timeline is three observers in one, wired per run shape:
+//
+//   - engine.Probe: attach via engine.Options.Probe (with ProbeInterval or
+//     ProbeEveryEvents thinning upstream) — every delivered snapshot is
+//     recorded, and the run's Done snapshot always lands.
+//   - cluster.Probe: attach via cluster.Config.Probe; set Interval to thin
+//     on the virtual-time grid (the coordinator observes per dispatch).
+//   - engine.MetricSink: attach via the run's sink (engine.MultiSink) so
+//     samples carry mean and p99 flow; optional — without it those fields
+//     read 0.
+//
+// Not safe for concurrent use: all three interfaces are invoked from the
+// single engine/coordinator goroutine, like every sink and probe. Call
+// Close after the run to flush the terminal fleet sample and surface any
+// write error.
+type Timeline struct {
+	// Interval thins fleet observations to one sample per crossing of each
+	// multiple of Interval in virtual time; 0 records every observation.
+	// Engine snapshots are expected to be thinned upstream by the engine's
+	// own probe intervals and are always recorded.
+	Interval float64
+
+	w       io.Writer
+	buf     []byte
+	err     error
+	nextT   float64
+	records int
+
+	flowCount int
+	flowSum   float64
+	sketch    *stats.QuantileSketch
+
+	haveFleet bool
+	last      TimelineRecord
+	doneSeen  bool
+	everWrote bool
+}
+
+// NewTimeline returns a recorder writing JSONL to w, sampling fleet
+// observations every interval units of virtual time (0 = every
+// observation).
+func NewTimeline(w io.Writer, interval float64) *Timeline {
+	return &Timeline{
+		Interval: interval,
+		w:        w,
+		buf:      make([]byte, 0, 256),
+		sketch:   stats.NewQuantileSketch(stats.DefaultSketchAlpha),
+	}
+}
+
+// Observe implements engine.MetricSink: it feeds the recorder's flow
+// statistics so samples can carry mean and p99 flow.
+func (t *Timeline) Observe(m engine.TaskMetrics) {
+	t.flowCount++
+	t.flowSum += m.Flow
+	t.sketch.Add(m.Flow)
+}
+
+// ObserveSnapshot implements engine.Probe.
+func (t *Timeline) ObserveSnapshot(s engine.Snapshot) {
+	rec := TimelineRecord{
+		T:          s.Now,
+		Shards:     1,
+		Backlog:    s.Backlog,
+		Admitted:   s.Admitted,
+		Completed:  s.Completed,
+		Events:     s.Events,
+		Allocated:  s.Allocated,
+		Throughput: s.Throughput(),
+		Done:       s.Done,
+	}
+	t.fillFlow(&rec)
+	if s.Done {
+		t.doneSeen = true
+		t.write(&rec)
+		return
+	}
+	if t.Interval > 0 && s.Now < t.nextT && t.everWrote {
+		return
+	}
+	t.advance(s.Now)
+	t.write(&rec)
+}
+
+// ObserveFleet implements cluster.Probe. Every observation is retained as
+// the terminal candidate so Close always lands the drained endpoint as a
+// Done record, whatever the thinning.
+func (t *Timeline) ObserveFleet(now float64, shards []cluster.ShardState) {
+	rec := TimelineRecord{T: now, Shards: len(shards)}
+	for i := range shards {
+		s := &shards[i]
+		rec.Backlog += s.Backlog
+		rec.Completed += s.Completed
+		rec.Dispatched += s.Dispatched
+		rec.Allocated += s.Allocated
+	}
+	rec.Admitted = rec.Backlog + rec.Completed
+	if now > 0 {
+		rec.Throughput = float64(rec.Completed) / now
+	}
+	t.fillFlow(&rec)
+	t.last = rec
+	t.haveFleet = true
+	if t.Interval > 0 && now < t.nextT && t.everWrote {
+		return
+	}
+	t.advance(now)
+	t.write(&rec)
+}
+
+// Close emits the last fleet observation as the terminal Done record (the
+// coordinator cannot mark its own final call, so the recorder does) and
+// returns the first write error, if any. For engine runs the Done snapshot
+// has already been recorded and Close only reports errors.
+func (t *Timeline) Close() error {
+	if t.haveFleet && !t.doneSeen {
+		t.doneSeen = true
+		t.last.Done = true
+		t.write(&t.last)
+	}
+	return t.err
+}
+
+// Records returns the number of samples written so far.
+func (t *Timeline) Records() int { return t.records }
+
+func (t *Timeline) fillFlow(rec *TimelineRecord) {
+	if t.flowCount == 0 {
+		return
+	}
+	rec.MeanFlow = t.flowSum / float64(t.flowCount)
+	if p := t.sketch.Quantile(0.99); !math.IsNaN(p) {
+		rec.P99Flow = p
+	}
+}
+
+func (t *Timeline) advance(now float64) {
+	if t.Interval > 0 && now >= t.nextT {
+		t.nextT = t.Interval * (math.Floor(now/t.Interval) + 1)
+	}
+}
+
+// write renders the record into the reused buffer and emits one line.
+func (t *Timeline) write(rec *TimelineRecord) {
+	if t.err != nil {
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"t":`...)
+	b = appendJSONFloat(b, rec.T)
+	b = append(b, `,"shards":`...)
+	b = strconv.AppendInt(b, int64(rec.Shards), 10)
+	b = append(b, `,"backlog":`...)
+	b = strconv.AppendInt(b, int64(rec.Backlog), 10)
+	b = append(b, `,"admitted":`...)
+	b = strconv.AppendInt(b, int64(rec.Admitted), 10)
+	b = append(b, `,"completed":`...)
+	b = strconv.AppendInt(b, int64(rec.Completed), 10)
+	b = append(b, `,"events":`...)
+	b = strconv.AppendInt(b, int64(rec.Events), 10)
+	b = append(b, `,"dispatched":`...)
+	b = strconv.AppendInt(b, int64(rec.Dispatched), 10)
+	b = append(b, `,"allocated":`...)
+	b = appendJSONFloat(b, rec.Allocated)
+	b = append(b, `,"throughput":`...)
+	b = appendJSONFloat(b, rec.Throughput)
+	b = append(b, `,"mean_flow":`...)
+	b = appendJSONFloat(b, rec.MeanFlow)
+	b = append(b, `,"p99_flow":`...)
+	b = appendJSONFloat(b, rec.P99Flow)
+	b = append(b, `,"done":`...)
+	b = strconv.AppendBool(b, rec.Done)
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.records++
+	t.everWrote = true
+}
+
+// appendJSONFloat renders a float as JSON (non-finite values, which JSON
+// cannot carry, degrade to 0 — they cannot arise from a well-formed run).
+func appendJSONFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, '0')
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// ReadTimeline parses a JSONL timeline back into records — the reader half
+// of the round-trip, used by tests and analysis tooling.
+func ReadTimeline(r io.Reader) ([]TimelineRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []TimelineRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec TimelineRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: timeline line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: timeline: %w", err)
+	}
+	return out, nil
+}

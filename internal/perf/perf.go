@@ -18,6 +18,7 @@ import (
 
 	"github.com/malleable-sched/malleable/internal/cluster"
 	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/obs"
 	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/stats"
 	"github.com/malleable-sched/malleable/internal/workload"
@@ -79,6 +80,17 @@ type Scenario struct {
 	// scenario's memory is O(alive tasks) however large Tasks is. Flow
 	// quantiles come from the sketch. Static scenarios cannot stream.
 	Stream bool `json:"stream,omitempty"`
+	// Probe attaches an obs.EngineCollector as an engine probe, so the run
+	// pays the observation cost — snapshot fill plus atomic metric mirroring
+	// — at every fire. Only single-engine scenarios (Shards == 1, no Router)
+	// can probe; the point is to pin the probe's overhead against the
+	// identically-shaped unprobed scenario.
+	Probe bool `json:"probe,omitempty"`
+	// ProbeEvery thins the probe to every k-th policy event (engine
+	// Options.ProbeEveryEvents); 0 fires on every event. Mirroring a dozen
+	// atomics per event costs ~40% throughput at this event rate, so the
+	// pinned scenario samples the way a live scrape target would.
+	ProbeEvery int `json:"probeEvery,omitempty"`
 }
 
 // Scenarios returns the pinned scenario set CI benchmarks on every push. The
@@ -128,6 +140,18 @@ func Scenarios() []Scenario {
 			Name: "online-stream", Policy: "wdeq", Class: "uniform",
 			Process: "poisson", Rate: 8, Tasks: 4096, Shards: 1, P: 8, Seed: 407,
 			Stream: true,
+		},
+		{
+			// online-poisson with an observability probe attached: an
+			// obs.EngineCollector mirrors the rest-state snapshot into atomic
+			// registry metrics every 64th policy event — a live scrape
+			// target's cadence. Same load and seed as online-poisson, so the
+			// pinned gap between the two scenarios IS the probe overhead —
+			// and allocs/op stays zero, proving observation never touches the
+			// allocator.
+			Name: "online-probe", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 8, Tasks: 4096, Shards: 1, P: 8, Seed: 402,
+			Probe: true, ProbeEvery: 64,
 		},
 		{
 			// The routed fleet, power-of-two-choices: one Zipf-skewed global
@@ -286,6 +310,15 @@ func RunScenario(s Scenario, budget time.Duration) (Result, error) {
 	opts, err := s.options()
 	if err != nil {
 		return Result{}, fmt.Errorf("perf: scenario %q: %w", s.Name, err)
+	}
+	if s.Probe {
+		if s.Router != "" || s.Shards != 1 {
+			return Result{}, fmt.Errorf("perf: scenario %q: probe scenarios pin the single-engine path; use shards=1 without a router", s.Name)
+		}
+		// The collector (and its registry) live outside the timed region, as
+		// they would in a long-running server; the loop pays only for firing.
+		opts.Probe = obs.NewEngineCollector(obs.NewRegistry())
+		opts.ProbeEveryEvents = s.ProbeEvery
 	}
 	if s.Router != "" {
 		if s.Process == ProcessStatic {

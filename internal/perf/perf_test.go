@@ -277,7 +277,7 @@ func TestRunAllPinnedScenarios(t *testing.T) {
 // asserted at the engine level; here a loose bound keeps the test robust to
 // harness bookkeeping.)
 func TestSingleShardScenariosNearZeroAllocs(t *testing.T) {
-	for _, name := range []string{"online-poisson", "static-wdeq", "concave-speedup", "time-varying-capacity"} {
+	for _, name := range []string{"online-poisson", "static-wdeq", "concave-speedup", "time-varying-capacity", "online-probe"} {
 		s, err := ScenarioByName(name)
 		if err != nil {
 			t.Fatal(err)
@@ -290,6 +290,61 @@ func TestSingleShardScenariosNearZeroAllocs(t *testing.T) {
 			t.Errorf("%s: %.1f allocs/run over %d events — hot path is allocating again",
 				name, res.AllocsPerOp, res.Events)
 		}
+	}
+}
+
+// The probed scenario is online-poisson plus an every-event EngineCollector:
+// same workload, same seed. It must stay on the zero-allocation path, and its
+// throughput must remain in the same league as the unprobed twin. The bound
+// here is deliberately loose (2x) so CI machine noise cannot flake it; the
+// real overhead (a few percent) is recorded in EXPERIMENTS.md and gated by
+// the 25% baseline comparison like every other scenario.
+func TestProbeScenario(t *testing.T) {
+	probed, err := ScenarioByName("online-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probed.Probe {
+		t.Fatal("online-probe is not marked Probe")
+	}
+	plain, err := ScenarioByName("online-poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Seed != probed.Seed || plain.Rate != probed.Rate || plain.Tasks != probed.Tasks {
+		t.Fatalf("online-probe drifted from online-poisson: %+v vs %+v", probed, plain)
+	}
+
+	probedRes, err := RunScenario(probed, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRes, err := RunScenario(plain, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical workload, so the event count must match exactly.
+	if probedRes.Events != plainRes.Events {
+		t.Errorf("probed run saw %d events, unprobed %d — workloads diverged", probedRes.Events, plainRes.Events)
+	}
+	if probedRes.AllocsPerOp > float64(probedRes.Events)/10 {
+		t.Errorf("probed run allocates %.1f/run over %d events — observation hit the allocator", probedRes.AllocsPerOp, probedRes.Events)
+	}
+	if probedRes.TasksPerSec < plainRes.TasksPerSec/2 {
+		t.Errorf("probe overhead out of bounds: %.0f tasks/sec probed vs %.0f unprobed", probedRes.TasksPerSec, plainRes.TasksPerSec)
+	}
+
+	// Probing is a single-engine affair.
+	bad := probed
+	bad.Shards = 4
+	if _, err := RunScenario(bad, time.Millisecond); err == nil {
+		t.Error("sharded probe scenario accepted")
+	}
+	bad = probed
+	bad.Shards = 1
+	bad.Router = "po2"
+	if _, err := RunScenario(bad, time.Millisecond); err == nil {
+		t.Error("routed probe scenario accepted")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/malleable-sched/malleable/internal/core"
 	"github.com/malleable-sched/malleable/internal/engine"
 	"github.com/malleable-sched/malleable/internal/exact"
+	"github.com/malleable-sched/malleable/internal/obs"
 	"github.com/malleable-sched/malleable/internal/schedule"
 	"github.com/malleable-sched/malleable/internal/speedup"
 	"github.com/malleable-sched/malleable/internal/workload"
@@ -454,3 +455,104 @@ func StreamArrivals(w OnlineWorkload, n int, seed int64) (ArrivalStream, error) 
 func ToProcessorSchedule(s *Schedule) (*ProcessorSchedule, error) {
 	return schedule.FromColumns(s)
 }
+
+// RunSnapshot is the alloc-free rest-state view of a running engine handed
+// to probes: virtual time, backlog, allocated capacity, cumulative
+// admitted/completed/event counters and flow totals. Valid only for the
+// duration of the ObserveSnapshot call.
+type RunSnapshot = engine.Snapshot
+
+// RunProbe observes an online run from inside the event loop: the engine
+// calls ObserveSnapshot at its rest state after each event that crosses the
+// configured interval (OnlineOptions.Probe, ProbeEveryEvents,
+// ProbeInterval), and a final time with Snapshot.Done set. Probes run on the
+// engine goroutine and must not block; well-behaved probes (the bundled
+// collectors and timelines) also never allocate, preserving the engine's
+// zero-allocation steady state.
+type RunProbe = engine.Probe
+
+// RunProbeFunc adapts a plain function to the RunProbe interface.
+type RunProbeFunc = engine.ProbeFunc
+
+// CombineProbes fans every snapshot out to each probe in order; nil entries
+// are skipped. A run takes a single OnlineOptions.Probe, so attaching a
+// collector and a timeline together goes through here.
+func CombineProbes(probes ...RunProbe) RunProbe { return engine.MultiProbe(probes...) }
+
+// ClusterProbe observes a routed fleet: the coordinator calls ObserveFleet
+// after each dispatch (thinnable via ClusterConfig.ProbeEveryDispatches) and
+// once after the drain, handing it the same per-shard snapshots routers see.
+type ClusterProbe = cluster.Probe
+
+// MetricsRegistry is a process-wide metric namespace: atomic counters and
+// gauges (plain and label-vectored) plus sketch-backed summaries, rendered
+// deterministically in Prometheus text exposition format by
+// WritePrometheus. Updates are lock-free and allocation-free, so hot paths
+// (probes, sinks) can mirror into a registry without disturbing the run.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// PrometheusContentType is the Content-Type of the text exposition written
+// by MetricsRegistry.WritePrometheus.
+const PrometheusContentType = obs.PrometheusContentType
+
+// PrometheusFamily is one parsed metric family of a text exposition.
+type PrometheusFamily = obs.Family
+
+// PrometheusSample is one parsed sample line of a metric family.
+type PrometheusSample = obs.Sample
+
+// ParsePrometheusExposition strictly parses a Prometheus text exposition
+// (format 0.0.4) into its metric families, validating TYPE declarations,
+// label syntax and counter monotonicity — usable both to consume a scrape
+// and to assert that generated output is well-formed.
+func ParsePrometheusExposition(r io.Reader) (map[string]*PrometheusFamily, error) {
+	return obs.ParseExposition(r)
+}
+
+// EngineCollector is a RunProbe that mirrors every observed engine snapshot
+// into mwct_engine_* registry metrics — the bridge from a running engine to
+// a Prometheus scrape. Wire it via OnlineOptions.Probe.
+type EngineCollector = obs.EngineCollector
+
+// NewEngineCollector registers the engine metric families on r and returns
+// the collector.
+func NewEngineCollector(r *MetricsRegistry) *EngineCollector { return obs.NewEngineCollector(r) }
+
+// ClusterCollector is a ClusterProbe that mirrors fleet observations into
+// mwct_cluster_* and per-shard labeled mwct_shard_* registry metrics. Wire
+// it via ClusterConfig.Probe.
+type ClusterCollector = obs.ClusterCollector
+
+// NewClusterCollector registers the cluster metric families on r and
+// returns the collector.
+func NewClusterCollector(r *MetricsRegistry) *ClusterCollector { return obs.NewClusterCollector(r) }
+
+// FlowCollector is a MetricSink that feeds every completed task's flow time
+// into an mwct_flow summary (quantiles, sum, count) on the registry. Combine
+// it with other sinks via CombineSinks.
+type FlowCollector = obs.FlowSink
+
+// NewFlowCollector registers the flow summary on r and returns the sink.
+func NewFlowCollector(r *MetricsRegistry) *FlowCollector { return obs.NewFlowSink(r) }
+
+// RunTimeline records a run's trajectory — backlog, throughput, flow
+// quantiles over virtual time — as sampled JSONL records. It implements
+// RunProbe, MetricSink and ClusterProbe, so one timeline can observe a
+// single engine (OnlineOptions.Probe + sink) or a routed fleet
+// (ClusterConfig.Probe + Sink). Close flushes the terminal record;
+// ReadRunTimeline streams a recorded file back. `mwct loadtest -timeline`
+// is the command-line front end.
+type RunTimeline = obs.Timeline
+
+// TimelineRecord is one sampled point of a RunTimeline.
+type TimelineRecord = obs.TimelineRecord
+
+// NewRunTimeline returns a timeline writing JSONL to w, sampling at the
+// given virtual-time interval (0 records every observation).
+func NewRunTimeline(w io.Writer, interval float64) *RunTimeline { return obs.NewTimeline(w, interval) }
+
+// ReadRunTimeline decodes a JSONL timeline written by RunTimeline.
+func ReadRunTimeline(r io.Reader) ([]TimelineRecord, error) { return obs.ReadTimeline(r) }

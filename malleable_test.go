@@ -492,3 +492,67 @@ func TestRunClusterFacade(t *testing.T) {
 		t.Errorf("stepper completed %d of 64", res.Completed)
 	}
 }
+
+// The observability plane through the facade: a registry-backed engine
+// collector and a timeline observe a streaming run without changing its
+// result, and the registry renders a parseable Prometheus exposition.
+func TestObservabilityFacade(t *testing.T) {
+	w := malleable.OnlineWorkload{Class: "uniform", P: 4, Process: "poisson", Rate: 6}
+	const n = 500
+
+	stream, err := malleable.StreamArrivals(w, n, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := malleable.RunOnlineStream(4, mustPolicy(t, "wdeq"), stream, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := malleable.NewMetricsRegistry()
+	collector := malleable.NewEngineCollector(reg)
+	flows := malleable.NewFlowCollector(reg)
+	var timelineBuf bytes.Buffer
+	timeline := malleable.NewRunTimeline(&timelineBuf, 1)
+
+	stream, err = malleable.StreamArrivals(w, n, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := malleable.RunOnlineStreamWithOptions(4, mustPolicy(t, "wdeq"), stream,
+		malleable.CombineSinks(flows, timeline),
+		malleable.OnlineOptions{Probe: malleable.CombineProbes(collector, timeline)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := timeline.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if observed.WeightedFlow != plain.WeightedFlow || observed.Makespan != plain.Makespan {
+		t.Fatalf("observation perturbed the run: %+v vs %+v", observed, plain)
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := malleable.ParsePrometheusExposition(&prom)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	done := fams["mwct_engine_completed_total"]
+	if done == nil || done.Samples[0].Value != n {
+		t.Fatalf("mwct_engine_completed_total = %+v, want %d", done, n)
+	}
+	if flow := fams["mwct_flow"]; flow == nil || flow.Type != "summary" {
+		t.Fatalf("mwct_flow family = %+v", flow)
+	}
+
+	recs, err := malleable.ReadRunTimeline(&timelineBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || !recs[len(recs)-1].Done || recs[len(recs)-1].Completed != n {
+		t.Fatalf("timeline records = %d, terminal %+v", len(recs), recs[len(recs)-1])
+	}
+}
