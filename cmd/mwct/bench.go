@@ -24,6 +24,7 @@ func runBench(args []string) error {
 	baseline := fs.String("baseline", "", "baseline report JSON to compare against (empty = no gate)")
 	maxRegress := fs.Float64("max-regress", 0.25, "regression threshold as a fraction (0.25 = 25%)")
 	speedupSpec := fs.String("speedup", "", "override the speedup model of every selected scenario (ad-hoc exploration; do not combine with -baseline)")
+	workers := fs.Int("workers", -1, "override the coordinator worker count of every selected cluster scenario (ad-hoc scaling sweeps; -1 keeps the pinned counts; do not combine with -baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,14 +37,17 @@ func runBench(args []string) error {
 	if *speedupSpec != "" && *baseline != "" {
 		return fmt.Errorf("bench: -speedup overrides the measured scenarios, which makes a -baseline comparison meaningless; drop one of the two")
 	}
-	return benchReport(os.Stderr, *jsonPath, names, *budget, *baseline, *maxRegress, *speedupSpec)
+	if *workers >= 0 && *baseline != "" {
+		return fmt.Errorf("bench: -workers overrides the measured scenarios, which makes a -baseline comparison meaningless; drop one of the two")
+	}
+	return benchReport(os.Stderr, *jsonPath, names, *budget, *baseline, *maxRegress, perf.Overrides{Speedup: *speedupSpec, Workers: *workers})
 }
 
 // benchReport is the testable core of `mwct bench`. Progress and comparison
 // verdicts go to log (stderr in production); only the report JSON goes to the
 // -json destination, so `mwct bench -json -` pipes cleanly.
-func benchReport(log io.Writer, jsonPath string, names []string, budget time.Duration, baselinePath string, maxRegress float64, speedupOverride string) error {
-	report, err := perf.RunAllWithSpeedup(names, budget, speedupOverride)
+func benchReport(log io.Writer, jsonPath string, names []string, budget time.Duration, baselinePath string, maxRegress float64, overrides perf.Overrides) error {
+	report, err := perf.RunAllWithOverrides(names, budget, overrides)
 	if err != nil {
 		return err
 	}

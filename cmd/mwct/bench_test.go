@@ -11,11 +11,15 @@ import (
 	"github.com/malleable-sched/malleable/internal/perf"
 )
 
+// noOverrides is the identity Overrides value the flag layer produces when
+// neither -speedup nor -workers is given.
+var noOverrides = perf.Overrides{Workers: -1}
+
 func TestBenchReportWritesJSON(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bench.json")
 	var log bytes.Buffer
-	if err := benchReport(&log, out, []string{"online-poisson"}, time.Millisecond, "", 0.25, ""); err != nil {
+	if err := benchReport(&log, out, []string{"online-poisson"}, time.Millisecond, "", 0.25, noOverrides); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(log.String(), "online-poisson") {
@@ -40,10 +44,10 @@ func TestBenchReportBaselineGate(t *testing.T) {
 	// 1000%) because two tiny-budget timed runs can differ a lot on a noisy
 	// machine (CI, race detector) and this test is about the wiring, not
 	// about machine stability.
-	if err := benchReport(&log, baseline, []string{"online-poisson"}, 5*time.Millisecond, "", 0.25, ""); err != nil {
+	if err := benchReport(&log, baseline, []string{"online-poisson"}, 5*time.Millisecond, "", 0.25, noOverrides); err != nil {
 		t.Fatal(err)
 	}
-	if err := benchReport(&log, out, []string{"online-poisson"}, 5*time.Millisecond, baseline, 10, ""); err != nil {
+	if err := benchReport(&log, out, []string{"online-poisson"}, 5*time.Millisecond, baseline, 10, noOverrides); err != nil {
 		t.Fatalf("self-comparison failed the gate: %v", err)
 	}
 	if !strings.Contains(log.String(), "no regression") {
@@ -64,7 +68,7 @@ func TestBenchReportBaselineGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	log.Reset()
-	err = benchReport(&log, out, []string{"online-poisson"}, time.Millisecond, doctored, 0.25, "")
+	err = benchReport(&log, out, []string{"online-poisson"}, time.Millisecond, doctored, 0.25, noOverrides)
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Errorf("err = %v, want regression failure", err)
 	}
@@ -75,7 +79,7 @@ func TestBenchReportBaselineGate(t *testing.T) {
 
 func TestBenchReportUnknownScenario(t *testing.T) {
 	var log bytes.Buffer
-	if err := benchReport(&log, os.DevNull, []string{"nope"}, time.Millisecond, "", 0.25, ""); err == nil {
+	if err := benchReport(&log, os.DevNull, []string{"nope"}, time.Millisecond, "", 0.25, noOverrides); err == nil {
 		t.Errorf("unknown scenario accepted")
 	}
 }
@@ -84,7 +88,7 @@ func TestBenchReportSpeedupOverride(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bench.json")
 	var log bytes.Buffer
-	if err := benchReport(&log, out, []string{"online-poisson"}, time.Millisecond, "", 0.25, "powerlaw:0.7"); err != nil {
+	if err := benchReport(&log, out, []string{"online-poisson"}, time.Millisecond, "", 0.25, perf.Overrides{Speedup: "powerlaw:0.7", Workers: -1}); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := perf.ReadFile(out)
@@ -94,7 +98,26 @@ func TestBenchReportSpeedupOverride(t *testing.T) {
 	if len(rep.Results) != 1 {
 		t.Fatalf("report = %+v", rep.Results)
 	}
-	if err := benchReport(&log, out, nil, time.Millisecond, "", 0.25, "bogus"); err == nil {
+	if err := benchReport(&log, out, nil, time.Millisecond, "", 0.25, perf.Overrides{Speedup: "bogus", Workers: -1}); err == nil {
 		t.Errorf("bogus speedup override accepted")
+	}
+}
+
+func TestBenchReportWorkersOverride(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var log bytes.Buffer
+	// The override only applies to cluster scenarios; running one under a
+	// forced worker count exercises the parallel coordinator through the
+	// bench path end to end.
+	if err := benchReport(&log, out, []string{"cluster-po2"}, time.Millisecond, "", 0.25, perf.Overrides{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := perf.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Scenario != "cluster-po2" {
+		t.Errorf("report = %+v", rep.Results)
 	}
 }

@@ -52,6 +52,11 @@ type loadtestSpec struct {
 	// single deterministic virtual timeline. Empty keeps the independent
 	// per-shard streams. Cluster mode always runs the streaming path.
 	Router string `json:"router,omitempty"`
+	// Workers >= 2 advances the cluster's shards concurrently on that many
+	// pool workers between routing decisions. The report is byte-identical
+	// at any worker count — the knob trades goroutines for wall-clock time
+	// only. Requires Router; 0 or 1 keeps the sequential coordinator.
+	Workers int `json:"workers,omitempty"`
 	// Speedup is the speedup-model spec (linear, powerlaw[:alpha],
 	// amdahl[:sigma], platform:cap@t,...); empty means the paper's linear
 	// model.
@@ -158,6 +163,9 @@ func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.Arr
 		// with fewer tasks than shards (unused shards simply drain empty).
 		return nil, nil, fmt.Errorf("loadtest: need at least one task per shard, got %d tasks over %d shards", spec.Tasks, spec.Shards)
 	}
+	if spec.Workers != 0 && spec.Router == "" {
+		return nil, nil, fmt.Errorf("loadtest: -workers parallelizes the cluster coordinator and needs -router")
+	}
 	policy, cfg, tenants, opts, err := spec.parse()
 	if err != nil {
 		return nil, nil, err
@@ -179,13 +187,14 @@ func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.Arr
 			global = wrap(0, global)
 		}
 		res, err := cluster.Run(cluster.Config{
-			Shards: spec.Shards,
-			P:      spec.P,
-			Policy: policy,
-			Router: router,
-			Opts:   opts,
-			Sink:   obsv.sink,
-			Probe:  obsv.fleetProbe,
+			Shards:  spec.Shards,
+			P:       spec.P,
+			Policy:  policy,
+			Router:  router,
+			Workers: spec.Workers,
+			Opts:    opts,
+			Sink:    obsv.sink,
+			Probe:   obsv.fleetProbe,
 		}, global)
 		if err != nil {
 			return nil, nil, err
@@ -279,9 +288,14 @@ func renderLoadResult(w io.Writer, spec loadtestSpec, res *engine.LoadResult, te
 	stream := spec.Stream
 	routed := ""
 	if spec.Router != "" {
-		// Cluster mode streams by construction and names its router.
+		// Cluster mode streams by construction and names its router. The
+		// worker count is part of the header on request only: the body below
+		// it is byte-identical at every worker count, which is the contract.
 		stream = true
 		routed = fmt.Sprintf(" router=%s", spec.Router)
+		if spec.Workers > 0 {
+			routed += fmt.Sprintf(" workers=%d", spec.Workers)
+		}
 	}
 	if spec.TenantSkew > 0 {
 		routed += fmt.Sprintf(" tenant-skew=%g", spec.TenantSkew)
@@ -490,25 +504,12 @@ func (h *heapSampler) stop() uint64 {
 	return h.peak
 }
 
-// runLoadtest implements `mwct loadtest`.
+// runLoadtest implements `mwct loadtest`. The workload/topology flags are
+// the shared specFlags set (the same defaults back POST /v1/loadtest); only
+// the observation and I/O flags below are loadtest-specific.
 func runLoadtest(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
-	policy := fs.String("policy", "wdeq", "policy: wdeq, deq, weight-greedy, smith-ratio")
-	class := fs.String("class", "uniform", "instance class for the task shapes (see `mwct gen`)")
-	process := fs.String("process", "poisson", "arrival process: poisson or bursty")
-	rate := fs.Float64("rate", 8, "per-shard arrival rate (tasks per unit time)")
-	burst := fs.Float64("burst", 4, "mean burst size of the bursty process")
-	tasks := fs.Int("n", 10000, "total number of tasks across all shards")
-	shards := fs.Int("shards", 4, "number of concurrent engine shards")
-	p := fs.Float64("p", 8, "per-shard platform capacity (processors)")
-	seed := fs.Int64("seed", 1, "base random seed (per-shard seeds are derived; seeds the router RNG in cluster mode)")
-	tenants := fs.String("tenants", "", "tenant mix as name:weight:share,... (empty = single tenant)")
-	tenantSkew := fs.Float64("tenant-skew", 0, "Zipf exponent reshaping the tenant shares (tenant i's share is divided by (i+1)^skew); 0 keeps them as configured")
-	routerName := fs.String("router", "", "cluster mode: dispatch ONE global arrival stream (rate is then fleet-wide) across the shards with this router: round-robin, hash-tenant, least-backlog, po2; empty keeps independent per-shard streams")
-	speedupSpec := fs.String("speedup", "", "speedup model: linear, powerlaw[:alpha], amdahl[:sigma], platform:cap@t,... (empty = linear)")
-	curveMin := fs.Float64("curve-min", 0, "lower bound of per-task speedup-curve draws (0 with -curve-max 0 disables)")
-	curveMax := fs.Float64("curve-max", 0, "upper bound of per-task speedup-curve draws")
-	stream := fs.Bool("stream", false, "stream arrivals through the engine (O(alive) memory; flow quantiles from a sketch) — required for very large -n")
+	buildSpec := specFlags(fs, defaultLoadtestSpec())
 	traceOut := fs.String("trace-out", "", "record the generated arrival stream to this JSONL file (requires -stream and -shards 1, or -router, whose global stream is the one recorded)")
 	traceIn := fs.String("trace-in", "", "replay a recorded JSONL arrival trace instead of generating a workload (implies -stream; with -shards > 1 or -router the one trace is dispatched across the fleet by the cluster coordinator)")
 	timelineOut := fs.String("timeline", "", "record a JSONL run timeline (backlog, throughput, p99 flow over virtual time) to this file (requires -stream and -shards 1, or -router)")
@@ -518,24 +519,7 @@ func runLoadtest(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec := loadtestSpec{
-		Policy:     *policy,
-		Class:      *class,
-		Process:    *process,
-		Rate:       *rate,
-		Burst:      *burst,
-		Tasks:      *tasks,
-		Shards:     *shards,
-		P:          *p,
-		Seed:       *seed,
-		Tenants:    *tenants,
-		TenantSkew: *tenantSkew,
-		Router:     *routerName,
-		Speedup:    *speedupSpec,
-		CurveMin:   *curveMin,
-		CurveMax:   *curveMax,
-		Stream:     *stream,
-	}
+	spec := buildSpec()
 	perfW := io.Discard
 	if *mem {
 		perfW = os.Stderr

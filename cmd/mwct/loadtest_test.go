@@ -527,3 +527,82 @@ func TestLoadtestClusterFewerTasksThanShards(t *testing.T) {
 		t.Error("independent-streams split accepted fewer tasks than shards")
 	}
 }
+
+// The cmd-layer face of the parallel coordinator's contract: the rendered
+// report — header aside — must be byte-identical at every worker count.
+func TestLoadtestReportWorkersByteIdentical(t *testing.T) {
+	spec := testSpec()
+	spec.Tenants = "gold:4:0.5,bronze:1:0.5"
+	spec.TenantSkew = 1.2
+	spec.Router = "least-backlog"
+	body := func(workers int) string {
+		spec.Workers = workers
+		var buf bytes.Buffer
+		if err := loadtestReport(&buf, spec); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Drop the header line: it legitimately names the worker count.
+		_, rest, ok := strings.Cut(buf.String(), "\n")
+		if !ok {
+			t.Fatalf("workers=%d: report has no body:\n%s", workers, buf.String())
+		}
+		return rest
+	}
+	sequential := body(0)
+	for _, workers := range []int{1, 3, 8} {
+		if got := body(workers); got != sequential {
+			t.Errorf("workers=%d report diverges from sequential:\n%s\nvs\n%s", workers, got, sequential)
+		}
+	}
+	if !strings.Contains(sequential, "aggregate: tasks=400") {
+		t.Errorf("report body looks wrong:\n%s", sequential)
+	}
+}
+
+func TestLoadtestWorkersNeedRouter(t *testing.T) {
+	spec := testSpec()
+	spec.Workers = 4
+	if _, _, err := runLoadtestSpec(spec); err == nil || !strings.Contains(err.Error(), "-router") {
+		t.Errorf("workers without router: err = %v, want a -router hint", err)
+	}
+}
+
+// The serve-side default worker count applies only to routed specs that left
+// "workers" unset, and never changes the response bytes.
+func TestServeLoadtestDefaultWorkers(t *testing.T) {
+	post := func(srv *httptest.Server, spec loadtestSpec) map[string]any {
+		t.Helper()
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(srv.URL+"/v1/loadtest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("loadtest status = %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := httptest.NewServer(newServeMux(false))
+	defer seq.Close()
+	par := httptest.NewServer(newServeMuxWorkers(false, 4))
+	defer par.Close()
+
+	routed := testSpec()
+	routed.Router = "round-robin"
+	a, _ := json.Marshal(post(seq, routed))
+	b, _ := json.Marshal(post(par, routed))
+	if string(a) != string(b) {
+		t.Errorf("default workers changed a routed response:\n%s\nvs\n%s", a, b)
+	}
+
+	// A router-less spec must not inherit the default (it would be rejected).
+	plain := testSpec()
+	if out := post(par, plain); out["totalTasks"] == nil {
+		t.Errorf("unrouted spec on a -workers server failed: %v", out)
+	}
+}

@@ -34,6 +34,16 @@ import (
 // Each mux owns its own metrics state (nothing global), so tests drive
 // independent instances through net/http/httptest.
 func newServeMux(enablePprof bool) *http.ServeMux {
+	return newServeMuxWorkers(enablePprof, 0)
+}
+
+// newServeMuxWorkers is newServeMux with a server-side default worker count
+// for cluster load tests: a routed spec that leaves "workers" unset runs the
+// coordinator with defaultWorkers pool workers. Because parallel and
+// sequential coordinators produce byte-identical results, the default changes
+// how fast the server answers, never what it answers — which is why it is an
+// operator flag and not part of the request schema's meaning.
+func newServeMuxWorkers(enablePprof bool, defaultWorkers int) *http.ServeMux {
 	metrics := newServeMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -48,7 +58,7 @@ func newServeMux(enablePprof bool) *http.ServeMux {
 	})
 	mux.HandleFunc("POST /v1/loadtest", func(w http.ResponseWriter, r *http.Request) {
 		metrics.requests.With("/v1/loadtest").Inc()
-		handleLoadtest(w, r, metrics)
+		handleLoadtest(w, r, metrics, defaultWorkers)
 	})
 	if enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -205,23 +215,21 @@ const (
 // runs the O(alive)-memory streaming path — the recommended mode for large
 // network-submitted tests. Every successful run is folded into the server's
 // /v1/metrics counters.
-func handleLoadtest(w http.ResponseWriter, r *http.Request, metrics *serveMetrics) {
+func handleLoadtest(w http.ResponseWriter, r *http.Request, metrics *serveMetrics, defaultWorkers int) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxServeBodyBytes)
-	spec := loadtestSpec{
-		Policy:  "wdeq",
-		Class:   "uniform",
-		Process: "poisson",
-		Rate:    8,
-		Burst:   4,
-		Tasks:   1000,
-		Shards:  4,
-		P:       8,
-		Seed:    1,
-	}
+	// The CLI's defaults, with the task budget trimmed to probe size: an
+	// empty body should answer fast, not benchmark the server.
+	spec := defaultLoadtestSpec()
+	spec.Tasks = 1000
 	// An empty body runs the defaults above.
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding loadtest spec: %w", err))
 		return
+	}
+	if spec.Router != "" && spec.Workers == 0 {
+		// The operator's -workers default applies only where it is legal:
+		// routed specs that did not choose a worker count themselves.
+		spec.Workers = defaultWorkers
 	}
 	if spec.Tasks > maxServeLoadtestTasks {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("tasks %d exceeds the server limit %d", spec.Tasks, maxServeLoadtestTasks))
@@ -281,15 +289,19 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	workers := fs.Int("workers", 0, "default coordinator worker count for routed load tests whose spec leaves \"workers\" unset (results are byte-identical at any count; this only changes response latency)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("serve: -workers must be >= 0, got %d", *workers)
 	}
 	fmt.Fprintf(os.Stderr, "mwct: serving on %s\n", *addr)
 	// Explicit timeouts so slow clients cannot hold connections (and their
 	// goroutines) open indefinitely.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServeMux(*enablePprof),
+		Handler:           newServeMuxWorkers(*enablePprof, *workers),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute, // large load tests take a while to run

@@ -28,48 +28,64 @@
 //     the linear program of Corollary 1, solved by a built-in simplex);
 //   - the lower bounds A(I) (squashed area), H(I) (height) and their mixed
 //     combination, plus makespan- and lateness-oriented helpers;
-//   - RunOnline and RunOnlineShards, the arrival-driven scheduling kernel:
-//     tasks carry release dates (Arrival), a discrete-event loop re-invokes
-//     an OnlinePolicy at every arrival, completion and capacity change, and
-//     per-task flow-time metrics are reported. OnlinePolicyByName resolves
-//     the bundled policies (wdeq, deq, weight-greedy and the clairvoyant
-//     smith-ratio baseline), and the sharded variant runs many independent
-//     engines concurrently with reproducible per-shard seeds — the
-//     sustained-load, weighted flow-time setting the paper's non-clairvoyant
-//     algorithms were designed for;
-//   - RunOnlineStream and RunOnlineShardsStream, the constant-memory form of
-//     the same kernel: arrivals are pulled lazily from an ArrivalStream
-//     (StreamArrivals generates one; NewArrivalTraceReader replays a recorded
-//     JSONL trace) and per-task outcomes flow into pluggable MetricSinks —
-//     a per-tenant AggregateSink, a fixed-size mergeable QuantileSink for
-//     flow p50/p99, or a FullSink when retention is wanted — so a run's
-//     memory is O(alive tasks + sink size), independent of how many tasks
-//     stream through;
+//   - Run, the single entry point to the arrival-driven scheduling kernel:
+//     a RunSpec names the platform, an OnlinePolicy (OnlinePolicyByName:
+//     wdeq, deq, weight-greedy, smith-ratio), exactly one arrival source and
+//     an optional topology, and every combination reports through one
+//     RunResult schema. Materialized Arrivals retain per-task rows with
+//     exact flow quantiles; a pulled ArrivalStream runs in O(alive tasks)
+//     memory with per-task outcomes flowing into pluggable MetricSinks (a
+//     per-tenant AggregateSink, a mergeable QuantileSink, a FullSink, or any
+//     custom TaskMetrics consumer); a Source fans out to independent
+//     concurrent shards; a ClusterRouter (RouterByName: round-robin,
+//     hash-tenant, least-backlog, po2) dispatches ONE global stream across a
+//     routed fleet on a single deterministic virtual timeline, where
+//     RunSpec.Workers >= 2 advances shards concurrently between routing
+//     decisions without changing a single output byte — same dispatch
+//     sequence, same sink order, same merged result at any worker count;
 //   - SpeedupModel, the kernel's pluggable processing-rate model: the
 //     paper's linear-cap speedup is the default, and ParseSpeedupModel
 //     resolves concave power-law and Amdahl models (with optional per-task
 //     Task.Curve parameters) and step-function time-varying platform
 //     capacities — the same policies and workloads run unchanged under any
-//     of them (OnlineOptions.Model). RunStatic replays a static instance on
+//     of them (RunSpec.Model). RunStatic replays a static instance on
 //     the kernel and, under linear models, reconstructs the column-based
-//     schedule from the decision trace;
-//   - RunCluster, the virtual-time fleet layer: ONE global arrival stream is
-//     dispatched across many engine shards by a pluggable ClusterRouter
-//     (RouterByName: round-robin, hash-tenant, least-backlog, po2), which
-//     observes exact live backlog snapshots because the coordinator
-//     interleaves shard events in global order — shard count becomes a
-//     scheduling variable, and a fixed seed replays the whole fleet byte for
-//     byte. The kernel itself is exposed in resumable form as OnlineStepper
-//     (StartStream/StartFeed on an OnlineRunner), advancing one event at a
-//     time and suspendable between events;
+//     schedule from the decision trace. The kernel itself is exposed in
+//     resumable form as OnlineStepper (StartStream/StartFeed on an
+//     OnlineRunner), advancing one event at a time and suspendable between
+//     events;
 //   - the observability plane: a RunProbe observes any run at its rest state
-//     at configurable intervals (OnlineOptions.Probe) without perturbing it,
+//     at configurable intervals (RunSpec.Probe) without perturbing it,
 //     MetricsRegistry + NewEngineCollector/NewClusterCollector/NewFlowCollector
 //     mirror live runs into Prometheus-rendered metrics (`mwct serve` answers
 //     GET /metrics; `-pprof` adds net/http/pprof), and NewRunTimeline records
 //     sampled backlog/throughput/flow-quantile trajectories as JSONL
 //     (`mwct loadtest -timeline out.jsonl`) that ReadRunTimeline loads back —
 //     all of it allocation-free in steady state.
+//
+// # Migrating from the Run* function family
+//
+// The nine Run* variants that accreted around the kernel (RunOnline,
+// RunOnlineStream, RunCluster, their *Shards* and *WithOptions forms) are
+// deprecated thin wrappers over Run; each one is a RunSpec spelling:
+//
+//	RunOnline(p, pol, arrs)                          Run(RunSpec{P: p, Policy: pol, Arrivals: arrs})
+//	RunOnlineWithOptions(p, pol, arrs, o)            Run(RunSpec{P: p, Policy: pol, Arrivals: arrs, Model: o.Model, ...})
+//	RunOnlineStream(p, pol, st, sink)                Run(RunSpec{P: p, Policy: pol, Stream: st, Sink: sink})
+//	RunOnlineStreamWithOptions(p, pol, st, sink, o)  Run(RunSpec{P: p, Policy: pol, Stream: st, Sink: sink, Model: o.Model, ...})
+//	RunOnlineShards(p, pol, src, n, seed)            Run(RunSpec{P: p, Policy: pol, Source: streams(src), Shards: n, Seed: seed})
+//	RunOnlineShardsWithOptions(...)                  ... plus the option fields
+//	RunOnlineShardsStream(p, pol, src, n, seed)      Run(RunSpec{P: p, Policy: pol, Source: src, Shards: n, Seed: seed})
+//	RunOnlineShardsStreamWithOptions(...)            ... plus the option fields
+//	RunCluster(cfg, st)                              Run(RunSpec{P: cfg.P, Policy: cfg.Policy, Stream: st, Shards: cfg.Shards, Router: cfg.Router, Workers: cfg.Workers, Sink: cfg.Sink, FleetProbe: cfg.Probe, ...})
+//
+// The OnlineOptions fields flatten into the spec (Model, TraceDecisions,
+// MaxEvents, Probe, ProbeEveryEvents, ProbeInterval). Two intentional
+// differences: Run always returns the merged *RunResult (single-engine runs
+// read back as a one-shard fleet, with the legacy OnlineResult available as
+// Shards[0].Result), and the slice-shard topology of RunOnlineShards is
+// subsumed by the stream Source — wrap a slice with a StreamArrivals-style
+// source, or keep exact per-shard retention by running shards yourself.
 //
 // The heavy lifting lives in internal packages (internal/core,
 // internal/schedule, internal/engine, internal/lp, ...); this package is the

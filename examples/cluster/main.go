@@ -73,12 +73,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := malleable.RunCluster(malleable.ClusterConfig{
-			Shards: shards,
-			P:      perShard,
-			Policy: policy,
-			Router: router,
-		}, stream)
+		// Workers > 1 advances the shards on a worker pool between routing
+		// decisions; the report is byte-identical to a sequential run — the
+		// knob only changes wall-clock time.
+		res, err := malleable.Run(malleable.RunSpec{
+			P:       perShard,
+			Policy:  policy,
+			Stream:  stream,
+			Shards:  shards,
+			Router:  router,
+			Workers: shards,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -62,9 +62,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := malleable.RunOnlineStreamWithOptions(processors, policy, stream,
-		malleable.CombineSinks(flowStats, timeline),
-		malleable.OnlineOptions{Probe: malleable.CombineProbes(engineStats, timeline)})
+	res, err := malleable.Run(malleable.RunSpec{
+		P:      processors,
+		Policy: policy,
+		Stream: stream,
+		Sink:   malleable.CombineSinks(flowStats, timeline),
+		Probe:  malleable.CombineProbes(engineStats, timeline),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +77,7 @@ func main() {
 	}
 
 	fmt.Printf("run: %d tasks on P=%d, makespan %.1f, weighted flow %.1f\n\n",
-		res.Completed, processors, res.Makespan, res.WeightedFlow)
+		res.TotalTasks, processors, res.Makespan, res.WeightedFlow)
 
 	// The timeline is the run's trajectory: queue depth and throughput per
 	// sampled instant — what a dashboard would plot during a soak.

@@ -54,10 +54,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := malleable.RunOnline(processors, policy, arrivals)
+		load, err := malleable.Run(malleable.RunSpec{P: processors, Policy: policy, Arrivals: arrivals})
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Arrivals runs retain every per-task row: the single shard's result
+		// carries the table, flow samples and exact quantiles.
+		res := load.Shards[0].Result
 		tenants := res.PerTenant()
 		fmt.Printf("%-14s %14.6g %12.4g %12.4g %14.4g %14.4g\n",
 			res.Policy, res.WeightedFlow, res.MeanFlow(), p99(res.FlowTimes()),

@@ -77,11 +77,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := malleable.RunOnlineWithOptions(processors, policy, row.arrivals,
-			malleable.OnlineOptions{Model: model})
+		load, err := malleable.Run(malleable.RunSpec{
+			P: processors, Policy: policy, Arrivals: row.arrivals, Model: model,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := load.Shards[0].Result
 		fmt.Printf("%-32s %14.6g %12.4g %12.4g %12d\n",
 			row.spec, res.WeightedFlow, res.MeanFlow(), res.Makespan, res.Events)
 	}

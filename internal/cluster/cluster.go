@@ -7,12 +7,23 @@
 // decoupled schedulers run", this package answers "how should arriving tasks
 // be routed to schedulers, and what does the routing policy cost".
 //
-// The coordinator is strictly sequential and advances the fleet in global
-// event order: before an arrival is routed, every shard has processed every
-// event up to the arrival's release, so the Router observes exact live
-// backlog and allocation snapshots, not stale polls. That sequencing is also
-// what makes a cluster run byte-deterministic — same stream, same router,
-// same seed, same report, at any GOMAXPROCS.
+// The coordinator advances the fleet in global event order: before an
+// arrival is routed, every shard has processed every event up to the
+// arrival's release, so the Router observes exact live backlog and
+// allocation snapshots, not stale polls. That sequencing is what makes a
+// cluster run byte-deterministic — same stream, same router, same seed,
+// same report, at any GOMAXPROCS.
+//
+// Determinism does not require a single goroutine, only a single ORDER.
+// Routing is the sole cross-shard interaction, so between two routing
+// decisions every shard's events are independent of every other shard's:
+// the coordinator may advance shards concurrently through the lookahead
+// window bounded by the next dispatch time (conservative parallel
+// discrete-event simulation) and synchronize only where the router needs an
+// exact fleet snapshot. Config.Workers selects that mode; the results —
+// dispatch sequence, merged LoadResult, shared-sink order, fleet-probe
+// observations — are bit-identical to the sequential coordinator's at any
+// worker count, which the test suite asserts.
 package cluster
 
 import (
@@ -22,31 +33,55 @@ import (
 	"github.com/malleable-sched/malleable/internal/engine"
 )
 
+// batchSize bounds how many arrivals a parallel coordinator pre-routes
+// between barriers when the router never reads fleet state (StateFreeRouter):
+// larger batches amortize the barrier, while the bound keeps the coordinator's
+// batch scratch O(1) in the stream length. The value is fixed — it must not
+// influence results (and tests pin that it does not), only wall-clock time.
+const batchSize = 512
+
 // Config parameterizes a cluster run.
 type Config struct {
 	// Shards is the number of scheduler shards (engine steppers).
 	Shards int
 	// P is the per-shard platform capacity.
 	P float64
-	// Policy is the per-shard scheduling policy (shared; bundled policies
-	// are stateless values, and the coordinator is sequential anyway).
+	// Policy is the per-shard scheduling policy. Bundled policies are
+	// stateless values; the coordinator clones per-shard state where a
+	// policy carries any (engine.Runner does this), so one value may be
+	// shared across shards even with Workers > 1.
 	Policy engine.Policy
 	// Router picks the destination shard of each arrival; nil defaults to
 	// round-robin.
 	Router Router
 	// Opts are the per-shard engine options (speedup model, event bounds),
-	// applied uniformly to every shard.
+	// applied uniformly to every shard. A non-nil Opts.Probe observes every
+	// shard's engine-level rest states interleaved on the global timeline;
+	// that interleave is inherently sequential, so setting it forces the
+	// sequential coordinator regardless of Workers (the output stays
+	// byte-identical either way, which is the point).
 	Opts engine.Options
-	// Sink, when non-nil, observes every completed task of the whole fleet.
-	// The coordinator is sequential, so one shared sink sees completions in
-	// a deterministic order (global event order, shards stepped lowest
-	// index first on ties).
+	// Workers selects the coordinator's execution mode. 0 or 1 advances
+	// shards on the coordinator goroutine in global event order. Workers >= 2
+	// advances shards concurrently on that many pool workers between routing
+	// decisions — bounded by the next dispatch time, the conservative
+	// lookahead window — and is capped at Shards. Every observable output is
+	// byte-identical across all Workers settings; the knob trades goroutines
+	// for wall-clock time only.
+	Workers int
+	// Sink, when non-nil, observes every completed task of the whole fleet
+	// in a deterministic global order: ascending completion time, ties by
+	// shard index, exactly the order the sequential coordinator emits. With
+	// Workers >= 2 completions are buffered per shard during a window and
+	// replayed into Sink in that same order at the next barrier.
 	Sink engine.MetricSink
 	// Probe, when non-nil, observes the fleet at dispatch time: it is handed
 	// the same exact per-shard snapshots the Router just saw (after the
 	// dispatch was counted), so probe output and routing decisions describe
 	// the same instant. A final observation fires after the fleet drains,
-	// with every shard's terminal counters. See Probe.
+	// with every shard's terminal counters. Fleet probing synchronizes the
+	// fleet at every dispatch, so with Workers >= 2 it keeps the per-dispatch
+	// barrier even under a StateFreeRouter. See Probe.
 	Probe Probe
 	// ProbeEveryDispatches fires the probe every k-th dispatch (k > 0); 0
 	// observes every dispatch. The snapshots are assembled for the router
@@ -66,6 +101,40 @@ type Probe interface {
 	ObserveFleet(now float64, shards []ShardState)
 }
 
+// coordinator is the per-run state shared by the sequential and parallel
+// execution modes: the shard steppers and their result/sink columns, the
+// validated one-arrival lookahead into the global stream, and the scratch
+// the router and probe observe.
+type coordinator struct {
+	cfg    Config
+	n      int
+	router Router
+	stream engine.ArrivalStream
+
+	runners    []*engine.Runner
+	results    []*engine.Result
+	aggs       []*engine.AggregateSink
+	sketches   []*engine.SketchSink
+	steppers   []*engine.Stepper
+	states     []ShardState
+	dispatched []int
+	routed     int
+
+	// One look-ahead into the global stream, with the same boundary
+	// validation the engine applies.
+	count       int
+	lastRelease float64
+
+	// Sequential mode: the index-min heap over shard next-event times.
+	h shardHeap
+
+	// Parallel modes: the worker pool, and — only when cfg.Sink is set —
+	// the per-shard completion buffers with their merge scratch.
+	pool      *pool
+	bufs      []*sinkBuffer
+	flushHead []int
+}
+
 // Run dispatches the global arrival stream across the fleet and merges the
 // per-shard outcomes into the same LoadResult schema the independent-streams
 // drivers report: per-shard results in Shards, deterministic aggregate and
@@ -77,6 +146,11 @@ type Probe interface {
 // non-decreasing releases) and fed to the routed shard at their release
 // time; per-task rows are never retained, so a run's memory is
 // O(shards · (alive tasks + sink size)) regardless of the stream length.
+//
+// With cfg.Workers >= 2 the shards advance concurrently between routing
+// decisions (see Config.Workers); the returned result and every configured
+// observer output are byte-identical to a sequential run of the same
+// configuration.
 func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 	if stream == nil {
 		return nil, fmt.Errorf("cluster: nil arrival stream")
@@ -87,120 +161,177 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("cluster: nil policy")
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("cluster: negative worker count %d", cfg.Workers)
+	}
 	router := cfg.Router
 	if router == nil {
 		router = NewRoundRobin()
 	}
 
-	n := cfg.Shards
-	runners := make([]*engine.Runner, n)
-	results := make([]*engine.Result, n)
-	aggs := make([]*engine.AggregateSink, n)
-	sketches := make([]*engine.SketchSink, n)
-	steppers := make([]*engine.Stepper, n)
-	states := make([]ShardState, n)
-	dispatched := make([]int, n)
+	c := &coordinator{cfg: cfg, n: cfg.Shards, router: router, stream: stream}
+
+	workers := cfg.Workers
+	if workers > c.n {
+		workers = c.n
+	}
+	// Engine-level probes interleave every shard's rest states on one
+	// timeline — inherently sequential, so they pin the sequential mode.
+	parallel := workers >= 2 && cfg.Opts.Probe == nil
+
+	n := c.n
+	c.runners = make([]*engine.Runner, n)
+	c.results = make([]*engine.Result, n)
+	c.aggs = make([]*engine.AggregateSink, n)
+	c.sketches = make([]*engine.SketchSink, n)
+	c.steppers = make([]*engine.Stepper, n)
+	c.states = make([]ShardState, n)
+	c.dispatched = make([]int, n)
+	if parallel && cfg.Sink != nil {
+		c.bufs = make([]*sinkBuffer, n)
+		c.flushHead = make([]int, n)
+	}
 	for i := 0; i < n; i++ {
-		runners[i] = engine.NewRunner()
-		results[i] = &engine.Result{}
-		aggs[i] = engine.NewAggregateSink()
-		sketches[i] = engine.NewSketchSink(0)
-		st, err := runners[i].StartFeed(results[i], cfg.P, cfg.Policy, engine.MultiSink(aggs[i], sketches[i], cfg.Sink), cfg.Opts)
+		c.states[i].Shard = i
+		c.runners[i] = engine.NewRunner()
+		c.results[i] = &engine.Result{}
+		c.aggs[i] = engine.NewAggregateSink()
+		c.sketches[i] = engine.NewSketchSink(0)
+		shared := cfg.Sink
+		if c.bufs != nil {
+			c.bufs[i] = &sinkBuffer{}
+			shared = c.bufs[i]
+		}
+		st, err := c.runners[i].StartFeed(c.results[i], cfg.P, cfg.Policy, engine.MultiSink(c.aggs[i], c.sketches[i], shared), cfg.Opts)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
-		steppers[i] = st
+		c.steppers[i] = st
 	}
 
-	// One look-ahead into the global stream, with the same boundary
-	// validation the engine applies: every arrival well-formed, releases
-	// non-decreasing, errors labeled with the stream position.
-	count := 0
-	lastRelease := 0.0
-	pull := func() (engine.Arrival, bool, error) {
-		a, ok, err := stream.Next()
-		if err != nil {
-			return engine.Arrival{}, false, fmt.Errorf("cluster: arrival %d: %w", count, err)
-		}
-		if !ok {
-			return engine.Arrival{}, false, nil
-		}
-		if err := a.Validate(); err != nil {
-			return engine.Arrival{}, false, fmt.Errorf("cluster: arrival %d: %w", count, err)
-		}
-		if count > 0 && a.Release < lastRelease {
-			return engine.Arrival{}, false, fmt.Errorf(
-				"cluster: arrival %d: release %g precedes %g — the global stream must be non-decreasing in release time",
-				count, a.Release, lastRelease)
-		}
-		lastRelease = a.Release
-		count++
-		return a, true, nil
+	if !parallel {
+		return c.runSequential()
 	}
+	c.pool = newPool(workers, n)
+	defer c.pool.close()
+	// A router that never reads fleet state dispatches without a barrier, so
+	// whole batches of arrivals advance concurrently; a fleet probe wants an
+	// exact snapshot per dispatch and keeps the per-dispatch window.
+	if sf, ok := router.(StateFreeRouter); ok && sf.StateFree() && cfg.Probe == nil {
+		return c.runBatched()
+	}
+	return c.runWindowed()
+}
 
-	// step advances the earliest-next-event shard by one event; ties break
-	// toward the lowest shard index so the interleave is deterministic.
-	step := func(horizon float64) error {
+// pull advances the global one-arrival lookahead, validating each arrival
+// and the release ordering at the coordinator boundary with errors labeled
+// by stream position.
+func (c *coordinator) pull() (engine.Arrival, bool, error) {
+	a, ok, err := c.stream.Next()
+	if err != nil {
+		return engine.Arrival{}, false, fmt.Errorf("cluster: arrival %d: %w", c.count, err)
+	}
+	if !ok {
+		return engine.Arrival{}, false, nil
+	}
+	if err := a.Validate(); err != nil {
+		return engine.Arrival{}, false, fmt.Errorf("cluster: arrival %d: %w", c.count, err)
+	}
+	if c.count > 0 && a.Release < c.lastRelease {
+		return engine.Arrival{}, false, fmt.Errorf(
+			"cluster: arrival %d: release %g precedes %g — the global stream must be non-decreasing in release time",
+			c.count, a.Release, c.lastRelease)
+	}
+	c.lastRelease = a.Release
+	c.count++
+	return a, true, nil
+}
+
+// fillStates snapshots every shard into the router/probe scratch.
+func (c *coordinator) fillStates() {
+	for i, st := range c.steppers {
+		c.states[i] = ShardState{
+			Shard:      i,
+			Now:        st.Now(),
+			Backlog:    st.Backlog(),
+			Allocated:  st.Allocated(),
+			Completed:  st.Completed(),
+			Dispatched: c.dispatched[i],
+		}
+	}
+}
+
+// route asks the router for the arrival's destination and range-checks it.
+func (c *coordinator) route(a engine.Arrival) (int, error) {
+	idx := c.router.Route(a, c.states)
+	if idx < 0 || idx >= c.n {
+		return 0, fmt.Errorf("cluster: router %q routed arrival %d to shard %d of %d", c.router.Name(), c.count-1, idx, c.n)
+	}
+	return idx, nil
+}
+
+// observeDispatch fires the fleet probe for the dispatch just performed,
+// honoring the thinning configuration. The probe sees exactly what the
+// router saw, plus the dispatch it just caused — the fed arrival itself is
+// not admitted until the shard's next event, so Backlog is still the routed
+// view.
+func (c *coordinator) observeDispatch(idx int, release float64) {
+	if c.cfg.Probe != nil && (c.cfg.ProbeEveryDispatches <= 1 || c.routed%c.cfg.ProbeEveryDispatches == 0) {
+		c.states[idx].Dispatched = c.dispatched[idx]
+		c.cfg.Probe.ObserveFleet(release, c.states)
+	}
+}
+
+// runSequential advances the fleet on the coordinator goroutine in global
+// event order, ordering the shards' next events on the index-min heap —
+// O(log shards) per event instead of the former linear scan per event.
+func (c *coordinator) runSequential() (*engine.LoadResult, error) {
+	c.h.init(c.n)
+	// advance processes every shard event at or before horizon in global
+	// (time, shard index) order; the heap keys are refreshed only for the
+	// stepped shard, the single shard whose state changed.
+	advance := func(horizon float64) error {
 		for {
-			best, bestT := -1, math.Inf(1)
-			for i, st := range steppers {
-				if t := st.NextEventTime(); t < bestT {
-					best, bestT = i, t
-				}
-			}
-			if best < 0 || bestT > horizon {
+			s, t := c.h.min()
+			if math.IsInf(t, 1) || t > horizon {
 				return nil
 			}
-			if _, err := steppers[best].Step(); err != nil {
-				return fmt.Errorf("cluster: shard %d: %w", best, err)
+			if _, err := c.steppers[s].Step(); err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", s, err)
 			}
+			c.h.update(s, c.steppers[s].NextEventTime())
 		}
 	}
 
-	next, ok, err := pull()
+	next, ok, err := c.pull()
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, fmt.Errorf("cluster: empty arrival stream")
 	}
-	routed := 0
 	for ok {
 		// Bring every shard up to the arrival's release time: completions
 		// (and capacity steps) due before it are processed first, so the
 		// router's snapshots are exact at dispatch time. Shard events at the
 		// same instant as the arrival retire before routing — a router
 		// should see a queue that just drained as drained.
-		if err := step(next.Release); err != nil {
+		if err := advance(next.Release); err != nil {
 			return nil, err
 		}
-		for i, st := range steppers {
-			states[i] = ShardState{
-				Shard:      i,
-				Now:        st.Now(),
-				Backlog:    st.Backlog(),
-				Allocated:  st.Allocated(),
-				Completed:  st.Completed(),
-				Dispatched: dispatched[i],
-			}
+		c.fillStates()
+		idx, err := c.route(next)
+		if err != nil {
+			return nil, err
 		}
-		idx := router.Route(next, states)
-		if idx < 0 || idx >= n {
-			return nil, fmt.Errorf("cluster: router %q routed arrival %d to shard %d of %d", router.Name(), count-1, idx, n)
-		}
-		if err := steppers[idx].Feed(next); err != nil {
+		if err := c.steppers[idx].Feed(next); err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", idx, err)
 		}
-		dispatched[idx]++
-		routed++
-		if cfg.Probe != nil && (cfg.ProbeEveryDispatches <= 1 || routed%cfg.ProbeEveryDispatches == 0) {
-			// The probe sees exactly what the router saw, plus the dispatch
-			// it just caused — the fed arrival itself is not admitted until
-			// the shard's next event, so Backlog is still the routed view.
-			states[idx].Dispatched = dispatched[idx]
-			cfg.Probe.ObserveFleet(next.Release, states)
-		}
-		next, ok, err = pull()
+		c.h.update(idx, c.steppers[idx].NextEventTime())
+		c.dispatched[idx]++
+		c.routed++
+		c.observeDispatch(idx, next.Release)
+		next, ok, err = c.pull()
 		if err != nil {
 			return nil, err
 		}
@@ -208,14 +339,217 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 
 	// The global stream is over: close every feed and drain the fleet in
 	// the same global event order.
-	for _, st := range steppers {
+	for _, st := range c.steppers {
 		st.CloseFeed()
 	}
-	if err := step(math.Inf(1)); err != nil {
+	if err := advance(math.Inf(1)); err != nil {
 		return nil, err
 	}
-	runs := make([]engine.ShardRun, n)
-	for i, st := range steppers {
+	return c.finish()
+}
+
+// runWindowed is the conservative parallel mode for routers that read fleet
+// state: between consecutive dispatches the shards advance concurrently
+// through the window bounded by the next arrival's release, then the fleet
+// synchronizes so the router (and probe) observe exact snapshots — the same
+// snapshots the sequential interleave produces, because within a window no
+// shard's events depend on another shard's.
+func (c *coordinator) runWindowed() (*engine.LoadResult, error) {
+	var horizon float64
+	work := func(s int) error {
+		if _, err := c.steppers[s].StepUntil(horizon); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		return nil
+	}
+	// The single-dispatch window: buffered completions all fall in one
+	// global window, so the merge key degenerates to (time, shard index).
+	release := make([]float64, 1)
+	advance := func(h float64) error {
+		soonest := math.Inf(1)
+		for _, st := range c.steppers {
+			if t := st.NextEventTime(); t < soonest {
+				soonest = t
+			}
+		}
+		// No shard has an event in the window — common under light backlog,
+		// where the next event IS the arrival. Skip the barrier entirely.
+		if math.IsInf(soonest, 1) || soonest > h {
+			return nil
+		}
+		horizon = h
+		release[0] = h
+		if c.bufs != nil {
+			for _, b := range c.bufs {
+				b.reset(release)
+			}
+		}
+		if err := c.pool.run(work); err != nil {
+			return err
+		}
+		if c.bufs != nil {
+			flushBuffers(c.bufs, c.cfg.Sink, c.flushHead)
+		}
+		return nil
+	}
+
+	next, ok, err := c.pull()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("cluster: empty arrival stream")
+	}
+	for ok {
+		if err := advance(next.Release); err != nil {
+			return nil, err
+		}
+		c.fillStates()
+		idx, err := c.route(next)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.steppers[idx].Feed(next); err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", idx, err)
+		}
+		c.dispatched[idx]++
+		c.routed++
+		c.observeDispatch(idx, next.Release)
+		next, ok, err = c.pull()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, st := range c.steppers {
+		st.CloseFeed()
+	}
+	if err := advance(math.Inf(1)); err != nil {
+		return nil, err
+	}
+	return c.finish()
+}
+
+// shardBatch is one shard's dispatch subsequence of the current batch.
+type shardBatch struct {
+	arrivals []int32 // indices into the batch's arrival slice
+}
+
+// runBatched is the wide-window parallel mode for state-free routers: the
+// coordinator pre-routes up to batchSize arrivals (the router never looks at
+// the fleet, so routing needs no synchronization), hands every shard its
+// dispatch subsequence, and lets the workers interleave feeds with event
+// processing privately per shard — one barrier per batch instead of one per
+// dispatch. Per-shard trajectories are identical to the sequential
+// coordinator's because a stepper's events depend only on its own feeds and
+// their release times; the shared sink's global order is reconstructed from
+// the per-row (window, time, shard) key (see sinkBuffer).
+func (c *coordinator) runBatched() (*engine.LoadResult, error) {
+	arrs := make([]engine.Arrival, 0, batchSize)
+	releases := make([]float64, 0, batchSize)
+	perShard := make([]shardBatch, c.n)
+	var horizon float64
+
+	work := func(s int) error {
+		st := c.steppers[s]
+		var buf *sinkBuffer
+		if c.bufs != nil {
+			buf = c.bufs[s]
+		}
+		for _, gi := range perShard[s].arrivals {
+			a := arrs[gi]
+			if _, err := st.StepUntil(a.Release); err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+			if err := st.Feed(a); err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+			if buf != nil {
+				buf.floor = int(gi) + 1
+			}
+		}
+		if _, err := st.StepUntil(horizon); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		return nil
+	}
+
+	next, ok, err := c.pull()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("cluster: empty arrival stream")
+	}
+	for ok {
+		arrs = arrs[:0]
+		releases = releases[:0]
+		for i := range perShard {
+			perShard[i].arrivals = perShard[i].arrivals[:0]
+		}
+		for ok && len(arrs) < batchSize {
+			// The router is state-free: c.states carries only the shard
+			// indices, and the contract is that Route reads nothing else.
+			idx, err := c.route(next)
+			if err != nil {
+				return nil, err
+			}
+			arrs = append(arrs, next)
+			releases = append(releases, next.Release)
+			perShard[idx].arrivals = append(perShard[idx].arrivals, int32(len(arrs)-1))
+			c.dispatched[idx]++
+			c.routed++
+			next, ok, err = c.pull()
+			if err != nil {
+				return nil, err
+			}
+		}
+		horizon = releases[len(releases)-1]
+		if c.bufs != nil {
+			for _, b := range c.bufs {
+				b.reset(releases)
+			}
+		}
+		if err := c.pool.run(work); err != nil {
+			return nil, err
+		}
+		if c.bufs != nil {
+			flushBuffers(c.bufs, c.cfg.Sink, c.flushHead)
+		}
+	}
+
+	for _, st := range c.steppers {
+		st.CloseFeed()
+	}
+	// Drain every shard to its last event in parallel; drain rows carry
+	// window 0 over an empty release table, i.e. plain (time, shard) order,
+	// which is exactly the sequential drain's interleave.
+	if c.bufs != nil {
+		for _, b := range c.bufs {
+			b.reset(nil)
+		}
+	}
+	drain := func(s int) error {
+		if _, err := c.steppers[s].StepUntil(math.Inf(1)); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		return nil
+	}
+	if err := c.pool.run(drain); err != nil {
+		return nil, err
+	}
+	if c.bufs != nil {
+		flushBuffers(c.bufs, c.cfg.Sink, c.flushHead)
+	}
+	return c.finish()
+}
+
+// finish completes the drained fleet: the final Step every shard needs to
+// observe its closed feed, Finish validation, the closing probe
+// observation, and the deterministic shard merge.
+func (c *coordinator) finish() (*engine.LoadResult, error) {
+	runs := make([]engine.ShardRun, c.n)
+	for i, st := range c.steppers {
 		// A shard that never received an arrival still needs its final Step
 		// to observe the closed feed and finish.
 		if !st.Done() {
@@ -226,29 +560,22 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 		if err := st.Finish(); err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
-		runs[i] = engine.ShardRun{Shard: i, Result: results[i]}
+		runs[i] = engine.ShardRun{Shard: i, Result: c.results[i]}
 	}
-	if cfg.Probe != nil {
+	if c.cfg.Probe != nil {
 		// Closing observation: every shard's terminal counters at the
 		// fleet's final virtual time, so samplers always capture the
 		// drained endpoint whatever the dispatch thinning.
 		final := 0.0
-		for i, st := range steppers {
-			states[i] = ShardState{
-				Shard:      i,
-				Now:        st.Now(),
-				Backlog:    st.Backlog(),
-				Allocated:  st.Allocated(),
-				Completed:  st.Completed(),
-				Dispatched: dispatched[i],
-			}
-			if results[i].Makespan > final {
-				final = results[i].Makespan
+		c.fillStates()
+		for i := range c.states {
+			if c.results[i].Makespan > final {
+				final = c.results[i].Makespan
 			}
 		}
-		cfg.Probe.ObserveFleet(final, states)
+		c.cfg.Probe.ObserveFleet(final, c.states)
 	}
-	res, err := engine.MergeShards(cfg.P, cfg.Policy.Name(), runs, aggs, sketches)
+	res, err := engine.MergeShards(c.cfg.P, c.cfg.Policy.Name(), runs, c.aggs, c.sketches)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,93 @@
+package cluster
+
+import "math"
+
+// shardHeap is an indexed binary min-heap over the fleet's shard next-event
+// times, keyed (time, shard index) with ties toward the lower index — the
+// exact order the coordinator's old linear scan produced, at O(log n) per
+// key change instead of O(n) per event. The heap always holds every shard;
+// a shard with nothing scheduled carries a +Inf key and simply sinks to the
+// bottom, so "no event" needs no membership bookkeeping.
+type shardHeap struct {
+	key  []float64 // shard -> next-event time (+Inf = nothing scheduled)
+	heap []int     // heap slot -> shard
+	pos  []int     // shard -> heap slot
+}
+
+// init sizes the heap for n shards, every key +Inf. The all-equal start is
+// trivially heap-ordered.
+func (h *shardHeap) init(n int) {
+	h.key = make([]float64, n)
+	h.heap = make([]int, n)
+	h.pos = make([]int, n)
+	for i := 0; i < n; i++ {
+		h.key[i] = math.Inf(1)
+		h.heap[i] = i
+		h.pos[i] = i
+	}
+}
+
+// less orders heap slots by (key, shard index). The index tie-break is what
+// keeps the coordinator's interleave deterministic when several shards have
+// events at the same instant.
+func (h *shardHeap) less(a, b int) bool {
+	sa, sb := h.heap[a], h.heap[b]
+	if h.key[sa] != h.key[sb] {
+		return h.key[sa] < h.key[sb]
+	}
+	return sa < sb
+}
+
+func (h *shardHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *shardHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *shardHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		m := left
+		if right := left + 1; right < n && h.less(right, left) {
+			m = right
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// update sets shard's key and restores heap order.
+func (h *shardHeap) update(shard int, t float64) {
+	if h.key[shard] == t {
+		return
+	}
+	h.key[shard] = t
+	h.up(h.pos[shard])
+	h.down(h.pos[shard])
+}
+
+// min returns the shard with the earliest (key, index) and its key. With
+// every key +Inf it returns whatever shard sits at the root; callers treat a
+// +Inf key as "no event scheduled".
+func (h *shardHeap) min() (int, float64) {
+	s := h.heap[0]
+	return s, h.key[s]
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The heap must agree with the linear scan it replaced on every operation:
+// min is the lowest (key, shard) pair, +Inf keys are reported as such, and
+// randomized key updates never break the ordering.
+func TestShardHeapMatchesLinearScan(t *testing.T) {
+	const n = 17
+	var h shardHeap
+	h.init(n)
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = math.Inf(1)
+	}
+
+	scanMin := func() (int, float64) {
+		best, bestT := -1, math.Inf(1)
+		for i, k := range keys {
+			if k < bestT {
+				best, bestT = i, k
+			}
+		}
+		if best < 0 {
+			// All +Inf: the heap reports some shard with a +Inf key; only
+			// the key matters to callers.
+			return -1, math.Inf(1)
+		}
+		return best, bestT
+	}
+
+	check := func(step int) {
+		wantS, wantT := scanMin()
+		gotS, gotT := h.min()
+		if wantS < 0 {
+			if !math.IsInf(gotT, 1) {
+				t.Fatalf("step %d: heap min key %g, want +Inf", step, gotT)
+			}
+			return
+		}
+		if gotS != wantS || gotT != wantT {
+			t.Fatalf("step %d: heap min (%d, %g), scan min (%d, %g)", step, gotS, gotT, wantS, wantT)
+		}
+	}
+
+	check(-1)
+	rng := rand.New(rand.NewSource(42))
+	times := []float64{0.5, 1, 1, 2, 2.5, 3, 3, 3, math.Inf(1)}
+	for step := 0; step < 5000; step++ {
+		s := rng.Intn(n)
+		k := times[rng.Intn(len(times))] * (1 + float64(step)/1000)
+		if math.IsInf(k, 1) {
+			k = math.Inf(1)
+		}
+		keys[s] = k
+		h.update(s, k)
+		check(step)
+	}
+	// Drain everything back to +Inf through the min side, the coordinator's
+	// access pattern.
+	for {
+		s, k := h.min()
+		if math.IsInf(k, 1) {
+			break
+		}
+		keys[s] = math.Inf(1)
+		h.update(s, math.Inf(1))
+		check(-2)
+	}
+}
+
+// Ties on the key must resolve toward the lowest shard index — the
+// coordinator's determinism depends on it.
+func TestShardHeapTieBreaksTowardLowestShard(t *testing.T) {
+	var h shardHeap
+	h.init(8)
+	for _, s := range []int{5, 3, 6} {
+		h.update(s, 7)
+	}
+	if s, k := h.min(); s != 3 || k != 7 {
+		t.Fatalf("min = (%d, %g), want (3, 7)", s, k)
+	}
+	h.update(3, math.Inf(1))
+	if s, _ := h.min(); s != 5 {
+		t.Fatalf("min = %d after removing 3, want 5", s)
+	}
+}

@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// recordingStateFree is a recordingRouter that preserves the wrapped
+// router's state-free declaration, so recording the dispatch sequence does
+// not silently demote a batched-mode run to the windowed mode.
+type recordingStateFree struct {
+	recordingRouter
+}
+
+func (r *recordingStateFree) StateFree() bool { return true }
+
+// record wraps a router with dispatch recording, keeping StateFree intact.
+func record(inner Router) (Router, *recordingRouter) {
+	if sf, ok := inner.(StateFreeRouter); ok && sf.StateFree() {
+		r := &recordingStateFree{recordingRouter{inner: inner}}
+		return r, &r.recordingRouter
+	}
+	r := &recordingRouter{inner: inner}
+	return r, r
+}
+
+// parallelCapture is everything observable about one cluster run: the
+// dispatch sequence, the full merged result (JSON blob, so every field
+// participates in the comparison), every shared-sink row in order, and the
+// fleet-probe trace.
+type parallelCapture struct {
+	dispatch []int
+	blob     []byte
+	rows     []engine.TaskMetrics
+	probe    *fleetProbe
+}
+
+func captureRun(t *testing.T, cfg Config, stream engine.ArrivalStream, withProbe bool) parallelCapture {
+	t.Helper()
+	routed, rec := record(cfg.Router)
+	cfg.Router = routed
+	var rows []engine.TaskMetrics
+	cfg.Sink = sinkFunc(func(m engine.TaskMetrics) { rows = append(rows, m) })
+	var probe *fleetProbe
+	if withProbe {
+		probe = &fleetProbe{}
+		cfg.Probe = probe
+	}
+	res, err := Run(cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parallelCapture{dispatch: rec.dispatch, blob: blob, rows: rows, probe: probe}
+}
+
+func assertCapturesEqual(t *testing.T, want, got parallelCapture, label string) {
+	t.Helper()
+	if len(want.dispatch) != len(got.dispatch) {
+		t.Fatalf("%s: dispatch count %d vs sequential %d", label, len(got.dispatch), len(want.dispatch))
+	}
+	for i := range want.dispatch {
+		if want.dispatch[i] != got.dispatch[i] {
+			t.Fatalf("%s: dispatch %d routed to shard %d, sequential chose %d", label, i, got.dispatch[i], want.dispatch[i])
+		}
+	}
+	if string(want.blob) != string(got.blob) {
+		t.Fatalf("%s: merged LoadResult differs from the sequential coordinator's", label)
+	}
+	if len(want.rows) != len(got.rows) {
+		t.Fatalf("%s: shared sink saw %d rows, sequential %d", label, len(got.rows), len(want.rows))
+	}
+	for i := range want.rows {
+		if want.rows[i] != got.rows[i] {
+			t.Fatalf("%s: sink row %d = %+v, sequential %+v", label, i, got.rows[i], want.rows[i])
+		}
+	}
+	if (want.probe == nil) != (got.probe == nil) {
+		t.Fatalf("%s: probe presence mismatch", label)
+	}
+	if want.probe != nil {
+		if len(want.probe.times) != len(got.probe.times) {
+			t.Fatalf("%s: probe fired %d times, sequential %d", label, len(got.probe.times), len(want.probe.times))
+		}
+		for i := range want.probe.times {
+			if want.probe.times[i] != got.probe.times[i] ||
+				want.probe.dispatched[i] != got.probe.dispatched[i] ||
+				want.probe.backlogs[i] != got.probe.backlogs[i] ||
+				want.probe.completed[i] != got.probe.completed[i] {
+				t.Fatalf("%s: probe observation %d differs from sequential", label, i)
+			}
+		}
+	}
+}
+
+// The tentpole contract: a parallel cluster run is byte-identical to the
+// sequential coordinator at ANY worker count — dispatch sequence, merged
+// LoadResult, shared-sink order, fleet-probe trace — for every bundled
+// router, with and without a fleet probe (the probe pins the per-dispatch
+// window even for state-free routers, so both parallel modes are exercised).
+func TestParallelMatchesSequentialByteForByte(t *testing.T) {
+	const n, shards, seed = 3000, 4, 7
+	newStream := func() engine.ArrivalStream {
+		s, err := workload.NewStream(skewedConfig(60.8), n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	newRouter := func(name string) Router {
+		r, err := RouterByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	for _, router := range RouterNames() {
+		for _, withProbe := range []bool{false, true} {
+			mode := "noprobe"
+			if withProbe {
+				mode = "probe"
+			}
+			t.Run(fmt.Sprintf("%s/%s", router, mode), func(t *testing.T) {
+				base := Config{Shards: shards, P: 8, Policy: wdeq(t)}
+				base.Router = newRouter(router)
+				seq := captureRun(t, base, newStream(), withProbe)
+				if len(seq.dispatch) != n {
+					t.Fatalf("sequential run routed %d arrivals, want %d", len(seq.dispatch), n)
+				}
+				for _, workers := range []int{1, 2, 3, shards, 16} {
+					cfg := base
+					cfg.Router = newRouter(router)
+					cfg.Workers = workers
+					par := captureRun(t, cfg, newStream(), withProbe)
+					assertCapturesEqual(t, seq, par, fmt.Sprintf("workers=%d", workers))
+				}
+			})
+		}
+	}
+}
+
+// sliceStream adapts an arrival slice to an ArrivalStream.
+func sliceStream(arrs []engine.Arrival) engine.ArrivalStream {
+	pos := 0
+	return streamFunc(func() (engine.Arrival, bool, error) {
+		if pos >= len(arrs) {
+			return engine.Arrival{}, false, nil
+		}
+		a := arrs[pos]
+		pos++
+		return a, true, nil
+	})
+}
+
+// boundaryArrivals builds the adversarial stream for the window-edge tests:
+// arrivals clustered on integer instants (eight per instant, so shard events
+// collide with window horizons and with each other), every fourth task
+// zero-volume (completes the instant it is admitted — exactly AT the window
+// boundary), tenants cycling so hash-tenant spreads them.
+func boundaryArrivals(n int) []engine.Arrival {
+	arrs := make([]engine.Arrival, n)
+	for i := range arrs {
+		task := schedule.Task{Weight: 1 + float64(i%3), Volume: float64(1 + i%5), Delta: 2}
+		if i%4 == 0 {
+			task.Volume = 0 // zero-volume: admission and completion coincide
+		}
+		arrs[i] = engine.Arrival{
+			Task:    task,
+			Release: float64(i / 8), // eight simultaneous releases per instant
+			Tenant:  i % 6,
+		}
+	}
+	return arrs
+}
+
+// Window-boundary edge cases: zero-volume tasks completing exactly at the
+// lookahead horizon, simultaneous events on several shards at the same
+// instant, and equal-release runs crossing batch boundaries (n far exceeds
+// batchSize). Both parallel modes must still reproduce the sequential run
+// bit for bit.
+func TestParallelWindowBoundaryEdgeCases(t *testing.T) {
+	const n, shards = 4 * batchSize, 3
+	for _, router := range []string{"round-robin", "least-backlog"} {
+		t.Run(router, func(t *testing.T) {
+			newRouter := func() Router {
+				r, err := RouterByName(router, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			base := Config{Shards: shards, P: 8, Policy: wdeq(t), Router: newRouter()}
+			seq := captureRun(t, base, sliceStream(boundaryArrivals(n)), false)
+			for _, workers := range []int{2, 3} {
+				cfg := base
+				cfg.Router = newRouter()
+				cfg.Workers = workers
+				par := captureRun(t, cfg, sliceStream(boundaryArrivals(n)), false)
+				assertCapturesEqual(t, seq, par, fmt.Sprintf("workers=%d", workers))
+			}
+		})
+	}
+}
+
+// Worker count beyond the shard count is capped, never wrong: 16 workers on
+// 2 shards must match the sequential run exactly.
+func TestParallelWorkersExceedShards(t *testing.T) {
+	const n, shards = 2000, 2
+	newStream := func() engine.ArrivalStream {
+		s, err := workload.NewStream(skewedConfig(30), n, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := Config{Shards: shards, P: 8, Policy: wdeq(t), Router: NewLeastBacklog()}
+	seq := captureRun(t, base, newStream(), true)
+	cfg := base
+	cfg.Router = NewLeastBacklog()
+	cfg.Workers = 16
+	par := captureRun(t, cfg, newStream(), true)
+	assertCapturesEqual(t, seq, par, "workers=16 shards=2")
+}
+
+// An engine-level probe (Options.Probe) interleaves every shard's rest
+// states on the global timeline, which only the sequential coordinator can
+// order; Workers must silently fall back and the probe trace must be
+// identical to an explicitly sequential run's.
+func TestParallelEngineProbeForcesSequential(t *testing.T) {
+	const n, shards = 1500, 3
+	type obs struct {
+		now       float64
+		completed int
+		backlog   int
+		done      bool
+	}
+	run := func(workers int) ([]obs, []byte) {
+		var seen []obs
+		probe := engine.ProbeFunc(func(s engine.Snapshot) {
+			seen = append(seen, obs{now: s.Now, completed: s.Completed, backlog: s.Backlog, done: s.Done})
+		})
+		stream, err := workload.NewStream(skewedConfig(40), n, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Shards: shards, P: 8, Policy: wdeq(t), Router: NewRoundRobin(),
+			Workers: workers, Opts: engine.Options{Probe: probe},
+		}, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seen, blob
+	}
+	seqObs, seqBlob := run(0)
+	parObs, parBlob := run(4)
+	if len(seqObs) == 0 {
+		t.Fatal("engine probe never fired")
+	}
+	if len(seqObs) != len(parObs) {
+		t.Fatalf("probe fired %d times with workers, %d sequentially", len(parObs), len(seqObs))
+	}
+	for i := range seqObs {
+		if seqObs[i] != parObs[i] {
+			t.Fatalf("probe observation %d: %+v with workers vs %+v sequential", i, parObs[i], seqObs[i])
+		}
+	}
+	if string(seqBlob) != string(parBlob) {
+		t.Fatal("results differ between Workers=4 (probe fallback) and sequential run")
+	}
+}
+
+// Negative worker counts are a configuration error, not a silent default.
+func TestParallelNegativeWorkersRejected(t *testing.T) {
+	stream := sliceStream(boundaryArrivals(8))
+	_, err := Run(Config{Shards: 2, P: 8, Policy: wdeq(t), Workers: -1}, stream)
+	if err == nil {
+		t.Fatal("Workers=-1 accepted")
+	}
+}

@@ -47,6 +47,23 @@ type Router interface {
 	Route(a engine.Arrival, shards []ShardState) int
 }
 
+// StateFreeRouter is the optional capability a Router declares when its
+// Route decisions never read the per-shard snapshots — round-robin cycles a
+// counter, hash-tenant hashes the arrival; neither looks at backlog. A
+// parallel coordinator (Config.Workers >= 2) exploits the declaration: since
+// routing such arrivals needs no exact fleet state, whole batches of
+// dispatches proceed without synchronizing the shards, which is what buys
+// near-linear scaling. The contract is strict: a Route that returns
+// StateFree() true must not read ANY field of the shards slice beyond its
+// length — the snapshots handed to it in batched mode are stale. Load-aware
+// routers (least-backlog, po2) simply don't implement the interface and get
+// an exact snapshot per dispatch in every mode.
+type StateFreeRouter interface {
+	Router
+	// StateFree reports that Route ignores the shards snapshot contents.
+	StateFree() bool
+}
+
 // splitmix is the deterministic RNG of the randomized routers: splitmix64,
 // the same generator the engine's ShardSeed derivation uses, so a router's
 // draws are a pure function of its seed.
@@ -82,6 +99,9 @@ func (r *RoundRobin) Route(a engine.Arrival, shards []ShardState) int {
 	return i
 }
 
+// StateFree reports that round-robin never reads the fleet snapshots.
+func (r *RoundRobin) StateFree() bool { return true }
+
 // HashTenant pins every tenant to one shard by hashing the tenant index —
 // the affinity router: a tenant's tasks never spread, so per-tenant state
 // (caches, quotas) could live shard-local. Under a Zipf-skewed tenant mix
@@ -105,6 +125,9 @@ func (r *HashTenant) Route(a engine.Arrival, shards []ShardState) int {
 	s := splitmix{state: uint64(a.Tenant)<<32 ^ uint64(r.seed)}
 	return int(s.next() % uint64(len(shards)))
 }
+
+// StateFree reports that hash-tenant never reads the fleet snapshots.
+func (r *HashTenant) StateFree() bool { return true }
 
 // LeastBacklog dispatches every arrival to the shard with the fewest alive
 // tasks — the full-information greedy placement. It reads every shard's

@@ -55,3 +55,57 @@ func TestClusterSoakRoutedFleet(t *testing.T) {
 		t.Errorf("live heap grew by %d bytes over a %d-task cluster run; want a fleet-sized constant", delta, n)
 	}
 }
+
+// The parallel soak: the same quarter-million-arrival fleet on a multi-worker
+// coordinator, in both parallel modes — po2 reads fleet state (per-dispatch
+// windows), round-robin is state-free (batched windows). CI runs this under
+// the race detector as a dedicated step, which is the whole point: the spin
+// barrier, the per-shard ownership partition and the buffered sink handoff
+// get a quarter-million windows of adversarial scheduling. The memory
+// contract must hold too: worker stacks and batch scratch are fleet-sized,
+// not stream-sized.
+func TestClusterSoakParallelRoutedFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel cluster soak drives 2x250k arrivals; skipped with -short")
+	}
+	const n = 250_000
+	for _, tc := range []struct {
+		router string
+		label  string
+	}{
+		{"po2", "windowed"},
+		{"round-robin", "batched"},
+	} {
+		t.Run(tc.router, func(t *testing.T) {
+			runtime.GC()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+
+			stream, err := workload.NewStream(skewedConfig(57.6), n, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			router, err := RouterByName(tc.router, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{Shards: 4, P: 8, Policy: wdeq(t), Router: router, Workers: 4}, stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalTasks != n {
+				t.Fatalf("%s coordinator completed %d tasks, want %d", tc.label, res.TotalTasks, n)
+			}
+			if res.Flow.P99 <= 0 {
+				t.Fatalf("p99 flow = %g", res.Flow.P99)
+			}
+
+			runtime.GC()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			if delta := int64(after.HeapAlloc) - int64(before.HeapAlloc); delta > 4<<20 {
+				t.Errorf("live heap grew by %d bytes over a %d-task parallel cluster run; want a fleet-sized constant", delta, n)
+			}
+		})
+	}
+}

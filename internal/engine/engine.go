@@ -840,6 +840,31 @@ func (st *Stepper) Step() (bool, error) {
 	return ok, err
 }
 
+// StepUntil advances the run through every event at or before horizon and
+// returns the number of events processed. It is the coordinator's bulk drive
+// primitive: one call replaces a NextEventTime/Step loop (each Step would
+// otherwise recompute the delta NextEventTime just computed) and leaves the
+// stepper at its rest state with NextEventTime() > horizon — done, blocked,
+// or waiting on a strictly later event. A +Inf horizon drains every
+// scheduled event.
+func (st *Stepper) StepUntil(horizon float64) (int, error) {
+	steps := 0
+	for {
+		t := st.NextEventTime()
+		if math.IsInf(t, 1) || t > horizon {
+			return steps, nil
+		}
+		ok, err := st.Step()
+		if err != nil {
+			return steps, err
+		}
+		steps++
+		if !ok {
+			return steps, nil
+		}
+	}
+}
+
 // stepOnce is Step without the probe hook — the state machine itself.
 func (st *Stepper) stepOnce() (bool, error) {
 	if st.err != nil {

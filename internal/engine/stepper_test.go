@@ -286,3 +286,146 @@ func TestStepperFeedValidation(t *testing.T) {
 		t.Fatalf("feed on stream stepper error = %v", err)
 	}
 }
+
+// StepUntil must be a pure batching of the manual NextEventTime/Step loop:
+// driving one stepper through an arbitrary horizon schedule and another
+// event-by-event yields bit-identical results, sinks, and rest states; no
+// call ever processes an event past its horizon; and splitting a horizon
+// into sub-horizons changes nothing (granularity invariance — the property
+// the parallel cluster coordinator leans on).
+func TestStepUntilMatchesManualDrive(t *testing.T) {
+	arrivals := allocArrivals(t, 400, 41)
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want Result
+	wantSink := &captureSink{}
+	if err := NewRunner().RunStreamInto(&want, 8, policy, NewSliceStream(arrivals), wantSink, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An awkward horizon schedule: tiny increments, exact event times
+	// (arrival releases are events), long leaps, and a final +Inf drain.
+	horizons := []float64{0, 0.25, arrivals[10].Release, 3, 3, 7.5, 40, math.Inf(1)}
+
+	var got Result
+	gotSink := &captureSink{}
+	st, err := NewRunner().StartStream(&got, 8, policy, NewSliceStream(arrivals), gotSink, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, h := range horizons {
+		n, err := st.StepUntil(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		if next := st.NextEventTime(); next <= h && !st.Done() {
+			t.Fatalf("after StepUntil(%g) next event %g is not past the horizon", h, next)
+		}
+		if st.Now() > h && !math.IsInf(h, 1) {
+			t.Fatalf("StepUntil(%g) advanced the clock to %g", h, st.Now())
+		}
+	}
+	if !st.Done() {
+		t.Fatal("StepUntil(+Inf) left the run unfinished")
+	}
+	if err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if total < want.Events {
+		t.Fatalf("StepUntil drove %d steps for %d events", total, want.Events)
+	}
+	if !aggregateEqual(&want, &got) {
+		t.Fatalf("StepUntil drive diverges:\n%+v\nvs\n%+v", got, want)
+	}
+	if len(wantSink.rows) != len(gotSink.rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(gotSink.rows), len(wantSink.rows))
+	}
+	for i := range wantSink.rows {
+		if wantSink.rows[i] != gotSink.rows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, gotSink.rows[i], wantSink.rows[i])
+		}
+	}
+}
+
+// A blocked feed-mode stepper must return from StepUntil immediately instead
+// of spinning: with no pending arrivals NextEventTime is +Inf, so even a
+// +Inf horizon is a no-op until more work is fed or the feed is closed.
+func TestStepUntilFeedBlocksAndResumes(t *testing.T) {
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two bursts separated by a long idle gap: the first drains completely
+	// before the second's release, leaving the stepper genuinely blocked.
+	arrivals := []Arrival{
+		{Task: schedule.Task{Weight: 1, Volume: 2, Delta: 4}, Release: 0},
+		{Task: schedule.Task{Weight: 2, Volume: 1, Delta: 2}, Release: 0.5},
+		{Task: schedule.Task{Weight: 1, Volume: 3, Delta: 8}, Release: 100},
+		{Task: schedule.Task{Weight: 1, Volume: 1, Delta: 2}, Release: 100},
+	}
+
+	var want Result
+	wantSink := &captureSink{}
+	if err := NewRunner().RunStreamInto(&want, 8, policy, NewSliceStream(arrivals), wantSink, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got Result
+	gotSink := &captureSink{}
+	st, err := NewRunner().StartFeed(&got, 8, policy, gotSink, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arrivals[:2] {
+		if err := st.Feed(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.StepUntil(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Done() {
+		t.Fatal("stepper finished with half the arrivals unfed")
+	}
+	if st.Now() >= 100 {
+		t.Fatalf("first burst drained at %g, want well before the second burst", st.Now())
+	}
+	if next := st.NextEventTime(); !math.IsInf(next, 1) {
+		t.Fatalf("blocked stepper reports next event %g, want +Inf", next)
+	}
+	// StepUntil on a blocked stepper is a no-op, not an error.
+	if n, err := st.StepUntil(math.Inf(1)); err != nil || n != 0 {
+		t.Fatalf("StepUntil on blocked stepper = (%d, %v), want (0, nil)", n, err)
+	}
+	for _, a := range arrivals[2:] {
+		if err := st.Feed(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.CloseFeed()
+	if _, err := st.StepUntil(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done() {
+		t.Fatal("stepper not done after CloseFeed and drain")
+	}
+	if err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !aggregateEqual(&want, &got) {
+		t.Fatalf("feed StepUntil diverges:\n%+v\nvs\n%+v", got, want)
+	}
+	if len(wantSink.rows) != len(gotSink.rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(gotSink.rows), len(wantSink.rows))
+	}
+	for i := range wantSink.rows {
+		if wantSink.rows[i] != gotSink.rows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, gotSink.rows[i], wantSink.rows[i])
+		}
+	}
+}

@@ -57,6 +57,10 @@ type Scenario struct {
 	// throughput ceiling — rather than the concurrent independent-shards
 	// driver.
 	Router string `json:"router,omitempty"`
+	// Workers sets cluster.Config.Workers: 0 or 1 pins the sequential
+	// coordinator, >= 2 the parallel one (same bytes out, different wall
+	// clock). Only meaningful with a Router.
+	Workers int `json:"workers,omitempty"`
 	// Tasks is the number of tasks per run (total across shards).
 	Tasks int `json:"tasks"`
 	// Shards is the number of concurrent engines; 1 runs a single engine on
@@ -176,6 +180,43 @@ func Scenarios() []Scenario {
 			TenantSkew: 1.5,
 			Tasks:      8192, Shards: 4, P: 8, Seed: 410,
 			Router: "least-backlog",
+		},
+		{
+			// The eight-shard sequential baseline the parallel scenarios are
+			// measured against: same skewed fleet load at double the rate so
+			// eight shards see the per-shard pressure the four-shard scenarios
+			// pin. Throughput here is the single-goroutine interleave ceiling.
+			Name: "cluster-least-backlog-8", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 115.2,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      16384, Shards: 8, P: 8, Seed: 411,
+			Router: "least-backlog",
+		},
+		{
+			// The batched parallel coordinator: round-robin declares itself
+			// state-free, so dispatches proceed in 512-arrival batches with one
+			// barrier each — the near-linear-scaling mode. On a >= 8-core box
+			// this scenario must beat cluster-least-backlog-8 by >= 3x tasks/sec
+			// (asserted by TestParallelScalingRatio in CI's multicore job).
+			Name: "cluster-parallel-rr", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 115.2,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      16384, Shards: 8, P: 8, Seed: 411,
+			Router: "round-robin", Workers: 8,
+		},
+		{
+			// The windowed parallel coordinator: least-backlog reads exact
+			// fleet state per dispatch, so shards only advance concurrently
+			// inside each dispatch window — the synchronization-bound mode.
+			// Pinned so the window overhead has a tracked number.
+			Name: "cluster-parallel-lb", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 115.2,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      16384, Shards: 8, P: 8, Seed: 411,
+			Router: "least-backlog", Workers: 8,
 		},
 	}
 }
@@ -445,11 +486,12 @@ func runClusterScenario(s Scenario, policy engine.Policy, cfg workload.ArrivalCo
 			return err
 		}
 		load, err = cluster.Run(cluster.Config{
-			Shards: s.Shards,
-			P:      s.P,
-			Policy: policy,
-			Router: router,
-			Opts:   opts,
+			Shards:  s.Shards,
+			P:       s.P,
+			Policy:  policy,
+			Router:  router,
+			Workers: s.Workers,
+			Opts:    opts,
 		}, stream)
 		return err
 	}
@@ -521,7 +563,7 @@ func newResult(s Scenario, m measurement, events int, flows stats.Summary) Resul
 // RunAll executes the named scenarios (nil or empty means the whole pinned
 // set) with the given per-scenario wall budget and assembles the report.
 func RunAll(names []string, budget time.Duration) (*Report, error) {
-	return RunAllWithSpeedup(names, budget, "")
+	return RunAllWithOverrides(names, budget, Overrides{Workers: -1})
 }
 
 // RunAllWithSpeedup is RunAll with an optional speedup-model override: a
@@ -529,6 +571,25 @@ func RunAll(names []string, budget time.Duration) (*Report, error) {
 // ad-hoc exploration (`mwct bench -speedup ...`); overridden runs keep the
 // scenario names, so do not gate them against a default baseline.
 func RunAllWithSpeedup(names []string, budget time.Duration, speedupOverride string) (*Report, error) {
+	return RunAllWithOverrides(names, budget, Overrides{Speedup: speedupOverride, Workers: -1})
+}
+
+// Overrides adjusts every selected scenario before it runs — the ad-hoc
+// exploration knobs behind `mwct bench -speedup` and `mwct bench -workers`.
+// Overridden runs keep the pinned scenario names, so do not gate them
+// against a default baseline.
+type Overrides struct {
+	// Speedup, when non-empty, replaces every scenario's speedup model.
+	Speedup string
+	// Workers, when >= 0, replaces the worker count of every cluster
+	// scenario (those with a Router). Non-cluster scenarios have no
+	// coordinator and are left alone. Negative means no override.
+	Workers int
+}
+
+// RunAllWithOverrides is RunAll with the scenario overrides applied to every
+// selected scenario before running.
+func RunAllWithOverrides(names []string, budget time.Duration, o Overrides) (*Report, error) {
 	var scenarios []Scenario
 	if len(names) == 0 {
 		scenarios = Scenarios()
@@ -541,12 +602,19 @@ func RunAllWithSpeedup(names []string, budget time.Duration, speedupOverride str
 			scenarios = append(scenarios, s)
 		}
 	}
-	if speedupOverride != "" {
-		if _, err := speedup.ParseModel(speedupOverride); err != nil {
+	if o.Speedup != "" {
+		if _, err := speedup.ParseModel(o.Speedup); err != nil {
 			return nil, err
 		}
 		for i := range scenarios {
-			scenarios[i].Speedup = speedupOverride
+			scenarios[i].Speedup = o.Speedup
+		}
+	}
+	if o.Workers >= 0 {
+		for i := range scenarios {
+			if scenarios[i].Router != "" {
+				scenarios[i].Workers = o.Workers
+			}
 		}
 	}
 	report := &Report{

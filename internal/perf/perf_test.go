@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -354,5 +355,49 @@ func TestScenarioByNameUnknown(t *testing.T) {
 	}
 	if _, err := RunAll([]string{"nope"}, time.Millisecond); err == nil {
 		t.Errorf("RunAll accepted an unknown scenario")
+	}
+}
+
+// The parallel coordinator's acceptance number: on a box with at least eight
+// usable cores, the batched eight-worker round-robin fleet must clear at
+// least 3x the tasks/sec of the sequential eight-shard baseline. The test
+// self-skips on smaller machines (and under -short or the race detector,
+// where throughput is meaningless); CI runs it on a pinned multi-core
+// runner, which is where the bound is actually enforced.
+func TestParallelScalingRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling ratio needs real wall time; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("race-instrumented throughput is not a scaling measurement")
+	}
+	if cores := runtime.GOMAXPROCS(0); cores < 8 {
+		t.Skipf("need >= 8 usable cores for the 8-worker scaling bound, have %d", cores)
+	}
+	seq, err := ScenarioByName("cluster-least-backlog-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ScenarioByName("cluster-parallel-rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Workers != 8 || par.Shards != 8 || seq.Workers != 0 || seq.Shards != 8 {
+		t.Fatalf("pinned scenarios drifted: seq=%+v par=%+v", seq, par)
+	}
+	const budget = 2 * time.Second
+	seqRes, err := RunScenario(seq, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := RunScenario(par, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := parRes.TasksPerSec / seqRes.TasksPerSec
+	t.Logf("sequential %.0f tasks/sec, parallel %.0f tasks/sec, ratio %.2fx",
+		seqRes.TasksPerSec, parRes.TasksPerSec, ratio)
+	if ratio < 3 {
+		t.Errorf("8-worker batched coordinator is only %.2fx the sequential baseline, want >= 3x", ratio)
 	}
 }

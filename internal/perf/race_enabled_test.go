@@ -1,0 +1,8 @@
+//go:build race
+
+package perf
+
+// raceEnabled reports that the race detector is compiled in; the scaling
+// ratio test skips under it because instrumented throughput says nothing
+// about real scaling.
+const raceEnabled = true

@@ -182,6 +182,9 @@ func OnlinePolicyByName(name string) (OnlinePolicy, error) { return engine.Polic
 // re-invokes the policy at every arrival and completion, and reports per-task
 // flow metrics. This is the genuine online setting the paper's non-clairvoyant
 // algorithms were designed for.
+//
+// Deprecated: use Run with a RunSpec — see the migration table in the
+// package documentation.
 func RunOnline(p float64, policy OnlinePolicy, arrivals []Arrival) (*OnlineResult, error) {
 	return engine.Run(p, policy, arrivals)
 }
@@ -190,6 +193,9 @@ func RunOnline(p float64, policy OnlinePolicy, arrivals []Arrival) (*OnlineResul
 // speedup model: Options.Model switches the kernel from the paper's linear
 // speedup to a concave or time-varying-capacity scenario without touching the
 // policy or the workload.
+//
+// Deprecated: use Run with a RunSpec — see the migration table in the
+// package documentation.
 func RunOnlineWithOptions(p float64, policy OnlinePolicy, arrivals []Arrival, opts OnlineOptions) (*OnlineResult, error) {
 	return engine.RunWithOptions(p, policy, arrivals, opts)
 }
@@ -206,12 +212,18 @@ func RunStatic(inst *Instance, policy OnlinePolicy, opts OnlineOptions) (*Static
 // goroutine each, with per-shard seeds derived from baseSeed — and merges
 // their statistics deterministically. The source callback produces the
 // arrival stream of each shard.
+//
+// Deprecated: use Run with a RunSpec — see the migration table in the
+// package documentation.
 func RunOnlineShards(p float64, policy OnlinePolicy, source func(shard int, seed int64) ([]Arrival, error), shards int, baseSeed int64) (*OnlineLoadResult, error) {
 	return engine.RunShards(p, policy, source, shards, baseSeed)
 }
 
 // RunOnlineShardsWithOptions is RunOnlineShards with explicit options; the
 // speedup model (and any other option) applies uniformly to every shard.
+//
+// Deprecated: use Run with a RunSpec — see the migration table in the
+// package documentation.
 func RunOnlineShardsWithOptions(p float64, policy OnlinePolicy, source func(shard int, seed int64) ([]Arrival, error), shards int, baseSeed int64, opts OnlineOptions) (*OnlineLoadResult, error) {
 	return engine.RunShardsWithOptions(p, policy, source, shards, baseSeed, opts)
 }
@@ -223,6 +235,11 @@ func RunOnlineShardsWithOptions(p float64, policy OnlinePolicy, source func(shar
 // source — a queue drain, a network feed — can implement it directly. The
 // engine validates every pulled arrival and the ordering at its boundary.
 type ArrivalStream = engine.ArrivalStream
+
+// TaskMetrics is the per-task outcome a MetricSink observes: identity (ID,
+// tenant), shape (weight, processed volume) and timing (release, completion,
+// flow).
+type TaskMetrics = engine.TaskMetrics
 
 // MetricSink consumes per-task outcomes as tasks retire from a streaming
 // run — the output half of the O(alive tasks) memory contract. Bundled
@@ -268,12 +285,18 @@ func CombineSinks(sinks ...MetricSink) MetricSink { return engine.MultiSink(sink
 // only) instead of retaining it — so a run's memory is O(peak backlog + sink
 // size), independent of the stream length. The returned OnlineResult carries
 // the aggregate metrics; its Tasks table stays empty.
+//
+// Deprecated: use Run with a RunSpec — see the migration table in the
+// package documentation.
 func RunOnlineStream(p float64, policy OnlinePolicy, stream ArrivalStream, sink MetricSink) (*OnlineResult, error) {
 	return engine.RunStream(p, policy, stream, sink)
 }
 
 // RunOnlineStreamWithOptions is RunOnlineStream with explicit options (most
 // notably the speedup model).
+//
+// Deprecated: use Run with a RunSpec — see the migration table in the
+// package documentation.
 func RunOnlineStreamWithOptions(p float64, policy OnlinePolicy, stream ArrivalStream, sink MetricSink, opts OnlineOptions) (*OnlineResult, error) {
 	return engine.RunStreamWithOptions(p, policy, stream, sink, opts)
 }
@@ -283,12 +306,18 @@ func RunOnlineStreamWithOptions(p float64, policy OnlinePolicy, stream ArrivalSt
 // quantile sinks, merged deterministically; no per-task rows are retained
 // anywhere and the merged flow quantiles carry the sketch accuracy
 // (OnlineLoadResult.FlowApprox).
+//
+// Deprecated: use Run with a RunSpec — see the migration table in the
+// package documentation.
 func RunOnlineShardsStream(p float64, policy OnlinePolicy, source func(shard int, seed int64) (ArrivalStream, error), shards int, baseSeed int64) (*OnlineLoadResult, error) {
 	return engine.RunShardsStream(p, policy, source, shards, baseSeed)
 }
 
 // RunOnlineShardsStreamWithOptions is RunOnlineShardsStream with explicit
 // options, shared by every shard.
+//
+// Deprecated: use Run with a RunSpec — see the migration table in the
+// package documentation.
 func RunOnlineShardsStreamWithOptions(p float64, policy OnlinePolicy, source func(shard int, seed int64) (ArrivalStream, error), shards int, baseSeed int64, opts OnlineOptions) (*OnlineLoadResult, error) {
 	return engine.RunShardsStreamWithOptions(p, policy, source, shards, baseSeed, opts)
 }
@@ -338,6 +367,9 @@ func RouterNames() []string { return cluster.RouterNames() }
 // its own independent stream and no routing question exists. The merged
 // result reports per-shard imbalance (MinShardCompleted, MaxShardCompleted,
 // PeakBacklog) so router quality is visible at a glance.
+//
+// Deprecated: use Run with a RunSpec — see the migration table in the
+// package documentation.
 func RunCluster(cfg ClusterConfig, stream ArrivalStream) (*OnlineLoadResult, error) {
 	return cluster.Run(cfg, stream)
 }

@@ -1,3 +1,7 @@
+//lint:file-ignore SA1019 This file deliberately exercises the deprecated
+// Run* wrappers: they must keep working (and keep matching Run) until they
+// are removed.
+
 package malleable_test
 
 import (
