@@ -57,6 +57,13 @@ type loadtestSpec struct {
 	// at any worker count — the knob trades goroutines for wall-clock time
 	// only. Requires Router; 0 or 1 keeps the sequential coordinator.
 	Workers int `json:"workers,omitempty"`
+	// Speculate runs the parallel coordinator optimistically: shards advance
+	// past upcoming dispatch times on engine checkpoints and a mispredicted
+	// shard is rolled back instead of the whole fleet barriering per
+	// dispatch. The report stays byte-identical; the misprediction cost
+	// (rollbacks, discarded events) lands in the stderr perf footer.
+	// Requires Router and Workers >= 2 to have any effect.
+	Speculate bool `json:"speculate,omitempty"`
 	// Speedup is the speedup-model spec (linear, powerlaw[:alpha],
 	// amdahl[:sigma], platform:cap@t,...); empty means the paper's linear
 	// model.
@@ -166,6 +173,9 @@ func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.Arr
 	if spec.Workers != 0 && spec.Router == "" {
 		return nil, nil, fmt.Errorf("loadtest: -workers parallelizes the cluster coordinator and needs -router")
 	}
+	if spec.Speculate && spec.Router == "" {
+		return nil, nil, fmt.Errorf("loadtest: -speculate runs the cluster coordinator optimistically and needs -router (and -workers >= 2)")
+	}
 	policy, cfg, tenants, opts, err := spec.parse()
 	if err != nil {
 		return nil, nil, err
@@ -187,14 +197,15 @@ func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.Arr
 			global = wrap(0, global)
 		}
 		res, err := cluster.Run(cluster.Config{
-			Shards:  spec.Shards,
-			P:       spec.P,
-			Policy:  policy,
-			Router:  router,
-			Workers: spec.Workers,
-			Opts:    opts,
-			Sink:    obsv.sink,
-			Probe:   obsv.fleetProbe,
+			Shards:    spec.Shards,
+			P:         spec.P,
+			Policy:    policy,
+			Router:    router,
+			Workers:   spec.Workers,
+			Speculate: spec.Speculate,
+			Opts:      opts,
+			Sink:      obsv.sink,
+			Probe:     obsv.fleetProbe,
 		}, global)
 		if err != nil {
 			return nil, nil, err
@@ -295,6 +306,9 @@ func renderLoadResult(w io.Writer, spec loadtestSpec, res *engine.LoadResult, te
 		routed = fmt.Sprintf(" router=%s", spec.Router)
 		if spec.Workers > 0 {
 			routed += fmt.Sprintf(" workers=%d", spec.Workers)
+		}
+		if spec.Speculate {
+			routed += " speculate=true"
 		}
 	}
 	if spec.TenantSkew > 0 {
@@ -605,14 +619,22 @@ func runLoadtest(args []string) error {
 		}
 	}
 
+	rollbacks, wasted := 0, 0
 	err := memReport(perfW, *heapSample, func() (int, error) {
 		res, tenantSpecs, err := runLoadtestSpecWrapped(spec, wrap, obsv)
 		if err != nil {
 			return 0, err
 		}
 		renderLoadResult(os.Stdout, spec, res, tenantSpecs)
+		rollbacks, wasted = res.Rollbacks, res.WastedEvents
 		return res.TotalTasks, nil
 	})
+	if err == nil && spec.Speculate {
+		// The speculation win/loss footer goes to stderr with the perf line:
+		// rollback counts are a cost figure, and stdout must stay
+		// byte-identical across coordinator modes.
+		fmt.Fprintf(perfW, "speculate: rollbacks=%d wasted-events=%d\n", rollbacks, wasted)
+	}
 	if traceFile != nil {
 		if err == nil && tee != nil {
 			err = tee.tw.Flush()

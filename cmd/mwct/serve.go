@@ -87,6 +87,8 @@ type serveMetrics struct {
 	tasksTotal   *obs.Counter
 	weightedFlow *obs.Counter
 	meanFlow     *obs.Gauge
+	rollbacks    *obs.Counter
+	wastedEvents *obs.Counter
 }
 
 func newServeMetrics() *serveMetrics {
@@ -99,6 +101,8 @@ func newServeMetrics() *serveMetrics {
 		tasksTotal:   reg.Counter("mwct_loadtest_tasks_total", "Tasks scheduled across every served load test."),
 		weightedFlow: reg.Counter("mwct_loadtest_weighted_flow_total", "Cumulative weighted flow over every served load test."),
 		meanFlow:     reg.Gauge("mwct_loadtest_mean_flow", "Mean flow time over every served load test."),
+		rollbacks:    reg.Counter("mwct_cluster_rollbacks_total", "Shard rollbacks performed by speculative cluster load tests."),
+		wastedEvents: reg.Counter("mwct_cluster_wasted_events_total", "Policy invocations discarded by speculative rollbacks."),
 	}
 }
 
@@ -112,6 +116,10 @@ func (m *serveMetrics) record(res *engine.LoadResult) {
 	m.tasksTotal.Set(float64(m.agg.Tasks()))
 	m.weightedFlow.Set(m.agg.WeightedFlow())
 	m.meanFlow.Set(m.agg.MeanFlow())
+	// Zero outside speculative cluster runs, so conservative load tests
+	// leave the misprediction counters untouched.
+	m.rollbacks.Add(float64(res.Rollbacks))
+	m.wastedEvents.Add(float64(res.WastedEvents))
 }
 
 // handleProm implements GET /metrics: the Prometheus text exposition of the
@@ -280,6 +288,12 @@ func handleLoadtest(w http.ResponseWriter, r *http.Request, metrics *serveMetric
 		// Cluster runs name their router so a client can tell a routed
 		// fleet from independent per-shard streams.
 		out["router"] = spec.Router
+		if spec.Speculate {
+			// Speculation changes cost, never results; report that cost.
+			out["speculate"] = true
+			out["rollbacks"] = res.Rollbacks
+			out["wastedEvents"] = res.WastedEvents
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

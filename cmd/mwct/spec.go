@@ -40,6 +40,7 @@ func specFlags(fs *flag.FlagSet, def loadtestSpec) func() loadtestSpec {
 	tenantSkew := fs.Float64("tenant-skew", def.TenantSkew, "Zipf exponent reshaping the tenant shares (tenant i's share is divided by (i+1)^skew); 0 keeps them as configured")
 	router := fs.String("router", def.Router, "cluster mode: dispatch ONE global arrival stream (rate is then fleet-wide) across the shards with this router: round-robin, hash-tenant, least-backlog, po2; empty keeps independent per-shard streams")
 	workers := fs.Int("workers", def.Workers, "cluster coordinator worker count: >= 2 advances shards concurrently between dispatches with a byte-identical report (requires -router); 0 or 1 stays sequential")
+	speculate := fs.Bool("speculate", def.Speculate, "run the parallel cluster coordinator optimistically: shards advance past dispatch times on checkpoints and mispredictions roll back, with a byte-identical report (requires -router and -workers >= 2; rollback counts go to the stderr perf footer)")
 	speedupSpec := fs.String("speedup", def.Speedup, "speedup model: linear, powerlaw[:alpha], amdahl[:sigma], platform:cap@t,... (empty = linear)")
 	curveMin := fs.Float64("curve-min", def.CurveMin, "lower bound of per-task speedup-curve draws (0 with -curve-max 0 disables)")
 	curveMax := fs.Float64("curve-max", def.CurveMax, "upper bound of per-task speedup-curve draws")
@@ -59,6 +60,7 @@ func specFlags(fs *flag.FlagSet, def loadtestSpec) func() loadtestSpec {
 			TenantSkew: *tenantSkew,
 			Router:     *router,
 			Workers:    *workers,
+			Speculate:  *speculate,
 			Speedup:    *speedupSpec,
 			CurveMin:   *curveMin,
 			CurveMax:   *curveMax,

@@ -42,7 +42,11 @@
 //     routed fleet on a single deterministic virtual timeline, where
 //     RunSpec.Workers >= 2 advances shards concurrently between routing
 //     decisions without changing a single output byte — same dispatch
-//     sequence, same sink order, same merged result at any worker count;
+//     sequence, same sink order, same merged result at any worker count —
+//     and RunSpec.Speculate additionally runs the coordinator
+//     optimistically on stepper checkpoint/rollback (speculate past
+//     pending dispatches, roll back only the mispredicted shard), still
+//     byte-identical, with misprediction totals reported out of band;
 //   - SpeedupModel, the kernel's pluggable processing-rate model: the
 //     paper's linear-cap speedup is the default, and ParseSpeedupModel
 //     resolves concave power-law and Amdahl models (with optional per-task

@@ -69,6 +69,20 @@ type Config struct {
 	// byte-identical across all Workers settings; the knob trades goroutines
 	// for wall-clock time only.
 	Workers int
+	// Speculate switches the parallel coordinator (Workers >= 2) from
+	// conservative to optimistic execution: shards advance past the next
+	// dispatch horizon on checkpoints instead of parking at the barrier, and
+	// only the shard the router actually feeds is rolled back to its last
+	// pre-release checkpoint (see runSpeculative). For state-reading routers
+	// — whose conservative mode pays a full-fleet barrier per arrival — this
+	// is the wall-clock lever; for state-free routers the batched mode is
+	// usually already barrier-cheap. Output stays byte-identical to the
+	// sequential coordinator, like every other mode; the misprediction cost
+	// is reported in LoadResult.Rollbacks/WastedEvents. Ignored when Workers
+	// < 2 (sequential execution is already exact), and a run with
+	// Opts.TraceDecisions falls back to the conservative modes (decision
+	// traces cannot be checkpointed).
+	Speculate bool
 	// Sink, when non-nil, observes every completed task of the whole fleet
 	// in a deterministic global order: ascending completion time, ties by
 	// shard index, exactly the order the sequential coordinator emits. With
@@ -128,11 +142,19 @@ type coordinator struct {
 	// Sequential mode: the index-min heap over shard next-event times.
 	h shardHeap
 
-	// Parallel modes: the worker pool, and — only when cfg.Sink is set —
-	// the per-shard completion buffers with their merge scratch.
+	// Parallel modes: the worker pool, and the per-shard completion buffers
+	// with their merge scratch (conservative modes only buffer when
+	// cfg.Sink is set; the speculative mode always buffers, since rollback
+	// must be able to discard rows).
 	pool      *pool
 	bufs      []*sinkBuffer
 	flushHead []int
+
+	// Speculative mode: per-shard checkpoint state and the fleet-wide
+	// misprediction counters (see speculate.go).
+	spec      []*specShard
+	rollbacks int
+	wasted    int
 }
 
 // Run dispatches the global arrival stream across the fleet and merges the
@@ -178,6 +200,9 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 	// Engine-level probes interleave every shard's rest states on one
 	// timeline — inherently sequential, so they pin the sequential mode.
 	parallel := workers >= 2 && cfg.Opts.Probe == nil
+	// Optimistic execution rides on Stepper.Snapshot, which cannot capture a
+	// decision trace, so traced runs stay on the conservative modes.
+	speculative := parallel && cfg.Speculate && !cfg.Opts.TraceDecisions
 
 	n := c.n
 	c.runners = make([]*engine.Runner, n)
@@ -187,7 +212,7 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 	c.steppers = make([]*engine.Stepper, n)
 	c.states = make([]ShardState, n)
 	c.dispatched = make([]int, n)
-	if parallel && cfg.Sink != nil {
+	if parallel && (cfg.Sink != nil || speculative) {
 		c.bufs = make([]*sinkBuffer, n)
 		c.flushHead = make([]int, n)
 	}
@@ -197,12 +222,23 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 		c.results[i] = &engine.Result{}
 		c.aggs[i] = engine.NewAggregateSink()
 		c.sketches[i] = engine.NewSketchSink(0)
-		shared := cfg.Sink
-		if c.bufs != nil {
+		var sink engine.MetricSink
+		if speculative {
+			// Speculated completions must be discardable on rollback, so the
+			// stepper feeds ONLY the window buffer; the aggregate and sketch
+			// observe committed rows at flush time (flushSpec), never
+			// speculated ones.
 			c.bufs[i] = &sinkBuffer{}
-			shared = c.bufs[i]
+			sink = c.bufs[i]
+		} else {
+			shared := cfg.Sink
+			if c.bufs != nil {
+				c.bufs[i] = &sinkBuffer{}
+				shared = c.bufs[i]
+			}
+			sink = engine.MultiSink(c.aggs[i], c.sketches[i], shared)
 		}
-		st, err := c.runners[i].StartFeed(c.results[i], cfg.P, cfg.Policy, engine.MultiSink(c.aggs[i], c.sketches[i], shared), cfg.Opts)
+		st, err := c.runners[i].StartFeed(c.results[i], cfg.P, cfg.Policy, sink, cfg.Opts)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
@@ -214,6 +250,9 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 	}
 	c.pool = newPool(workers, n)
 	defer c.pool.close()
+	if speculative {
+		return c.runSpeculative()
+	}
 	// A router that never reads fleet state dispatches without a barrier, so
 	// whole batches of arrivals advance concurrently; a fleet probe wants an
 	// exact snapshot per dispatch and keeps the per-dispatch window.

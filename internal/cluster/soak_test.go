@@ -57,26 +57,30 @@ func TestClusterSoakRoutedFleet(t *testing.T) {
 }
 
 // The parallel soak: the same quarter-million-arrival fleet on a multi-worker
-// coordinator, in both parallel modes — po2 reads fleet state (per-dispatch
-// windows), round-robin is state-free (batched windows). CI runs this under
-// the race detector as a dedicated step, which is the whole point: the spin
-// barrier, the per-shard ownership partition and the buffered sink handoff
-// get a quarter-million windows of adversarial scheduling. The memory
-// contract must hold too: worker stacks and batch scratch are fleet-sized,
-// not stream-sized.
+// coordinator, in every parallel mode — po2 reads fleet state (per-dispatch
+// windows), round-robin is state-free (batched windows), and least-backlog
+// with Speculate exercises the optimistic coordinator's checkpoint/rollback
+// cycle across thousands of speculation windows. CI runs this under the race
+// detector as a dedicated step, which is the whole point: the spin barrier,
+// the per-shard ownership partition and the buffered sink handoff get a
+// quarter-million windows of adversarial scheduling. The memory contract
+// must hold too: worker stacks, batch scratch and checkpoint storage are
+// fleet-sized, not stream-sized.
 func TestClusterSoakParallelRoutedFleet(t *testing.T) {
 	if testing.Short() {
-		t.Skip("parallel cluster soak drives 2x250k arrivals; skipped with -short")
+		t.Skip("parallel cluster soak drives 3x250k arrivals; skipped with -short")
 	}
 	const n = 250_000
 	for _, tc := range []struct {
-		router string
-		label  string
+		router    string
+		label     string
+		speculate bool
 	}{
-		{"po2", "windowed"},
-		{"round-robin", "batched"},
+		{"po2", "windowed", false},
+		{"round-robin", "batched", false},
+		{"least-backlog", "speculative", true},
 	} {
-		t.Run(tc.router, func(t *testing.T) {
+		t.Run(tc.label, func(t *testing.T) {
 			runtime.GC()
 			var before runtime.MemStats
 			runtime.ReadMemStats(&before)
@@ -89,7 +93,7 @@ func TestClusterSoakParallelRoutedFleet(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := Run(Config{Shards: 4, P: 8, Policy: wdeq(t), Router: router, Workers: 4}, stream)
+			res, err := Run(Config{Shards: 4, P: 8, Policy: wdeq(t), Router: router, Workers: 4, Speculate: tc.speculate}, stream)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,317 @@
+// Optimistic (speculative) parallel execution — the classic optimistic side
+// of parallel discrete-event simulation, applied to the fleet coordinator.
+//
+// The conservative modes in cluster.go never let a shard process an event
+// past the next dispatch time, because the router might read that shard's
+// state at the dispatch. For state-reading routers that means a full-fleet
+// barrier per arrival (runWindowed), and cluster-parallel-lb pins exactly
+// that overhead. The observation behind this file: the barrier protects far
+// more than it needs to. Between two dispatches, only ONE shard's future is
+// actually changed by the dispatch — the shard the router feeds. Every other
+// shard's events were going to happen anyway, and even the fed shard's
+// pre-release events were. So instead of stopping everyone at the next
+// release, let every shard run optimistically PAST it, checkpoint each shard
+// just before it crosses each pending release boundary, and when the router
+// picks a victim, roll back that one shard to its last pre-release
+// checkpoint. Every other shard keeps its speculated work.
+//
+// Concretely, the coordinator alternates two phases per window:
+//
+//  1. Speculate (parallel): pre-pull up to specBatch arrivals, so the next k
+//     release times are known. One pool window advances every shard through
+//     every event at or before the LAST pulled release (the horizon), taking
+//     a lazy checkpoint whenever the shard is about to process its first
+//     event strictly past a pending release — one Stepper.Snapshot covers a
+//     whole run of releases with no shard event in between, so a shard takes
+//     at most min(events, k) checkpoints per window, not k. Completions land
+//     in the shard's window buffer (sinkBuffer), tagged with the dispatch
+//     window they would belong to sequentially; the aggregate and sketch see
+//     nothing yet.
+//
+//  2. Dispatch (sequential, cheap): for each pulled arrival in order, the
+//     router reads per-shard states reconstructed WITHOUT any shard
+//     synchronization — from the checkpoint covering this release for shards
+//     that speculated past it, or from the live stepper for shards that
+//     never reached it. Both are bit-identical to what the sequential
+//     coordinator's advance-to-release would have produced, so the routing
+//     decision (and the fleet probe observation, fired synchronously) is
+//     bit-identical too. The chosen shard is then invalidated: if it had
+//     speculated past the release it is rolled back — Stepper.Restore to the
+//     checkpoint, buffered rows truncated to the checkpoint's row count, the
+//     discarded events counted as waste — and the arrival is fed. From then
+//     until the window ends the invalid shard advances inline
+//     (StepUntil to each subsequent release) like a sequential shard, since
+//     its speculation no longer describes its future.
+//
+// At the window's end every shard has committed exactly the events the
+// sequential coordinator would have committed across the window's k
+// advances, and the buffers hold exactly the rows the sequential shared sink
+// would have observed, in per-shard emission order with their global
+// (window, completion, shard) merge key. flushSpec then feeds each shard's
+// rows to its aggregate and sketch in that per-shard order (bit-identical
+// Welford folds) and replays the global merge into the shared sink — the
+// same flushBuffers merge the conservative modes use.
+//
+// Rollback cannot cascade: shards never communicate between dispatches, so a
+// misprediction is confined to the one shard the router fed, and a shard is
+// rolled back at most once per window (its first feed invalidates it). The
+// wasted work is re-executed inline with the feed incorporated — there is no
+// replay log and no anti-message machinery, which is what keeps the
+// determinism argument short: every state the router, probe, sink, aggregate
+// or result ever observes is a state the sequential coordinator also
+// produces.
+
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/malleable-sched/malleable/internal/engine"
+)
+
+// specBatch bounds how many arrivals the speculative coordinator pre-pulls
+// per window: deeper windows amortize the speculation barrier over more
+// dispatches, while the bound caps checkpoint storage at O(specBatch) per
+// shard. Like batchSize, the value must not influence results — only
+// wall-clock time — and the byte-identity tests pin that it does not.
+const specBatch = 64
+
+// specCkpt is one pre-release checkpoint of a shard: the engine snapshot
+// plus the shard's committed sink-buffer length at the same instant, so a
+// rollback can discard the rows the discarded events emitted.
+type specCkpt struct {
+	snap engine.StepperSnapshot
+	rows int
+}
+
+// specShard is one shard's per-window speculation state. The checkpoint
+// storage persists across windows (snapshots reuse their buffers), so a
+// warmed fleet speculates without steady-state allocation.
+type specShard struct {
+	// ckpts[:nCkpt] are this window's checkpoints, in boundary order.
+	ckpts []specCkpt
+	nCkpt int
+	// ckptOf maps each window-local dispatch index to the checkpoint taken
+	// before the shard first crossed that dispatch's release, or -1 when the
+	// shard's speculation never crossed it (its live state is still valid at
+	// that release).
+	ckptOf []int32
+	// invalid marks a shard that was fed this window: its speculated future
+	// is stale, so it advances inline with the dispatch loop instead.
+	invalid bool
+}
+
+// runSpeculative is the optimistic parallel coordinator mode (see the file
+// comment for the design and the determinism argument).
+func (c *coordinator) runSpeculative() (*engine.LoadResult, error) {
+	n := c.n
+	c.spec = make([]*specShard, n)
+	for s := range c.spec {
+		c.spec[s] = &specShard{ckptOf: make([]int32, specBatch)}
+	}
+	arrs := make([]engine.Arrival, 0, specBatch)
+	releases := make([]float64, 0, specBatch)
+	invalids := make([]int, 0, n)
+	var horizon float64
+
+	// speculate advances one shard through every event at or before the
+	// window horizon, checkpointing lazily at release-boundary crossings. The
+	// strict `<` matches the sequential coordinator's event granularity: a
+	// shard event at exactly a release time retires BEFORE the arrival is
+	// routed, so the state used for that dispatch includes it.
+	speculate := func(s int) error {
+		sp := c.spec[s]
+		sp.nCkpt = 0
+		sp.invalid = false
+		st := c.steppers[s]
+		buf := c.bufs[s]
+		k := len(releases)
+		jNext := 0
+		for {
+			t := st.NextEventTime()
+			if math.IsInf(t, 1) || t > horizon {
+				break
+			}
+			if jNext < k && releases[jNext] < t {
+				if sp.nCkpt == len(sp.ckpts) {
+					sp.ckpts = append(sp.ckpts, specCkpt{})
+				}
+				ck := &sp.ckpts[sp.nCkpt]
+				if err := st.Snapshot(&ck.snap); err != nil {
+					return fmt.Errorf("cluster: shard %d: %w", s, err)
+				}
+				ck.rows = len(buf.rows)
+				ci := int32(sp.nCkpt)
+				sp.nCkpt++
+				for jNext < k && releases[jNext] < t {
+					sp.ckptOf[jNext] = ci
+					jNext++
+				}
+			}
+			if _, err := st.Step(); err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+		}
+		// Releases the speculation never crossed: the live rest state is
+		// exact at them (every processed event is at or before them).
+		for ; jNext < k; jNext++ {
+			sp.ckptOf[jNext] = -1
+		}
+		return nil
+	}
+
+	next, ok, err := c.pull()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("cluster: empty arrival stream")
+	}
+	for ok {
+		arrs = arrs[:0]
+		releases = releases[:0]
+		for ok && len(arrs) < specBatch {
+			arrs = append(arrs, next)
+			releases = append(releases, next.Release)
+			next, ok, err = c.pull()
+			if err != nil {
+				return nil, err
+			}
+		}
+		k := len(arrs)
+		// The horizon is the LAST pulled release: no buffered row can outlive
+		// its window table, so windows are self-contained.
+		horizon = releases[k-1]
+		for _, b := range c.bufs {
+			b.reset(releases)
+		}
+		if err := c.pool.run(speculate); err != nil {
+			return nil, err
+		}
+
+		invalids = invalids[:0]
+		for i := 0; i < k; i++ {
+			a := arrs[i]
+			r := releases[i]
+			// Shards fed earlier this window advance inline: the router must
+			// see their exact state at r, feed and all.
+			for _, s := range invalids {
+				if _, err := c.steppers[s].StepUntil(r); err != nil {
+					return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+				}
+			}
+			c.fillSpecStates(i)
+			idx, err := c.route(a)
+			if err != nil {
+				return nil, err
+			}
+			sp := c.spec[idx]
+			st := c.steppers[idx]
+			if !sp.invalid {
+				if ci := sp.ckptOf[i]; ci >= 0 {
+					// The router picked a shard that speculated past this
+					// release: roll it back to its pre-release checkpoint and
+					// discard the rows the lost events emitted.
+					ck := &sp.ckpts[ci]
+					c.wasted += c.results[idx].Events - ck.snap.Events()
+					c.rollbacks++
+					if err := st.Restore(&ck.snap); err != nil {
+						return nil, fmt.Errorf("cluster: shard %d: %w", idx, err)
+					}
+					c.bufs[idx].rows = c.bufs[idx].rows[:ck.rows]
+				}
+				sp.invalid = true
+				invalids = append(invalids, idx)
+			}
+			if err := st.Feed(a); err != nil {
+				return nil, fmt.Errorf("cluster: shard %d: %w", idx, err)
+			}
+			c.bufs[idx].floor = i + 1
+			c.dispatched[idx]++
+			c.routed++
+			c.observeDispatch(idx, r)
+		}
+		c.flushSpec()
+	}
+
+	// Global stream over: close the feeds and drain every shard to its last
+	// event in parallel. Drain rows carry window 0 over an empty release
+	// table — plain (time, shard) order, the sequential drain's interleave.
+	for _, st := range c.steppers {
+		st.CloseFeed()
+	}
+	for _, b := range c.bufs {
+		b.reset(nil)
+	}
+	drain := func(s int) error {
+		if _, err := c.steppers[s].StepUntil(math.Inf(1)); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		return nil
+	}
+	if err := c.pool.run(drain); err != nil {
+		return nil, err
+	}
+	c.flushSpec()
+	res, err := c.finish()
+	if err != nil {
+		return nil, err
+	}
+	res.Rollbacks = c.rollbacks
+	res.WastedEvents = c.wasted
+	return res, nil
+}
+
+// fillSpecStates assembles the router/probe scratch for window-local
+// dispatch i without synchronizing the fleet: shards that speculated past
+// the release answer from their pre-release checkpoint, everyone else (still
+// short of the release, or advanced inline after a feed) answers from the
+// live stepper. Either way the state is the rest state the sequential
+// coordinator's advance-to-release would have left — same clock, same
+// backlog, same allocation, same completed count.
+func (c *coordinator) fillSpecStates(i int) {
+	for s, st := range c.steppers {
+		sp := c.spec[s]
+		if !sp.invalid {
+			if ci := sp.ckptOf[i]; ci >= 0 {
+				ck := &sp.ckpts[ci]
+				c.states[s] = ShardState{
+					Shard:      s,
+					Now:        ck.snap.Now(),
+					Backlog:    ck.snap.Backlog(),
+					Allocated:  ck.snap.Allocated(),
+					Completed:  ck.snap.Completed(),
+					Dispatched: c.dispatched[s],
+				}
+				continue
+			}
+		}
+		c.states[s] = ShardState{
+			Shard:      s,
+			Now:        st.Now(),
+			Backlog:    st.Backlog(),
+			Allocated:  st.Allocated(),
+			Completed:  st.Completed(),
+			Dispatched: c.dispatched[s],
+		}
+	}
+}
+
+// flushSpec commits a validated window: each shard's surviving rows feed its
+// aggregate and sketch in per-shard emission order (the order the sequential
+// coordinator's per-shard sinks observe, so the Welford folds are
+// bit-identical), then the shared sink — if any — receives the global
+// (window, completion, shard) merge.
+func (c *coordinator) flushSpec() {
+	for s, b := range c.bufs {
+		agg, sk := c.aggs[s], c.sketches[s]
+		for i := range b.rows {
+			agg.Observe(b.rows[i].m)
+			sk.Observe(b.rows[i].m)
+		}
+	}
+	if c.cfg.Sink != nil {
+		flushBuffers(c.bufs, c.cfg.Sink, c.flushHead)
+	}
+}

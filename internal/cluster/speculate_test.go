@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// The speculative tentpole contract, mirroring the conservative one: an
+// optimistic run is byte-identical to the sequential coordinator at ANY
+// worker count — dispatch sequence, merged LoadResult, shared-sink order,
+// fleet-probe trace — for every bundled router (state-reading AND
+// state-free, since Speculate takes precedence over the batched mode), with
+// and without a fleet probe, with workers up to 2x the shard count.
+func TestSpeculativeMatchesSequentialByteForByte(t *testing.T) {
+	const n, shards, seed = 3000, 4, 7
+	newStream := func() engine.ArrivalStream {
+		s, err := workload.NewStream(skewedConfig(60.8), n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	newRouter := func(name string) Router {
+		r, err := RouterByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	for _, router := range RouterNames() {
+		for _, withProbe := range []bool{false, true} {
+			mode := "noprobe"
+			if withProbe {
+				mode = "probe"
+			}
+			t.Run(fmt.Sprintf("%s/%s", router, mode), func(t *testing.T) {
+				base := Config{Shards: shards, P: 8, Policy: wdeq(t)}
+				base.Router = newRouter(router)
+				seq := captureRun(t, base, newStream(), withProbe)
+				if len(seq.dispatch) != n {
+					t.Fatalf("sequential run routed %d arrivals, want %d", len(seq.dispatch), n)
+				}
+				for _, workers := range []int{2, 3, shards, 2 * shards} {
+					cfg := base
+					cfg.Router = newRouter(router)
+					cfg.Workers = workers
+					cfg.Speculate = true
+					par := captureRun(t, cfg, newStream(), withProbe)
+					assertCapturesEqual(t, seq, par, fmt.Sprintf("speculate workers=%d", workers))
+				}
+			})
+		}
+	}
+}
+
+// The adversarial window-edge stream under forced rollbacks: simultaneous
+// releases colliding with speculation horizons, zero-volume tasks completing
+// exactly AT a pending release, equal-release runs crossing specBatch
+// boundaries (n far exceeds specBatch). State-reading routers must both
+// reproduce the sequential run bit for bit AND actually mispredict — a run
+// with zero rollbacks would mean the adversarial case went untested.
+func TestSpeculativeForcedRollbacks(t *testing.T) {
+	const n, shards = 6 * specBatch, 3
+	for _, router := range []string{"least-backlog", "po2"} {
+		t.Run(router, func(t *testing.T) {
+			newRouter := func() Router {
+				r, err := RouterByName(router, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			base := Config{Shards: shards, P: 8, Policy: wdeq(t), Router: newRouter()}
+			seq := captureRun(t, base, sliceStream(boundaryArrivals(n)), true)
+			for _, workers := range []int{2, shards} {
+				cfg := base
+				cfg.Router = newRouter()
+				cfg.Workers = workers
+				cfg.Speculate = true
+				par := captureRun(t, cfg, sliceStream(boundaryArrivals(n)), true)
+				assertCapturesEqual(t, seq, par, fmt.Sprintf("speculate workers=%d", workers))
+			}
+
+			// Inspect the misprediction counters directly (they are excluded
+			// from the JSON blob precisely so the comparison above can pass).
+			res, err := Run(Config{
+				Shards: shards, P: 8, Policy: wdeq(t), Router: newRouter(),
+				Workers: shards, Speculate: true,
+			}, sliceStream(boundaryArrivals(n)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rollbacks == 0 {
+				t.Error("adversarial stream produced no rollbacks; the rollback path went unexercised")
+			}
+			// Waste counts discarded policy invocations (the unit of
+			// Result.Events); a rollback that only discarded zero-invocation
+			// events (e.g. a zero-volume admission that emptied the shard)
+			// wastes 0, so waste is positive overall but not per rollback.
+			if res.WastedEvents <= 0 {
+				t.Errorf("WastedEvents = %d with %d rollbacks; want some discarded work", res.WastedEvents, res.Rollbacks)
+			}
+		})
+	}
+}
+
+// Sequential and conservative runs report zero misprediction cost, and a
+// speculative run's counters never leak into the serialized report.
+func TestSpeculativeCountersScoped(t *testing.T) {
+	const n, shards = 800, 2
+	seqRes, err := Run(Config{Shards: shards, P: 8, Policy: wdeq(t), Router: NewLeastBacklog()},
+		sliceStream(boundaryArrivals(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRes.Rollbacks != 0 || seqRes.WastedEvents != 0 {
+		t.Fatalf("sequential run reports rollbacks=%d wasted=%d, want 0/0", seqRes.Rollbacks, seqRes.WastedEvents)
+	}
+	winRes, err := Run(Config{Shards: shards, P: 8, Policy: wdeq(t), Router: NewLeastBacklog(), Workers: shards},
+		sliceStream(boundaryArrivals(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winRes.Rollbacks != 0 || winRes.WastedEvents != 0 {
+		t.Fatalf("windowed run reports rollbacks=%d wasted=%d, want 0/0", winRes.Rollbacks, winRes.WastedEvents)
+	}
+}
+
+// Speculate with Workers < 2 is the sequential coordinator (already exact,
+// nothing to speculate), and Speculate + TraceDecisions falls back to the
+// conservative parallel modes (decision traces cannot be checkpointed) —
+// both must still match the sequential run exactly.
+func TestSpeculativeFallbacks(t *testing.T) {
+	const n, shards = 1200, 3
+	newCfg := func() Config {
+		return Config{Shards: shards, P: 8, Policy: wdeq(t), Router: NewLeastBacklog()}
+	}
+
+	t.Run("workers=0", func(t *testing.T) {
+		seq := captureRun(t, newCfg(), sliceStream(boundaryArrivals(n)), false)
+		cfg := newCfg()
+		cfg.Speculate = true
+		spec := captureRun(t, cfg, sliceStream(boundaryArrivals(n)), false)
+		assertCapturesEqual(t, seq, spec, "speculate workers=0")
+	})
+
+	t.Run("trace", func(t *testing.T) {
+		base := newCfg()
+		base.Opts = engine.Options{TraceDecisions: true}
+		seq := captureRun(t, base, sliceStream(boundaryArrivals(n)), false)
+		cfg := newCfg()
+		cfg.Opts = engine.Options{TraceDecisions: true}
+		cfg.Workers = shards
+		cfg.Speculate = true
+		spec := captureRun(t, cfg, sliceStream(boundaryArrivals(n)), false)
+		assertCapturesEqual(t, seq, spec, "speculate+trace")
+		res, err := Run(Config{
+			Shards: shards, P: 8, Policy: wdeq(t), Router: NewLeastBacklog(),
+			Workers: shards, Speculate: true, Opts: engine.Options{TraceDecisions: true},
+		}, sliceStream(boundaryArrivals(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rollbacks != 0 {
+			t.Fatalf("traced run speculated anyway (rollbacks=%d)", res.Rollbacks)
+		}
+	})
+}
+
+// A 64-shard speculative fleet — the scaled dimension of this PR — must
+// still match the sequential coordinator byte for byte, including with more
+// workers than most hosts have cores.
+func TestSpeculative64ShardFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-shard fleet comparison is slow under -short")
+	}
+	const n, shards, seed = 8192, 64, 411
+	newStream := func() engine.ArrivalStream {
+		s, err := workload.NewStream(skewedConfig(900), n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := Config{Shards: shards, P: 8, Policy: wdeq(t), Router: NewLeastBacklog()}
+	seq := captureRun(t, base, newStream(), true)
+	for _, workers := range []int{8, shards} {
+		cfg := base
+		cfg.Router = NewLeastBacklog()
+		cfg.Workers = workers
+		cfg.Speculate = true
+		par := captureRun(t, cfg, newStream(), true)
+		assertCapturesEqual(t, seq, par, fmt.Sprintf("64-shard speculate workers=%d", workers))
+	}
+}

@@ -530,6 +530,7 @@ type Stepper struct {
 	budgeter    speedup.Budgeter
 	budgetBound int
 	maxEvents   int
+	eventBound  int
 	trace       bool
 	p           float64
 
@@ -624,6 +625,13 @@ func (r *Runner) start(res *Result, p float64, policy Policy, src arrivalSource,
 		probe:            opts.Probe,
 		probeEveryEvents: opts.ProbeEveryEvents,
 		probeInterval:    opts.ProbeInterval,
+	}
+	// The event safety bound starts at its zero-admissions value and grows
+	// incrementally at admit time (+4 per task), so process() never has to
+	// recompute it per event.
+	st.eventBound = opts.MaxEvents
+	if st.eventBound <= 0 {
+		st.eventBound = 64 + budgetBound
 	}
 	r.live = r.live[:0]
 	if !feedable {
@@ -927,6 +935,12 @@ func (st *Stepper) process() (bool, error) {
 	for st.havePending && st.pending.Release <= st.now {
 		r.live = append(r.live, liveTask{arr: st.pending, id: st.pendingID, remaining: st.pending.Task.Volume})
 		st.admitted++
+		if st.maxEvents <= 0 {
+			// The safety bound grows with the admitted prefix (a correct run
+			// needs at most 3 events per admitted task), so it needs no
+			// advance knowledge of the stream length.
+			st.eventBound += 4
+		}
 		if err := st.pull(); err != nil {
 			st.err = err
 			return false, err
@@ -989,14 +1003,7 @@ func (st *Stepper) process() (bool, error) {
 	}
 
 	res.Events++
-	// The safety bound grows with the admitted prefix (a correct run
-	// needs at most 3 events per admitted task), so it needs no advance
-	// knowledge of the stream length.
-	maxEvents := st.maxEvents
-	if maxEvents <= 0 {
-		maxEvents = 4*st.admitted + 64 + st.budgetBound
-	}
-	if res.Events > maxEvents {
+	if res.Events > st.eventBound {
 		st.err = fmt.Errorf("engine: policy %q did not finish after %d events (%d of %d admitted tasks done at time %g)",
 			st.policy.Name(), res.Events, res.Completed, st.admitted, st.now)
 		return false, st.err

@@ -75,6 +75,15 @@ type LoadResult struct {
 	// mergeable form. Long-running callers (mwct serve) fold it into
 	// cumulative counters across many load tests.
 	Aggregate *AggregateSink `json:"-"`
+	// Rollbacks and WastedEvents report the speculative cluster
+	// coordinator's misprediction cost: how many times a shard was rolled
+	// back to a checkpoint, and how many already-processed events those
+	// rollbacks discarded (the events re-execute after the rollback, so
+	// Events above counts only committed work). Both are zero outside
+	// speculative mode. Excluded from JSON so serialized reports stay
+	// byte-identical across coordinator modes.
+	Rollbacks    int `json:"-"`
+	WastedEvents int `json:"-"`
 }
 
 // ShardSeed derives a per-shard seed from the base seed with a splitmix64

@@ -1,0 +1,375 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/speedup"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// feedAll hands the whole slice to a feed-mode stepper and closes the feed.
+func feedAll(t testing.TB, st *Stepper, arrivals []Arrival) {
+	t.Helper()
+	for _, a := range arrivals {
+		if err := st.Feed(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.CloseFeed()
+}
+
+// stepN advances the stepper up to n events (fewer if the run ends first)
+// and reports how many it processed.
+func stepN(t testing.TB, st *Stepper, n int) int {
+	t.Helper()
+	steps := 0
+	for steps < n {
+		ok, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// The core Snapshot/Restore contract: capture a mid-run rest state, restore
+// it into a FRESH Runner (the fault-tolerance path), drive both to
+// completion, and require bit-identical aggregates and identical
+// post-snapshot sink rows — at several cut points, including the initial
+// state and the done state.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	arrivals := allocArrivals(t, 300, 77)
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{"", "powerlaw:0.75", "platform:8@0,4@40,8@80"} {
+		t.Run("model="+model, func(t *testing.T) {
+			opts := Options{}
+			if model != "" {
+				m, err := speedup.ParseModel(model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Model = m
+			}
+			for _, cut := range []int{0, 1, 7, 100, 1 << 20} {
+				var resA Result
+				sinkA := &captureSink{}
+				stA, err := NewRunner().StartFeed(&resA, 8, policy, sinkA, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				feedAll(t, stA, arrivals)
+				stepN(t, stA, cut)
+				rowsAtCut := len(sinkA.rows)
+
+				var snap StepperSnapshot
+				if err := stA.Snapshot(&snap); err != nil {
+					t.Fatal(err)
+				}
+
+				var resB Result
+				sinkB := &captureSink{}
+				stB, err := NewRunner().StartFeed(&resB, 8, policy, sinkB, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := stB.Restore(&snap); err != nil {
+					t.Fatal(err)
+				}
+
+				for _, st := range []*Stepper{stA, stB} {
+					if _, err := st.StepUntil(math.Inf(1)); err != nil {
+						t.Fatal(err)
+					}
+					if err := st.Finish(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !aggregateEqual(&resA, &resB) {
+					t.Fatalf("cut %d: restored run diverges:\n%+v\nvs\n%+v", cut, resB, resA)
+				}
+				tail := sinkA.rows[rowsAtCut:]
+				if len(tail) != len(sinkB.rows) {
+					t.Fatalf("cut %d: restored run emitted %d rows, original emitted %d after the cut", cut, len(sinkB.rows), len(tail))
+				}
+				for i := range tail {
+					if tail[i] != sinkB.rows[i] {
+						t.Fatalf("cut %d: row %d differs: %+v vs %+v", cut, i, sinkB.rows[i], tail[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Restoring a stepper onto ITSELF is the speculative coordinator's rollback:
+// snapshot, speculate ahead, restore, and the continuation must match a run
+// that never speculated — including the counters speculation inflated.
+func TestSnapshotRollbackSameStepper(t *testing.T) {
+	arrivals := allocArrivals(t, 200, 5)
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want Result
+	wantSink := &captureSink{}
+	stW, err := NewRunner().StartFeed(&want, 8, policy, wantSink, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, stW, arrivals)
+	if _, err := stW.StepUntil(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stW.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got Result
+	gotSink := &captureSink{}
+	st, err := NewRunner().StartFeed(&got, 8, policy, gotSink, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, st, arrivals)
+	stepN(t, st, 40)
+	var snap StepperSnapshot
+	if err := st.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	rows := len(gotSink.rows)
+	// Speculate 25 events past the checkpoint, then roll back.
+	stepN(t, st, 25)
+	if err := st.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	gotSink.rows = gotSink.rows[:rows]
+	if _, err := st.StepUntil(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !aggregateEqual(&want, &got) {
+		t.Fatalf("rollback run diverges:\n%+v\nvs\n%+v", got, want)
+	}
+	if len(wantSink.rows) != len(gotSink.rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(gotSink.rows), len(wantSink.rows))
+	}
+	for i := range wantSink.rows {
+		if wantSink.rows[i] != gotSink.rows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, gotSink.rows[i], wantSink.rows[i])
+		}
+	}
+}
+
+// A snapshot taken mid-window carries the undrained feed queue, so the
+// restored stepper needs no further feeding for arrivals fed before the
+// snapshot — and accepts later feeds exactly like the original.
+func TestSnapshotCarriesOpenFeed(t *testing.T) {
+	arrivals := allocArrivals(t, 120, 19)
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(arrivals) / 2
+
+	var want Result
+	stW, err := NewRunner().StartFeed(&want, 8, policy, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, stW, arrivals)
+	if _, err := stW.StepUntil(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var resA Result
+	stA, err := NewRunner().StartFeed(&resA, 8, policy, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arrivals[:half] {
+		if err := stA.Feed(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepN(t, stA, 10)
+	var snap StepperSnapshot
+	if err := stA.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	var resB Result
+	stB, err := NewRunner().StartFeed(&resB, 8, policy, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arrivals[half:] {
+		if err := stB.Feed(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stB.CloseFeed()
+	if _, err := stB.StepUntil(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !aggregateEqual(&want, &resB) {
+		t.Fatalf("resumed run diverges:\n%+v\nvs\n%+v", resB, want)
+	}
+}
+
+// The snapshot boundary's refusals: stream-driven steppers (unrewindable
+// source), traced runs (uncaptured decision trace), empty snapshots, and
+// configuration mismatches on Restore.
+func TestSnapshotValidation(t *testing.T) {
+	arrivals := allocArrivals(t, 16, 3)
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap StepperSnapshot
+
+	var res Result
+	stream, err := NewRunner().StartStream(&res, 8, policy, NewSliceStream(arrivals), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Snapshot(&snap); err == nil || !strings.Contains(err.Error(), "feed-mode") {
+		t.Fatalf("stream-mode Snapshot error = %v", err)
+	}
+
+	var traced Result
+	stT, err := NewRunner().StartFeed(&traced, 8, policy, nil, Options{TraceDecisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stT.Snapshot(&snap); err == nil || !strings.Contains(err.Error(), "TraceDecisions") {
+		t.Fatalf("traced Snapshot error = %v", err)
+	}
+
+	var fresh Result
+	stF, err := NewRunner().StartFeed(&fresh, 8, policy, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stF.Restore(&snap); err == nil || !strings.Contains(err.Error(), "empty snapshot") {
+		t.Fatalf("empty-snapshot Restore error = %v", err)
+	}
+	if err := stF.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	var other Result
+	stO, err := NewRunner().StartFeed(&other, 4, policy, nil, Options{}) // different capacity
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stO.Restore(&snap); err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("mismatched Restore error = %v", err)
+	}
+}
+
+// FuzzStepperSnapshotRoundTrip guards the checkpoint boundary the way the
+// workload fuzzers guard the generator and trace codecs: snapshot at an
+// arbitrary event of an arbitrary generated run, restore into a fresh
+// Runner, drive both to completion, and require bit-identical Results and
+// identical post-snapshot sink rows.
+func FuzzStepperSnapshotRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint16(7), uint8(0))
+	f.Add(int64(99), uint8(1), uint16(0), uint8(1))
+	f.Add(int64(-4), uint8(120), uint16(500), uint8(2))
+	f.Add(int64(7777), uint8(64), uint16(65535), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, cut uint16, sel uint8) {
+		count := 1 + int(n)%128
+		arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+			Class:   workload.Uniform,
+			P:       8,
+			Process: workload.Poisson,
+			Rate:    1 + float64(sel%8),
+		}, count, seed)
+		if err != nil {
+			t.Skip()
+		}
+		opts := Options{}
+		switch sel % 3 {
+		case 1:
+			m, err := speedup.ParseModel("powerlaw:0.8")
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Model = m
+		case 2:
+			m, err := speedup.ParseModel("platform:8@0,3@10,8@25")
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Model = m
+		}
+		policy, err := PolicyByName("wdeq")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var resA Result
+		sinkA := &captureSink{}
+		stA, err := NewRunner().StartFeed(&resA, 8, policy, sinkA, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedAll(t, stA, arrivals)
+		stepN(t, stA, int(cut))
+		rowsAtCut := len(sinkA.rows)
+
+		var snap StepperSnapshot
+		if err := stA.Snapshot(&snap); err != nil {
+			t.Fatal(err)
+		}
+
+		var resB Result
+		sinkB := &captureSink{}
+		stB, err := NewRunner().StartFeed(&resB, 8, policy, sinkB, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stB.Restore(&snap); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, st := range []*Stepper{stA, stB} {
+			if _, err := st.StepUntil(math.Inf(1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !aggregateEqual(&resA, &resB) {
+			t.Fatalf("restored run diverges:\n%+v\nvs\n%+v", resB, resA)
+		}
+		tail := sinkA.rows[rowsAtCut:]
+		if len(tail) != len(sinkB.rows) {
+			t.Fatalf("restored run emitted %d rows, original emitted %d after the cut", len(sinkB.rows), len(tail))
+		}
+		for i := range tail {
+			if tail[i] != sinkB.rows[i] {
+				t.Fatalf("row %d differs: %+v vs %+v", i, sinkB.rows[i], tail[i])
+			}
+		}
+	})
+}

@@ -352,6 +352,77 @@ func TestStepUntilMatchesManualDrive(t *testing.T) {
 	}
 }
 
+// StepUntil must drive the probe exactly like the manual loop it batches:
+// probes fire at every rest state a bulk drive passes through, in the same
+// order with the same snapshots, whatever the horizon schedule — under the
+// default fire-every-event setting and under both thinning knobs.
+func TestStepUntilProbeMatchesManualDrive(t *testing.T) {
+	arrivals := allocArrivals(t, 400, 53)
+	policy, err := PolicyByName("wdeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"every-event", Options{}},
+		{"every-3-events", Options{ProbeEveryEvents: 3}},
+		{"interval", Options{ProbeInterval: 2.5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(bulk bool) []Snapshot {
+				var snaps []Snapshot
+				opts := tc.opts
+				opts.Probe = ProbeFunc(func(s Snapshot) { snaps = append(snaps, s) })
+				var res Result
+				st, err := NewRunner().StartStream(&res, 8, policy, NewSliceStream(arrivals), nil, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bulk {
+					horizons := []float64{0, 1.5, arrivals[20].Release, 10, 10, 35, math.Inf(1)}
+					for _, h := range horizons {
+						if _, err := st.StepUntil(h); err != nil {
+							t.Fatal(err)
+						}
+					}
+				} else {
+					for {
+						ok, err := st.Step()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !ok {
+							break
+						}
+					}
+				}
+				if err := st.Finish(); err != nil {
+					t.Fatal(err)
+				}
+				return snaps
+			}
+			want := run(false)
+			got := run(true)
+			if len(want) == 0 {
+				t.Fatal("probe never fired")
+			}
+			if !want[len(want)-1].Done || !got[len(got)-1].Done {
+				t.Fatal("final probe snapshot is not Done")
+			}
+			if len(want) != len(got) {
+				t.Fatalf("bulk drive fired the probe %d times, manual drive %d", len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("probe snapshot %d differs: bulk %+v vs manual %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
 // A blocked feed-mode stepper must return from StepUntil immediately instead
 // of spinning: with no pending arrivals NextEventTime is +Inf, so even a
 // +Inf horizon is a no-op until more work is fed or the feed is closed.

@@ -113,6 +113,8 @@ type ClusterCollector struct {
 	imbalance      *Gauge
 	dispatchedTot  *Counter
 	observationTot *Counter
+	rollbacksTot   *Counter
+	wastedTot      *Counter
 
 	// per-shard child cache, indexed by shard; built on first observation.
 	backlog    []*Gauge
@@ -134,7 +136,20 @@ func NewClusterCollector(r *Registry) *ClusterCollector {
 		imbalance:       r.Gauge("mwct_cluster_backlog_imbalance", "Max minus min per-shard backlog at the last observation."),
 		dispatchedTot:   r.Counter("mwct_cluster_dispatched_total", "Arrivals dispatched across the fleet."),
 		observationTot:  r.Counter("mwct_cluster_observations_total", "Fleet observations delivered to the collector."),
+		rollbacksTot:    r.Counter("mwct_cluster_rollbacks_total", "Shard rollbacks performed by the speculative coordinator."),
+		wastedTot:       r.Counter("mwct_cluster_wasted_events_total", "Policy invocations discarded by speculative rollbacks."),
 	}
+}
+
+// ObserveResult folds a completed cluster run's misprediction counters into
+// the registry. Rollback cost is only known when the run's merged LoadResult
+// exists — the speculative coordinator counts rollbacks as it commits windows
+// and reports the totals on the result — so unlike the dispatch-time gauges
+// these counters advance once per run. Conservative and sequential runs
+// report zeros, leaving the counters untouched.
+func (c *ClusterCollector) ObserveResult(res *engine.LoadResult) {
+	c.rollbacksTot.Add(float64(res.Rollbacks))
+	c.wastedTot.Add(float64(res.WastedEvents))
 }
 
 // ObserveFleet implements cluster.Probe.

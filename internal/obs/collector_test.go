@@ -186,6 +186,52 @@ func TestClusterCollectorShardFamilies(t *testing.T) {
 	}
 }
 
+// ObserveResult folds per-run misprediction totals into the rollback
+// counters: synthetic results accumulate exactly, a conservative (all-zero)
+// result leaves them untouched, and a real speculative run's counters land in
+// the exposition under mwct_cluster_rollbacks_total.
+func TestClusterCollectorObserveResult(t *testing.T) {
+	r := NewRegistry()
+	col := NewClusterCollector(r)
+	col.ObserveResult(&engine.LoadResult{Rollbacks: 3, WastedEvents: 17})
+	col.ObserveResult(&engine.LoadResult{}) // conservative runs report zeros
+	col.ObserveResult(&engine.LoadResult{Rollbacks: 2, WastedEvents: 5})
+	if got := col.rollbacksTot.Value(); got != 5 {
+		t.Fatalf("rollbacks total = %g, want 5", got)
+	}
+	if got := col.wastedTot.Value(); got != 22 {
+		t.Fatalf("wasted-events total = %g, want 22", got)
+	}
+
+	stream, err := workload.NewStream(testConfig(40), 2000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(cluster.Config{
+		Shards: 3, P: 8, Policy: testPolicy(t),
+		Router: cluster.NewLeastBacklog(), Workers: 3, Speculate: true,
+	}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.ObserveResult(res)
+	if got, want := col.rollbacksTot.Value(), 5+float64(res.Rollbacks); got != want {
+		t.Fatalf("rollbacks total after speculative run = %g, want %g", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["mwct_cluster_rollbacks_total"] == nil || fams["mwct_cluster_wasted_events_total"] == nil {
+		t.Fatalf("rollback families missing from exposition: %v", fams)
+	}
+}
+
 // After the first observation interned the children, fleet observations
 // allocate nothing.
 func TestClusterCollectorZeroAllocSteadyState(t *testing.T) {

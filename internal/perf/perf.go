@@ -61,6 +61,12 @@ type Scenario struct {
 	// coordinator, >= 2 the parallel one (same bytes out, different wall
 	// clock). Only meaningful with a Router.
 	Workers int `json:"workers,omitempty"`
+	// Speculate sets cluster.Config.Speculate: the optimistic coordinator
+	// that checkpoints shards past dispatch horizons and rolls back
+	// mispredictions instead of barriering per dispatch. Same bytes out as
+	// the sequential coordinator. Only meaningful with a Router and
+	// Workers >= 2.
+	Speculate bool `json:"speculate,omitempty"`
 	// Tasks is the number of tasks per run (total across shards).
 	Tasks int `json:"tasks"`
 	// Shards is the number of concurrent engines; 1 runs a single engine on
@@ -217,6 +223,44 @@ func Scenarios() []Scenario {
 			TenantSkew: 1.5,
 			Tasks:      16384, Shards: 8, P: 8, Seed: 411,
 			Router: "least-backlog", Workers: 8,
+		},
+		{
+			// The speculative coordinator on the same fleet and load as
+			// cluster-parallel-lb: shards run past dispatch horizons on
+			// checkpoints instead of barriering per dispatch, so the pinned gap
+			// between the two scenarios IS the win of optimism over windowing
+			// for state-reading routers (asserted >= 1x by
+			// TestSpeculativeScalingRatio in CI's multicore job).
+			Name: "cluster-spec-lb", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 115.2,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      16384, Shards: 8, P: 8, Seed: 411,
+			Router: "least-backlog", Workers: 8, Speculate: true,
+		},
+		{
+			// The scaled fleet dimension: 64 shards under the full-information
+			// least-backlog router, speculative coordinator. Every dispatch
+			// scans 64 shard states and the router's pick rolls one of them
+			// back, so this pins both the O(shards) routing envelope and the
+			// checkpoint machinery at fleet scale.
+			Name: "cluster-spec-lb-64", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 921.6,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      32768, Shards: 64, P: 8, Seed: 412,
+			Router: "least-backlog", Workers: 8, Speculate: true,
+		},
+		{
+			// The 64-shard batched baseline: round-robin is state-free, so the
+			// same fleet width runs the near-linear batched mode — the ceiling
+			// the speculative 64-shard scenario is compared against.
+			Name: "cluster-parallel-rr-64", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 921.6,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      32768, Shards: 64, P: 8, Seed: 412,
+			Router: "round-robin", Workers: 8,
 		},
 	}
 }
@@ -486,12 +530,13 @@ func runClusterScenario(s Scenario, policy engine.Policy, cfg workload.ArrivalCo
 			return err
 		}
 		load, err = cluster.Run(cluster.Config{
-			Shards:  s.Shards,
-			P:       s.P,
-			Policy:  policy,
-			Router:  router,
-			Workers: s.Workers,
-			Opts:    opts,
+			Shards:    s.Shards,
+			P:         s.P,
+			Policy:    policy,
+			Router:    router,
+			Workers:   s.Workers,
+			Speculate: s.Speculate,
+			Opts:      opts,
 		}, stream)
 		return err
 	}

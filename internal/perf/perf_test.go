@@ -401,3 +401,48 @@ func TestParallelScalingRatio(t *testing.T) {
 		t.Errorf("8-worker batched coordinator is only %.2fx the sequential baseline, want >= 3x", ratio)
 	}
 }
+
+// The speculative coordinator's acceptance number: on the same fleet, load
+// and worker count, optimism must beat the windowed conservative mode —
+// cluster-spec-lb and cluster-parallel-lb differ ONLY in Speculate, so their
+// ratio isolates what replacing the per-dispatch fleet barrier with
+// checkpoint/rollback buys a state-reading router. Skips mirror
+// TestParallelScalingRatio; CI's pinned multi-core runner enforces the bound.
+func TestSpeculativeScalingRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling ratio needs real wall time; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("race-instrumented throughput is not a scaling measurement")
+	}
+	if cores := runtime.GOMAXPROCS(0); cores < 8 {
+		t.Skipf("need >= 8 usable cores for the 8-worker scaling bound, have %d", cores)
+	}
+	windowed, err := ScenarioByName("cluster-parallel-lb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ScenarioByName("cluster-spec-lb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Speculate || spec.Workers != windowed.Workers || spec.Shards != windowed.Shards ||
+		spec.Seed != windowed.Seed || spec.Rate != windowed.Rate || spec.Router != windowed.Router {
+		t.Fatalf("pinned scenarios drifted: windowed=%+v spec=%+v", windowed, spec)
+	}
+	const budget = 2 * time.Second
+	winRes, err := RunScenario(windowed, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specRes, err := RunScenario(spec, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := specRes.TasksPerSec / winRes.TasksPerSec
+	t.Logf("windowed %.0f tasks/sec, speculative %.0f tasks/sec, ratio %.2fx",
+		winRes.TasksPerSec, specRes.TasksPerSec, ratio)
+	if ratio < 1 {
+		t.Errorf("speculative coordinator is %.2fx the windowed baseline, want >= 1x", ratio)
+	}
+}

@@ -56,6 +56,15 @@ type RunSpec struct {
 	// sequential; Workers without a Router is an error, because only the
 	// cluster coordinator has independent shards to advance.
 	Workers int
+	// Speculate switches a parallel cluster run (Workers >= 2) to the
+	// optimistic coordinator: shards advance past upcoming dispatch times on
+	// engine checkpoints and the one mispredicted shard per dispatch is
+	// rolled back, removing the per-dispatch fleet barrier of state-reading
+	// routers. Output stays byte-identical to the sequential coordinator;
+	// the result's Rollbacks/WastedEvents report the misprediction cost.
+	// Ignored without a Router or with Workers < 2; TraceDecisions falls
+	// back to the conservative modes.
+	Speculate bool
 	// Seed derives per-shard seeds in Source mode and is recorded in the
 	// result's shard metadata otherwise.
 	Seed int64
@@ -171,6 +180,7 @@ func (spec RunSpec) runCluster(shards int) (*RunResult, error) {
 		Policy:               spec.Policy,
 		Router:               spec.Router,
 		Workers:              spec.Workers,
+		Speculate:            spec.Speculate,
 		Opts:                 spec.options(),
 		Sink:                 spec.Sink,
 		Probe:                spec.FleetProbe,

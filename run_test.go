@@ -5,6 +5,7 @@ package malleable_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	malleable "github.com/malleable-sched/malleable"
@@ -188,24 +189,34 @@ func TestRunMatchesRunClusterAndWorkersAreByteInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := mustJSON(t, old)
-	for _, workers := range []int{0, 1, 4} {
+	for _, tc := range []struct {
+		workers   int
+		speculate bool
+	}{
+		{0, false}, {1, false}, {4, false},
+		// The optimistic coordinator honors the same contract: rollbacks are
+		// invisible in every output byte.
+		{4, true}, {8, true},
+	} {
 		rows := &metricRows{}
 		got, err := malleable.Run(malleable.RunSpec{
 			P: 8, Policy: policy, Stream: runStream(t, n, seed),
-			Shards: shards, Router: newRouter(), Workers: workers, Sink: rows,
+			Shards: shards, Router: newRouter(), Workers: tc.workers,
+			Speculate: tc.speculate, Sink: rows,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		label := fmt.Sprintf("Workers=%d Speculate=%v", tc.workers, tc.speculate)
 		if have := mustJSON(t, got); have != want {
-			t.Errorf("Workers=%d: Run diverged from RunCluster:\n%s\nvs\n%s", workers, have, want)
+			t.Errorf("%s: Run diverged from RunCluster:\n%s\nvs\n%s", label, have, want)
 		}
 		if len(rows.rows) != len(oldRows.rows) {
-			t.Fatalf("Workers=%d: sink rows %d vs %d", workers, len(rows.rows), len(oldRows.rows))
+			t.Fatalf("%s: sink rows %d vs %d", label, len(rows.rows), len(oldRows.rows))
 		}
 		for i := range oldRows.rows {
 			if rows.rows[i] != oldRows.rows[i] {
-				t.Fatalf("Workers=%d: sink row %d: %+v vs %+v", workers, i, rows.rows[i], oldRows.rows[i])
+				t.Fatalf("%s: sink row %d: %+v vs %+v", label, i, rows.rows[i], oldRows.rows[i])
 			}
 		}
 	}
