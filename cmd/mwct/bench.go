@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ func runBench(args []string) error {
 	maxRegress := fs.Float64("max-regress", 0.25, "regression threshold as a fraction (0.25 = 25%)")
 	speedupSpec := fs.String("speedup", "", "override the speedup model of every selected scenario (ad-hoc exploration; do not combine with -baseline)")
 	workers := fs.Int("workers", -1, "override the coordinator worker count of every selected cluster scenario (ad-hoc scaling sweeps; -1 keeps the pinned counts; do not combine with -baseline)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile covering the measured runs to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,6 +41,20 @@ func runBench(args []string) error {
 	}
 	if *workers >= 0 && *baseline != "" {
 		return fmt.Errorf("bench: -workers overrides the measured scenarios, which makes a -baseline comparison meaningless; drop one of the two")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("bench: start cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	return benchReport(os.Stderr, *jsonPath, names, *budget, *baseline, *maxRegress, perf.Overrides{Speedup: *speedupSpec, Workers: *workers})
 }

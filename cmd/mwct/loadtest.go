@@ -620,6 +620,7 @@ func runLoadtest(args []string) error {
 	}
 
 	rollbacks, wasted := 0, 0
+	batchLo, batchHi, batchLast := 0, 0, 0
 	err := memReport(perfW, *heapSample, func() (int, error) {
 		res, tenantSpecs, err := runLoadtestSpecWrapped(spec, wrap, obsv)
 		if err != nil {
@@ -627,13 +628,16 @@ func runLoadtest(args []string) error {
 		}
 		renderLoadResult(os.Stdout, spec, res, tenantSpecs)
 		rollbacks, wasted = res.Rollbacks, res.WastedEvents
+		batchLo, batchHi, batchLast = res.SpecBatchMin, res.SpecBatchMax, res.SpecBatchLast
 		return res.TotalTasks, nil
 	})
 	if err == nil && spec.Speculate {
 		// The speculation win/loss footer goes to stderr with the perf line:
-		// rollback counts are a cost figure, and stdout must stay
-		// byte-identical across coordinator modes.
-		fmt.Fprintf(perfW, "speculate: rollbacks=%d wasted-events=%d\n", rollbacks, wasted)
+		// rollback counts and the adaptive window trajectory are cost
+		// figures, and stdout must stay byte-identical across coordinator
+		// modes.
+		fmt.Fprintf(perfW, "speculate: rollbacks=%d wasted-events=%d batch=%d..%d final=%d\n",
+			rollbacks, wasted, batchLo, batchHi, batchLast)
 	}
 	if traceFile != nil {
 		if err == nil && tee != nil {

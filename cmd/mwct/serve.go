@@ -89,6 +89,7 @@ type serveMetrics struct {
 	meanFlow     *obs.Gauge
 	rollbacks    *obs.Counter
 	wastedEvents *obs.Counter
+	specBatch    *obs.Gauge
 }
 
 func newServeMetrics() *serveMetrics {
@@ -103,6 +104,7 @@ func newServeMetrics() *serveMetrics {
 		meanFlow:     reg.Gauge("mwct_loadtest_mean_flow", "Mean flow time over every served load test."),
 		rollbacks:    reg.Counter("mwct_cluster_rollbacks_total", "Shard rollbacks performed by speculative cluster load tests."),
 		wastedEvents: reg.Counter("mwct_cluster_wasted_events_total", "Policy invocations discarded by speculative rollbacks."),
+		specBatch:    reg.Gauge("mwct_cluster_spec_batch", "Speculation window depth the adaptive controller settled on in the last speculative run."),
 	}
 }
 
@@ -120,6 +122,9 @@ func (m *serveMetrics) record(res *engine.LoadResult) {
 	// leave the misprediction counters untouched.
 	m.rollbacks.Add(float64(res.Rollbacks))
 	m.wastedEvents.Add(float64(res.WastedEvents))
+	if res.SpecBatchLast > 0 {
+		m.specBatch.Set(float64(res.SpecBatchLast))
+	}
 }
 
 // handleProm implements GET /metrics: the Prometheus text exposition of the

@@ -17,8 +17,9 @@
 //
 // Concretely, the coordinator alternates two phases per window:
 //
-//  1. Speculate (parallel): pre-pull up to specBatch arrivals, so the next k
-//     release times are known. One pool window advances every shard through
+//  1. Speculate (parallel): pre-pull up to the current window depth of
+//     arrivals (adaptive, see specBatchInit), so the next k release times are
+//     known. One pool window advances every shard through
 //     every event at or before the LAST pulled release (the horizon), taking
 //     a lazy checkpoint whenever the shard is about to process its first
 //     event strictly past a pending release — one Stepper.Snapshot covers a
@@ -70,12 +71,21 @@ import (
 	"github.com/malleable-sched/malleable/internal/engine"
 )
 
-// specBatch bounds how many arrivals the speculative coordinator pre-pulls
-// per window: deeper windows amortize the speculation barrier over more
-// dispatches, while the bound caps checkpoint storage at O(specBatch) per
-// shard. Like batchSize, the value must not influence results — only
-// wall-clock time — and the byte-identity tests pin that it does not.
-const specBatch = 64
+// The speculative coordinator pre-pulls up to specBatch arrivals per window:
+// deeper windows amortize the speculation barrier over more dispatches, but
+// every rollback discards more speculated work the deeper the window runs.
+// The depth is adapted per window with an AIMD rule driven by the window's
+// rollback count — halve after a window that rolled any shard back, add
+// specBatchStep after a clean one — clamped to [specBatchMin, specBatchMax].
+// Like batchSize, the depth must not influence results — only wall-clock
+// time — and the byte-identity tests pin that it does not, at every
+// controller state.
+const (
+	specBatchInit = 64
+	specBatchMin  = 8
+	specBatchMax  = 256
+	specBatchStep = 8
+)
 
 // specCkpt is one pre-release checkpoint of a shard: the engine snapshot
 // plus the shard's committed sink-buffer length at the same instant, so a
@@ -108,11 +118,13 @@ func (c *coordinator) runSpeculative() (*engine.LoadResult, error) {
 	n := c.n
 	c.spec = make([]*specShard, n)
 	for s := range c.spec {
-		c.spec[s] = &specShard{ckptOf: make([]int32, specBatch)}
+		c.spec[s] = &specShard{ckptOf: make([]int32, specBatchMax)}
 	}
-	arrs := make([]engine.Arrival, 0, specBatch)
-	releases := make([]float64, 0, specBatch)
+	arrs := make([]engine.Arrival, 0, specBatchMax)
+	releases := make([]float64, 0, specBatchMax)
 	invalids := make([]int, 0, n)
+	batch := specBatchInit
+	batchLo, batchHi := batch, batch
 	var horizon float64
 
 	// speculate advances one shard through every event at or before the
@@ -171,7 +183,7 @@ func (c *coordinator) runSpeculative() (*engine.LoadResult, error) {
 	for ok {
 		arrs = arrs[:0]
 		releases = releases[:0]
-		for ok && len(arrs) < specBatch {
+		for ok && len(arrs) < batch {
 			arrs = append(arrs, next)
 			releases = append(releases, next.Release)
 			next, ok, err = c.pull()
@@ -180,6 +192,7 @@ func (c *coordinator) runSpeculative() (*engine.LoadResult, error) {
 			}
 		}
 		k := len(arrs)
+		rollbacksBefore := c.rollbacks
 		// The horizon is the LAST pulled release: no buffered row can outlive
 		// its window table, so windows are self-contained.
 		horizon = releases[k-1]
@@ -233,6 +246,28 @@ func (c *coordinator) runSpeculative() (*engine.LoadResult, error) {
 			c.observeDispatch(idx, r)
 		}
 		c.flushSpec()
+		// AIMD depth update: a rollback means the window speculated past a
+		// misprediction, so back off multiplicatively; a clean window earns a
+		// small additive raise. Changing the depth only re-cuts the window
+		// boundaries of future pulls — it cannot change any routing decision
+		// or any committed row.
+		if c.rollbacks > rollbacksBefore {
+			batch /= 2
+			if batch < specBatchMin {
+				batch = specBatchMin
+			}
+		} else if batch < specBatchMax {
+			batch += specBatchStep
+			if batch > specBatchMax {
+				batch = specBatchMax
+			}
+		}
+		if batch < batchLo {
+			batchLo = batch
+		}
+		if batch > batchHi {
+			batchHi = batch
+		}
 	}
 
 	// Global stream over: close the feeds and drain every shard to its last
@@ -260,6 +295,9 @@ func (c *coordinator) runSpeculative() (*engine.LoadResult, error) {
 	}
 	res.Rollbacks = c.rollbacks
 	res.WastedEvents = c.wasted
+	res.SpecBatchMin = batchLo
+	res.SpecBatchMax = batchHi
+	res.SpecBatchLast = batch
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/schedule"
 	"github.com/malleable-sched/malleable/internal/workload"
 )
 
@@ -58,12 +59,13 @@ func TestSpeculativeMatchesSequentialByteForByte(t *testing.T) {
 
 // The adversarial window-edge stream under forced rollbacks: simultaneous
 // releases colliding with speculation horizons, zero-volume tasks completing
-// exactly AT a pending release, equal-release runs crossing specBatch
-// boundaries (n far exceeds specBatch). State-reading routers must both
-// reproduce the sequential run bit for bit AND actually mispredict — a run
-// with zero rollbacks would mean the adversarial case went untested.
+// exactly AT a pending release, equal-release runs crossing window
+// boundaries (n far exceeds the largest window the controller can reach).
+// State-reading routers must both reproduce the sequential run bit for bit
+// AND actually mispredict — a run with zero rollbacks would mean the
+// adversarial case went untested.
 func TestSpeculativeForcedRollbacks(t *testing.T) {
-	const n, shards = 6 * specBatch, 3
+	const n, shards = 6 * specBatchMax, 3
 	for _, router := range []string{"least-backlog", "po2"} {
 		t.Run(router, func(t *testing.T) {
 			newRouter := func() Router {
@@ -107,6 +109,79 @@ func TestSpeculativeForcedRollbacks(t *testing.T) {
 	}
 }
 
+// The adaptive window controller: a rollback-heavy stream drives the depth
+// down from specBatchInit, a rollback-free stream climbs it to the upper
+// clamp, the trajectory never leaves [specBatchMin, specBatchMax], and the
+// run stays byte-identical to the sequential coordinator at every controller
+// state either trajectory visits.
+func TestSpeculativeAdaptiveBatch(t *testing.T) {
+	const shards = 3
+	newCfg := func(spec bool) Config {
+		cfg := Config{Shards: shards, P: 8, Policy: wdeq(t), Router: NewLeastBacklog()}
+		if spec {
+			cfg.Workers = shards
+			cfg.Speculate = true
+		}
+		return cfg
+	}
+
+	t.Run("backoff", func(t *testing.T) {
+		stream := func() engine.ArrivalStream { return sliceStream(boundaryArrivals(6 * specBatchMax)) }
+		seq := captureRun(t, newCfg(false), stream(), false)
+		spec := captureRun(t, newCfg(true), stream(), false)
+		assertCapturesEqual(t, seq, spec, "adaptive backoff")
+		res, err := Run(newCfg(true), stream())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rollbacks == 0 {
+			t.Fatal("adversarial stream produced no rollbacks; the backoff path went unexercised")
+		}
+		if res.SpecBatchMin < specBatchMin || res.SpecBatchMax > specBatchMax {
+			t.Fatalf("controller left its clamp: ran %d..%d, want within [%d, %d]",
+				res.SpecBatchMin, res.SpecBatchMax, specBatchMin, specBatchMax)
+		}
+		if res.SpecBatchMin >= specBatchInit {
+			t.Errorf("controller never backed off: min depth %d, started at %d", res.SpecBatchMin, specBatchInit)
+		}
+		if res.SpecBatchMin == res.SpecBatchMax {
+			t.Errorf("depth never varied (stuck at %d)", res.SpecBatchMin)
+		}
+	})
+
+	t.Run("climb", func(t *testing.T) {
+		// Volumes far beyond what the fleet can finish mid-stream: no shard
+		// ever has a completion between dispatches, so nothing speculates
+		// past a pending release, no window rolls back, and the clean-window
+		// raises walk the depth to the upper clamp.
+		climb := func() []engine.Arrival {
+			arrs := make([]engine.Arrival, 6000)
+			for i := range arrs {
+				arrs[i] = engine.Arrival{
+					Task:    schedule.Task{Weight: 1, Volume: 1e6, Delta: 4},
+					Release: float64(i) / 16,
+					Tenant:  i % 4,
+				}
+			}
+			return arrs
+		}
+		seq := captureRun(t, newCfg(false), sliceStream(climb()), false)
+		spec := captureRun(t, newCfg(true), sliceStream(climb()), false)
+		assertCapturesEqual(t, seq, spec, "adaptive climb")
+		res, err := Run(newCfg(true), sliceStream(climb()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rollbacks != 0 {
+			t.Fatalf("completion-free stream rolled back %d times; the climb regime went unexercised", res.Rollbacks)
+		}
+		if res.SpecBatchLast != specBatchMax || res.SpecBatchMax != specBatchMax {
+			t.Errorf("controller did not reach the upper clamp: ran %d..%d, final %d, want max %d",
+				res.SpecBatchMin, res.SpecBatchMax, res.SpecBatchLast, specBatchMax)
+		}
+	})
+}
+
 // Sequential and conservative runs report zero misprediction cost, and a
 // speculative run's counters never leak into the serialized report.
 func TestSpeculativeCountersScoped(t *testing.T) {
@@ -118,6 +193,10 @@ func TestSpeculativeCountersScoped(t *testing.T) {
 	}
 	if seqRes.Rollbacks != 0 || seqRes.WastedEvents != 0 {
 		t.Fatalf("sequential run reports rollbacks=%d wasted=%d, want 0/0", seqRes.Rollbacks, seqRes.WastedEvents)
+	}
+	if seqRes.SpecBatchMin != 0 || seqRes.SpecBatchMax != 0 || seqRes.SpecBatchLast != 0 {
+		t.Fatalf("sequential run reports a speculation depth trajectory %d..%d/%d, want zeros",
+			seqRes.SpecBatchMin, seqRes.SpecBatchMax, seqRes.SpecBatchLast)
 	}
 	winRes, err := Run(Config{Shards: shards, P: 8, Policy: wdeq(t), Router: NewLeastBacklog(), Workers: shards},
 		sliceStream(boundaryArrivals(n)))

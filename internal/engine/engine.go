@@ -115,6 +115,26 @@ type Clairvoyant interface {
 	Clairvoyant()
 }
 
+// EqualShareCertifier is an optional Policy interface that certifies the
+// engine's virtual-clock fast path. A policy implementing it promises: at any
+// event where no alive task is degree-pinned — w_i·p/W ≤ Delta_i for every
+// alive i, with w_i = EqualShareWeight(weight_i) and W = Σ w_j — Allocate
+// hands every task exactly its proportional share w_i·p/W of the full
+// capacity p. Under a linear speedup model the engine then advances such
+// segments on a global attained-service clock without invoking the policy at
+// all (see the event-core notes on Stepper), which is what turns the
+// per-event O(alive) sweep into O(log alive).
+//
+// The certificate is about shares only; it grants the policy no information.
+// The engine never passes task state here — a certified policy stays exactly
+// as non-clairvoyant as its Allocate. WDEQ certifies with the task weight,
+// DEQ with 1; priority/greedy policies are not equal-share and must not
+// implement this.
+type EqualShareCertifier interface {
+	// EqualShareWeight maps a task's weight to its proportional-share weight.
+	EqualShareWeight(weight float64) float64
+}
+
 // Decision records one policy invocation of a run.
 type Decision struct {
 	// Time is when the decision was taken.
@@ -260,6 +280,12 @@ type Options struct {
 	// injects extra events for probing, so sampling cannot perturb the run:
 	// an interval finer than the event spacing simply observes every event.
 	ProbeInterval float64
+	// EventCore selects the data structures behind the event loop's
+	// completion search (see the EventCore doc in eventqueue.go). The default
+	// CoreAuto is the calendar-queue/heap core; CoreNaive is the linear-scan
+	// reference. Results are identical under both — the knob exists for the
+	// equivalence tests and for measuring the structures themselves.
+	EventCore EventCore
 }
 
 // model resolves the configured speedup model, defaulting to the paper's.
@@ -287,10 +313,28 @@ func RunWithOptions(p float64, policy Policy, arrivals []Arrival, opts Options) 
 // was admitted from plus its integration state. The kernel holds exactly one
 // liveTask per alive task and nothing per retired or pending task — that is
 // the O(alive) memory contract of the streaming refactor.
+//
+// remaining/processed are authoritative only on the fallback path; on a
+// virtual segment the task's whole integration state is the static key (see
+// the event-core notes on Stepper) and remaining is materialized lazily when
+// the segment ends or the task completes.
 type liveTask struct {
 	arr                  Arrival
 	id                   int
 	remaining, processed float64
+
+	// Virtual-clock state, valid while the run's policy certifies
+	// equal-share (EqualShareCertifier): w is the certified share weight,
+	// dratio = min(Delta, p)/w is the eligibility key (the fast path engages
+	// while p/W ≤ min dratio, i.e. no task is degree-pinned), ktol is the
+	// completion tolerance mapped into key space, and key is the virtual
+	// completion time vnow_assign + remaining/w (valid while virtual).
+	w, dratio, ktol, key float64
+
+	// quot caches the task's completion quotient remaining/rate in the
+	// fallback completion heap (CoreAuto), so unchanged slots skip the
+	// heap update.
+	quot float64
 }
 
 // Runner owns the reusable scratch of the engine event loop: the alive-task
@@ -313,6 +357,16 @@ type Runner struct {
 	alloc  []float64
 	rates  []float64
 	sorter arrivalSorter
+
+	// Event-core scratch (CoreAuto): the calendar queue over virtual
+	// completion keys, the delta-ratio eligibility heap, the fallback
+	// completion-quotient heap, and a key buffer for bulk rebuilds. All of it
+	// is rebuilt from r.live on demand (validity flags), so Snapshot/Restore
+	// round-trips without capturing any of it.
+	cal        calendarQueue
+	drh        idxHeap
+	qth        idxHeap
+	keyScratch []float64
 
 	// Reusable source and sink adapters of the two entry points.
 	slice   sliceSource
@@ -564,6 +618,34 @@ type Stepper struct {
 	dtComp    float64
 	allocated float64
 
+	// Event-core state. `certified` is fixed per run: the policy implements
+	// EqualShareCertifier, the model is linear, and neither a time-varying
+	// budget nor a decision trace is in play. On certified runs the stepper
+	// switches per event between two segment modes:
+	//
+	//   - virtual (the fast path, taken while p/wsum ≤ min dratio, i.e. no
+	//     alive task is degree-pinned): every task processes at rate
+	//     w_i·p/W, so attained service per unit weight is global. vnow
+	//     integrates it (vnow += vrate·dt with vrate = p/wsum) and each
+	//     task's completion is the static key assigned when it entered the
+	//     segment — no decrement sweep, no policy call; the next completion
+	//     is the minimum key in the calendar queue.
+	//   - fallback (everything else): the pre-existing arithmetic, verbatim
+	//     — eager decrement sweep, policy invocation, completion search over
+	//     remaining/rate quotients (indexed heap under CoreAuto, producing
+	//     bit-identical minima to the naive scan).
+	//
+	// Mode transitions materialize or re-key the alive set in O(alive);
+	// stats counts events on each path and the transitions between them.
+	core      EventCore
+	certified bool
+	weigher   EqualShareCertifier
+	virtual   bool
+	vnow      float64
+	vrate     float64
+	wsum      float64
+	stats     QueueStats
+
 	// Probe state: the configured observer, its interval thresholds, and
 	// the firing bookkeeping (events at last firing, next virtual-time grid
 	// point, whether the final Done snapshot has been delivered).
@@ -603,6 +685,9 @@ func (r *Runner) start(res *Result, p float64, policy Policy, src arrivalSource,
 		// increases between events), so the bound stays finite.
 		budgetBound = budgeter.BudgetEventBound()
 	}
+	if !opts.EventCore.valid() {
+		return nil, fmt.Errorf("engine: unknown event core %d (want CoreAuto or CoreNaive)", int(opts.EventCore))
+	}
 
 	*res = Result{Policy: policy.Name(), P: p, Model: model.Name(), Tasks: tasks, Decisions: res.Decisions[:0]}
 
@@ -625,7 +710,22 @@ func (r *Runner) start(res *Result, p float64, policy Policy, src arrivalSource,
 		probe:            opts.Probe,
 		probeEveryEvents: opts.ProbeEveryEvents,
 		probeInterval:    opts.ProbeInterval,
+
+		core: opts.EventCore,
 	}
+	// Certify the virtual-clock fast path for this run: equal-share policy,
+	// linear speedup, full capacity always available, no decision trace (the
+	// trace records policy invocations, and virtual segments make none).
+	st.weigher, _ = st.policy.(EqualShareCertifier)
+	st.certified = st.weigher != nil && budgeter == nil && !opts.TraceDecisions &&
+		speedup.IsLinear(model)
+	if st.certified && st.core == CoreAuto {
+		r.drh.reset(0)
+	} else {
+		r.drh.valid = false
+	}
+	r.cal.valid = false
+	r.qth.valid = false
 	// The event safety bound starts at its zero-admissions value and grows
 	// incrementally at admit time (+4 per task), so process() never has to
 	// recompute it per event.
@@ -893,13 +993,20 @@ func (st *Stepper) stepOnce() (bool, error) {
 			st.err = fmt.Errorf("engine: policy %q starves all remaining tasks at time %g with no pending arrivals", st.policy.Name(), st.now)
 			return false, st.err
 		}
-		r := st.r
-		for k := range r.live {
-			if r.rates[k] <= 0 {
-				continue
+		if st.virtual {
+			// Virtual segment: the whole alive set advances through one
+			// clock update — the per-task integration state is the static
+			// completion key, so there is nothing per-task to sweep.
+			st.vnow += st.vrate * dt
+		} else {
+			r := st.r
+			for k := range r.live {
+				if r.rates[k] <= 0 {
+					continue
+				}
+				r.live[k].remaining -= r.rates[k] * dt
+				r.live[k].processed += r.rates[k] * dt
 			}
-			r.live[k].remaining -= r.rates[k] * dt
-			r.live[k].processed += r.rates[k] * dt
 		}
 		st.now += dt
 		if !math.IsNaN(snap) {
@@ -933,7 +1040,28 @@ func (st *Stepper) process() (bool, error) {
 	// admitted). Doing both before the policy call coalesces simultaneous
 	// arrivals and completions into one event.
 	for st.havePending && st.pending.Release <= st.now {
-		r.live = append(r.live, liveTask{arr: st.pending, id: st.pendingID, remaining: st.pending.Task.Volume})
+		lt := liveTask{arr: st.pending, id: st.pendingID, remaining: st.pending.Task.Volume}
+		if st.certified {
+			lt.w = st.weigher.EqualShareWeight(st.pending.Task.Weight)
+			lt.dratio = math.Min(st.pending.Task.Delta, st.p) / lt.w
+			// The completion tolerance of the fallback path (remaining ≤
+			// 1e-9·max(1, volume)) mapped into key space.
+			lt.ktol = 1e-9 * math.Max(1, st.pending.Task.Volume) / lt.w
+			st.wsum += lt.w
+			if st.virtual {
+				lt.key = st.vnow + lt.remaining/lt.w
+			}
+		}
+		slot := len(r.live)
+		r.live = append(r.live, lt)
+		if st.core == CoreAuto {
+			if r.drh.valid {
+				r.drh.push(slot, lt.dratio)
+			}
+			if st.virtual && r.cal.valid {
+				r.cal.insert(slot, lt.key)
+			}
+		}
 		st.admitted++
 		if st.maxEvents <= 0 {
 			// The safety bound grows with the admitted prefix (a correct run
@@ -946,43 +1074,34 @@ func (st *Stepper) process() (bool, error) {
 			return false, err
 		}
 	}
-	for k := 0; k < len(r.live); {
-		lt := &r.live[k]
-		if lt.remaining > 1e-9*math.Max(1, lt.arr.Task.Volume) {
-			k++
-			continue
+	if st.virtual {
+		st.retireVirtual()
+	} else {
+		for k := 0; k < len(r.live); {
+			lt := &r.live[k]
+			if lt.remaining > 1e-9*math.Max(1, lt.arr.Task.Volume) {
+				k++
+				continue
+			}
+			st.emitRetired(lt, lt.processed)
+			// Retire by swap-delete: order within the slots is not meaningful
+			// (policies rank tasks themselves), so compaction is O(1) per
+			// completion instead of an O(alive) rebuild.
+			st.removeSlot(k)
 		}
-		m := TaskMetrics{
-			ID:         lt.id,
-			Tenant:     lt.arr.Tenant,
-			Weight:     lt.arr.Task.Weight,
-			Release:    lt.arr.Release,
-			Completion: st.now,
-			Flow:       st.now - lt.arr.Release,
-			Processed:  lt.processed,
-		}
-		if st.sink != nil {
-			st.sink.Observe(m)
-		}
-		res.WeightedFlow += m.Weight * m.Flow
-		res.WeightedCompletion += m.Weight * st.now
-		res.TotalFlow += m.Flow
-		if st.now > res.Makespan {
-			res.Makespan = st.now
-		}
-		res.Completed++
-		// Retire by swap-delete: order within the slots is not meaningful
-		// (policies rank tasks themselves), so compaction is O(1) per
-		// completion instead of an O(alive) rebuild.
-		last := len(r.live) - 1
-		r.live[k] = r.live[last]
-		r.live = r.live[:last]
 	}
 	if len(r.live) > res.MaxAlive {
 		res.MaxAlive = len(r.live)
 	}
 	if len(r.live) == 0 {
 		st.decided = false
+		// Re-anchor the certified bookkeeping at every idle point: wsum
+		// collects FP residue from the += / -= pairs, and resetting the
+		// virtual clock keeps keys small over arbitrarily long streams.
+		st.virtual = false
+		st.vnow = 0
+		st.wsum = 0
+		r.cal.valid = false
 		if !st.havePending && !(st.feedable && !st.closed) {
 			st.done = true
 			return false, nil
@@ -1008,6 +1127,28 @@ func (st *Stepper) process() (bool, error) {
 			st.policy.Name(), res.Events, res.Completed, st.admitted, st.now)
 		return false, st.err
 	}
+
+	// Certified equal-share segment: while no alive task is degree-pinned
+	// (p/W ≤ min dratio ⟺ w_i·p/W ≤ Delta_i for all i), the policy's answer
+	// is known to be the proportional split of the full capacity, so skip
+	// the invocation entirely and decide on the virtual clock.
+	if st.certified && st.wsum > 0 && st.p/st.wsum <= st.minDratio() {
+		if !st.virtual {
+			st.enterVirtual()
+		}
+		st.stats.VirtualEvents++
+		st.vrate = st.p / st.wsum
+		st.allocated = st.p
+		slot, _ := st.minKeySlot()
+		st.dtComp = (r.live[slot].key - st.vnow) / st.vrate
+		st.decided = true
+		return true, nil
+	}
+	if st.virtual {
+		st.leaveVirtual()
+	}
+	st.stats.FallbackEvents++
+
 	r.states = r.states[:0]
 	for i := range r.live {
 		lt := &r.live[i]
@@ -1040,26 +1181,266 @@ func (st *Stepper) process() (bool, error) {
 
 	// Decide the rates and the earliest completion delta; the actual clock
 	// advance happens lazily at the start of the next Step, after any
-	// intervening Feed has had its chance to bound it.
+	// intervening Feed has had its chance to bound it. Under CoreAuto the
+	// minimum quotient comes from the indexed completion heap; under
+	// CoreNaive from the reference scan. Both are the minimum of the same
+	// freshly computed float set, so the decided dt is bit-identical.
 	dt := math.Inf(1)
 	r.rates = r.rates[:0]
-	for k := range r.live {
-		rate := 0.0
-		if alloc[k] > 0 {
-			rate = st.model.Rate(r.states[k].shape(), alloc[k])
-		}
-		r.rates = append(r.rates, rate)
-		if rate <= 0 {
-			continue
-		}
-		if d := r.live[k].remaining / rate; d < dt {
-			dt = d
+	if st.core == CoreAuto {
+		dt = st.fallbackDt(alloc)
+	} else {
+		for k := range r.live {
+			rate := 0.0
+			if alloc[k] > 0 {
+				rate = st.model.Rate(r.states[k].shape(), alloc[k])
+			}
+			r.rates = append(r.rates, rate)
+			if rate <= 0 {
+				continue
+			}
+			if d := r.live[k].remaining / rate; d < dt {
+				dt = d
+			}
 		}
 	}
 	st.dtComp = dt
 	st.decided = true
 	return true, nil
 }
+
+// emitRetired records one completed task at the current time: the sink row
+// and every aggregate the result keeps.
+func (st *Stepper) emitRetired(lt *liveTask, processed float64) {
+	res := st.res
+	m := TaskMetrics{
+		ID:         lt.id,
+		Tenant:     lt.arr.Tenant,
+		Weight:     lt.arr.Task.Weight,
+		Release:    lt.arr.Release,
+		Completion: st.now,
+		Flow:       st.now - lt.arr.Release,
+		Processed:  processed,
+	}
+	if st.sink != nil {
+		st.sink.Observe(m)
+	}
+	res.WeightedFlow += m.Weight * m.Flow
+	res.WeightedCompletion += m.Weight * st.now
+	res.TotalFlow += m.Flow
+	if st.now > res.Makespan {
+		res.Makespan = st.now
+	}
+	res.Completed++
+}
+
+// removeSlot retires live slot k by swap-delete and keeps the certified
+// bookkeeping and every valid index structure coherent with the move.
+func (st *Stepper) removeSlot(k int) {
+	r := st.r
+	if st.certified {
+		st.wsum -= r.live[k].w
+	}
+	if st.core == CoreAuto {
+		if r.drh.valid {
+			r.drh.removeSlot(k)
+		}
+		if r.cal.valid {
+			r.cal.removeSlot(k)
+		}
+		if r.qth.valid {
+			r.qth.removeSlot(k)
+		}
+	}
+	last := len(r.live) - 1
+	if k != last {
+		r.live[k] = r.live[last]
+		if st.core == CoreAuto {
+			if r.drh.valid {
+				r.drh.renumber(last, k)
+			}
+			if r.cal.valid {
+				r.cal.renumber(last, k)
+			}
+			if r.qth.valid {
+				r.qth.renumber(last, k)
+			}
+		}
+	}
+	r.live = r.live[:last]
+}
+
+// retireVirtual pops completions off the virtual queue in (key, id) order
+// while the head key is within its completion tolerance of the clock. The
+// remaining keys are then strictly ahead of vnow, so the next decided dt is
+// strictly positive.
+func (st *Stepper) retireVirtual() {
+	r := st.r
+	for len(r.live) > 0 {
+		slot, ok := st.minKeySlot()
+		if !ok {
+			return
+		}
+		lt := &r.live[slot]
+		if lt.key > st.vnow+lt.ktol {
+			return
+		}
+		rem := lt.w * (lt.key - st.vnow)
+		st.emitRetired(lt, lt.arr.Task.Volume-rem)
+		st.removeSlot(slot)
+	}
+}
+
+// minKeySlot returns the slot holding the (key, id)-least virtual completion
+// key: the calendar queue under CoreAuto (rebuilt from the live slots if a
+// restore or transition invalidated it), the reference scan under CoreNaive.
+func (st *Stepper) minKeySlot() (int, bool) {
+	r := st.r
+	if len(r.live) == 0 {
+		return 0, false
+	}
+	if st.core == CoreAuto {
+		if !r.cal.valid {
+			r.cal.rebuildCalendar(r.live, st.vnow)
+		}
+		return r.cal.peekMin(r.live)
+	}
+	best := 0
+	for i := 1; i < len(r.live); i++ {
+		if r.live[i].key < r.live[best].key ||
+			(r.live[i].key == r.live[best].key && r.live[i].id < r.live[best].id) {
+			best = i
+		}
+	}
+	return best, true
+}
+
+// minDratio returns the least delta-ratio of the alive set — the eligibility
+// bound of the virtual fast path.
+func (st *Stepper) minDratio() float64 {
+	r := st.r
+	if st.core == CoreAuto {
+		if !r.drh.valid {
+			r.keyScratch = growFloat(r.keyScratch, len(r.live))
+			for i := range r.live {
+				r.keyScratch[i] = r.live[i].dratio
+			}
+			r.drh.rebuild(r.keyScratch[:len(r.live)])
+		}
+		return r.drh.min()
+	}
+	min := math.Inf(1)
+	for i := range r.live {
+		if r.live[i].dratio < min {
+			min = r.live[i].dratio
+		}
+	}
+	return min
+}
+
+// enterVirtual starts a virtual segment: every alive task's completion is
+// frozen into a key on the attained-service clock (key = vnow + remaining/w,
+// using the remaining the fallback path just integrated), and the calendar
+// queue is bulk-loaded from those keys.
+func (st *Stepper) enterVirtual() {
+	r := st.r
+	st.stats.Transitions++
+	st.virtual = true
+	for i := range r.live {
+		lt := &r.live[i]
+		lt.key = st.vnow + lt.remaining/lt.w
+	}
+	if st.core == CoreAuto {
+		r.cal.rebuildCalendar(r.live, st.vnow)
+	}
+}
+
+// leaveVirtual ends a virtual segment: remaining/processed are materialized
+// from the keys (remaining = w·(key − vnow); retirement already popped every
+// key within tolerance of vnow, so the result is strictly positive), after
+// which the fallback path owns the integration state again.
+func (st *Stepper) leaveVirtual() {
+	r := st.r
+	st.stats.Transitions++
+	st.virtual = false
+	for i := range r.live {
+		lt := &r.live[i]
+		rem := lt.w * (lt.key - st.vnow)
+		lt.remaining = rem
+		lt.processed = lt.arr.Task.Volume - rem
+	}
+	r.cal.valid = false
+	r.qth.valid = false
+}
+
+// fallbackDt fills the rate vector and returns the earliest completion
+// quotient min_k remaining_k/rate_k. The regime decides the structure: when
+// most of the alive set is running, every quotient changes every event and
+// no heap can beat the plain scan the naive core uses, so scan and leave the
+// heap invalid. When only a sliver runs (deep backlogs under greedy
+// policies, where almost everyone is parked at rate 0 with an unchanged
+// +Inf quotient), maintain the indexed completion heap incrementally — only
+// slots whose (remaining, rate) pair changed pay a sift. Either way the
+// returned dt is the minimum of the same float set, bit-identical to the
+// naive scan.
+func (st *Stepper) fallbackDt(alloc []float64) float64 {
+	r := st.r
+	n := len(r.live)
+	active := 0
+	dtScan := math.Inf(1)
+	for k := range r.live {
+		rate := 0.0
+		if alloc[k] > 0 {
+			rate = st.model.Rate(r.states[k].shape(), alloc[k])
+		}
+		r.rates = append(r.rates, rate)
+		if rate > 0 {
+			active++
+			if q := r.live[k].remaining / rate; q < dtScan {
+				dtScan = q
+			}
+		}
+	}
+	if active > n/4 {
+		// quot caches are left stale: the invalidation forces the sparse
+		// regime to reseed with a full rebuild, which rewrites every one.
+		r.qth.valid = false
+		return dtScan
+	}
+	if !r.qth.valid {
+		r.keyScratch = growFloat(r.keyScratch, n)
+		for k := range r.live {
+			q := math.Inf(1)
+			if r.rates[k] > 0 {
+				q = r.live[k].remaining / r.rates[k]
+			}
+			r.live[k].quot = q
+			r.keyScratch[k] = q
+		}
+		r.qth.rebuild(r.keyScratch[:n])
+	} else {
+		for k := range r.live {
+			q := math.Inf(1)
+			if r.rates[k] > 0 {
+				q = r.live[k].remaining / r.rates[k]
+			}
+			if q != r.live[k].quot {
+				r.live[k].quot = q
+				r.qth.update(k, q)
+			}
+		}
+	}
+	return r.qth.min()
+}
+
+// QueueStats returns the event-core counters of the stepper's run: how many
+// events each path decided and how often the segment mode switched.
+func (st *Stepper) QueueStats() QueueStats { return st.stats }
+
+// LastQueueStats returns the event-core counters of the Runner's most recent
+// (or in-progress) run — the observable record of which path decided the
+// run's events.
+func (r *Runner) LastQueueStats() QueueStats { return r.step.stats }
 
 // drain drives the stepper to completion — the monolithic run loop.
 func (st *Stepper) drain() error {

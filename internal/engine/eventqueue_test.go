@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/schedule"
+	"github.com/malleable-sched/malleable/internal/speedup"
+	"github.com/malleable-sched/malleable/internal/stepfunc"
+	"github.com/malleable-sched/malleable/internal/workload"
+)
+
+// runCore executes one retained run under the given event core and returns
+// the result plus the core counters.
+func runCore(t testing.TB, core EventCore, p float64, policy Policy, arrivals []Arrival, model speedup.Model) (*Result, QueueStats) {
+	t.Helper()
+	r := NewRunner()
+	res, err := r.RunWithOptions(p, policy, arrivals, Options{Model: model, EventCore: core})
+	if err != nil {
+		t.Fatalf("core %v: %v", core, err)
+	}
+	return res, r.LastQueueStats()
+}
+
+// requireIdenticalRuns asserts two runs are bitwise identical: every
+// aggregate and every per-task row.
+func requireIdenticalRuns(t testing.TB, label string, a, b *Result) {
+	t.Helper()
+	if a.Events != b.Events || a.Completed != b.Completed || a.MaxAlive != b.MaxAlive {
+		t.Fatalf("%s: counters diverge: events %d vs %d, completed %d vs %d, maxAlive %d vs %d",
+			label, a.Events, b.Events, a.Completed, b.Completed, a.MaxAlive, b.MaxAlive)
+	}
+	if a.WeightedFlow != b.WeightedFlow || a.WeightedCompletion != b.WeightedCompletion ||
+		a.TotalFlow != b.TotalFlow || a.Makespan != b.Makespan {
+		t.Fatalf("%s: aggregates diverge: wf %.17g vs %.17g, wc %.17g vs %.17g, tf %.17g vs %.17g, mk %.17g vs %.17g",
+			label, a.WeightedFlow, b.WeightedFlow, a.WeightedCompletion, b.WeightedCompletion,
+			a.TotalFlow, b.TotalFlow, a.Makespan, b.Makespan)
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatalf("%s: task tables differ in length: %d vs %d", label, len(a.Tasks), len(b.Tasks))
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("%s: task %d diverges: %+v vs %+v", label, i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+}
+
+// The contract of Options.EventCore: the calendar-queue/heap core and the
+// naive-scan reference produce bitwise-identical runs — same event count,
+// same aggregates, same per-task rows, same path counters — across the
+// policy × model matrix, at moderate and at overloaded (deep-backlog)
+// operating points. The overloaded wdeq/linear cells run almost entirely on
+// the virtual clock; the greedy and nonlinear cells run entirely on the
+// fallback path; the platform cells force budget events through it.
+func TestEventCoreEquivalence(t *testing.T) {
+	profile, err := stepfunc.FromSteps([]float64{0, 5, 11, 17}, []float64{8, 3, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]speedup.Model{
+		"linear":   nil,
+		"powerlaw": speedup.PowerLaw{Alpha: 0.6},
+		"platform": speedup.Platform{Profile: profile},
+	}
+	loads := map[string]float64{"moderate": 8, "overloaded": 40}
+	for loadName, rate := range loads {
+		for modelName, model := range models {
+			for policyName, policy := range invariantPolicies(t, 768) {
+				arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+					Class:   workload.Uniform,
+					P:       8,
+					Process: workload.Poisson,
+					Rate:    rate,
+				}, 768, 41)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := loadName + "/" + modelName + "/" + policyName
+				auto, statsAuto := runCore(t, CoreAuto, 8, policy, arrivals, model)
+				naive, statsNaive := runCore(t, CoreNaive, 8, policy, arrivals, model)
+				requireIdenticalRuns(t, label, auto, naive)
+				if statsAuto != statsNaive {
+					t.Fatalf("%s: path counters diverge: %+v vs %+v", label, statsAuto, statsNaive)
+				}
+				if statsAuto.VirtualEvents+statsAuto.FallbackEvents != auto.Events {
+					t.Fatalf("%s: path counters %+v do not sum to events %d", label, statsAuto, auto.Events)
+				}
+			}
+		}
+	}
+}
+
+// The fast path must actually engage where it is certified — an overloaded
+// equal-share run on the linear model decides most events on the virtual
+// clock — and must stay off everywhere it is not.
+func TestVirtualPathEngagement(t *testing.T) {
+	// Overloaded large-delta stream: with δ > P/2 and unit weights no task
+	// is ever degree-pinned once two are alive, so nearly the whole run is
+	// one equal-share segment.
+	deep, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Class:   workload.LargeDelta,
+		P:       8,
+		Process: workload.Poisson,
+		Rate:    40,
+	}, 1024, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats := runCore(t, CoreAuto, 8, WDEQPolicy{}, deep, nil)
+	if stats.VirtualEvents == 0 {
+		t.Fatalf("wdeq/linear run decided no events on the virtual clock: %+v", stats)
+	}
+	if stats.VirtualEvents < stats.FallbackEvents {
+		t.Errorf("overloaded wdeq/linear should be mostly virtual, got %+v", stats)
+	}
+	arrivals := allocArrivals(t, 1024, 17)
+	// Uncertified policy: never virtual.
+	_, stats = runCore(t, CoreAuto, 8, WeightGreedyPolicy{}, arrivals, nil)
+	if stats.VirtualEvents != 0 || stats.Transitions != 0 {
+		t.Fatalf("weight-greedy run must never take the virtual path, got %+v", stats)
+	}
+	// Certified policy, nonlinear model: never virtual.
+	_, stats = runCore(t, CoreAuto, 8, WDEQPolicy{}, arrivals, speedup.Amdahl{Sigma: 0.2})
+	if stats.VirtualEvents != 0 {
+		t.Fatalf("wdeq/amdahl run must never take the virtual path, got %+v", stats)
+	}
+	// Tracing disables certification (virtual segments invoke no policy, so
+	// the trace would be incomplete).
+	r := NewRunner()
+	if _, err := r.RunWithOptions(8, WDEQPolicy{}, arrivals, Options{TraceDecisions: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LastQueueStats(); got.VirtualEvents != 0 {
+		t.Fatalf("traced run must never take the virtual path, got %+v", got)
+	}
+}
+
+// Boundary coverage for StepUntil/NextEventTime under the new queue:
+// zero-volume tasks whose virtual keys land exactly on the clock (the bucket
+// boundary degenerate), batches of identical keys resolved by the (key, id)
+// tie-break, and simultaneous capacity-step + completion ties under a
+// time-varying platform.
+func TestEventQueueBoundaries(t *testing.T) {
+	task := func(vol, w, delta float64) schedule.Task {
+		return schedule.Task{Volume: vol, Weight: w, Delta: delta}
+	}
+	cases := map[string][]Arrival{
+		// Zero-volume tasks at admission time: key = vnow exactly, popped at
+		// the admitting event; several at once exercise the tie-break.
+		"zero-volume-on-boundary": {
+			{Release: 0, Task: task(4, 1, 8)},
+			{Release: 0.5, Task: task(0, 1, 8)},
+			{Release: 0.5, Task: task(0, 2, 8)},
+			{Release: 0.5, Task: task(3, 1, 8)},
+			{Release: 2.5, Task: task(0, 1, 8)},
+		},
+		// Identical (volume, weight) pairs admitted together map to one
+		// virtual key: completion order must fall back to task IDs, not to
+		// calendar layout.
+		"identical-keys": {
+			{Release: 0, Task: task(2, 1, 2)},
+			{Release: 0, Task: task(2, 1, 2)},
+			{Release: 0, Task: task(2, 1, 2)},
+			{Release: 0, Task: task(2, 1, 2)},
+			{Release: 1, Task: task(2, 1, 2)},
+			{Release: 1, Task: task(2, 1, 2)},
+		},
+	}
+	for name, arrivals := range cases {
+		t.Run(name, func(t *testing.T) {
+			auto, statsAuto := runCore(t, CoreAuto, 8, WDEQPolicy{}, arrivals, nil)
+			naive, statsNaive := runCore(t, CoreNaive, 8, WDEQPolicy{}, arrivals, nil)
+			requireIdenticalRuns(t, name, auto, naive)
+			if statsAuto != statsNaive {
+				t.Fatalf("%s: path counters diverge: %+v vs %+v", name, statsAuto, statsNaive)
+			}
+			for _, tm := range auto.Tasks {
+				if tm.Completion < tm.Release {
+					t.Fatalf("%s: task %d completes before release: %+v", name, tm.ID, tm)
+				}
+			}
+		})
+	}
+
+	t.Run("capacity-step-completion-tie", func(t *testing.T) {
+		// One task of volume 8 at full capacity 8 completes at t=1; the
+		// platform steps at exactly t=1. The budget event and the completion
+		// coalesce (or land back to back) identically under both cores.
+		profile, err := stepfunc.FromSteps([]float64{0, 1, 3}, []float64{8, 2, 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals := []Arrival{
+			{Release: 0, Task: task(8, 1, 8)},
+			{Release: 0.25, Task: task(4, 1, 8)},
+			{Release: 1, Task: task(2, 1, 8)},
+		}
+		model := speedup.Platform{Profile: profile}
+		auto, _ := runCore(t, CoreAuto, 8, WDEQPolicy{}, arrivals, model)
+		naive, _ := runCore(t, CoreNaive, 8, WDEQPolicy{}, arrivals, model)
+		requireIdenticalRuns(t, "capacity-step-tie", auto, naive)
+	})
+}
+
+// StepUntil must leave the stepper strictly past the horizon under the
+// virtual core, including horizons that coincide exactly with completion
+// events.
+func TestStepUntilVirtualHorizon(t *testing.T) {
+	arrivals := allocArrivals(t, 256, 23)
+	for _, core := range []EventCore{CoreAuto, CoreNaive} {
+		var res Result
+		r := NewRunner()
+		st, err := r.StartFeed(&res, 8, WDEQPolicy{}, nil, Options{EventCore: core})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range arrivals {
+			if err := st.Feed(a); err != nil {
+				t.Fatal(err)
+			}
+			// Drive exactly to the release: the admission event lands on the
+			// horizon and must be processed by this call, not the next.
+			if _, err := st.StepUntil(a.Release); err != nil {
+				t.Fatal(err)
+			}
+			if nt := st.NextEventTime(); nt <= a.Release {
+				t.Fatalf("core %v: NextEventTime %g not past horizon %g", core, nt, a.Release)
+			}
+		}
+		st.CloseFeed()
+		if _, err := st.StepUntil(math.Inf(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed != len(arrivals) {
+			t.Fatalf("core %v: completed %d of %d", core, res.Completed, len(arrivals))
+		}
+	}
+}
+
+// Snapshot taken mid-virtual-segment (keys live in calendar buckets),
+// restored into a fresh Runner, then re-driven: the continuation must be
+// bitwise identical to the uninterrupted run, and the rebuilt calendar must
+// pop the same sequence the incrementally grown one did. This is the
+// snapshot contract of the event core: structures are never serialized, only
+// the scalars and the live slots, and everything else is a pure function of
+// those.
+func TestSnapshotMidBucketRestoreRedrive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	arrivals := make([]Arrival, 0, 500)
+	now := 0.0
+	for i := 0; i < 500; i++ {
+		now += rng.Float64() * 0.15
+		arrivals = append(arrivals, Arrival{
+			Release: now,
+			Tenant:  i % 3,
+			Task:    schedule.Task{Volume: rng.Float64() * 4, Weight: 1 + rng.Float64(), Delta: 1 + rng.Float64()*7},
+		})
+	}
+	for _, core := range []EventCore{CoreAuto, CoreNaive} {
+		for snapAt := 60; snapAt < 500; snapAt += 110 {
+			var resA Result
+			rA := NewRunner()
+			stA, err := rA.StartFeed(&resA, 8, WDEQPolicy{}, nil, Options{EventCore: core})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var snap StepperSnapshot
+			var snapVirtual bool
+			for i, a := range arrivals {
+				if err := stA.Feed(a); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := stA.StepUntil(a.Release); err != nil {
+					t.Fatal(err)
+				}
+				if i == snapAt {
+					if err := stA.Snapshot(&snap); err != nil {
+						t.Fatal(err)
+					}
+					snapVirtual = stA.virtual
+				}
+			}
+			stA.CloseFeed()
+			if _, err := stA.StepUntil(math.Inf(1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := stA.Finish(); err != nil {
+				t.Fatal(err)
+			}
+
+			var resB Result
+			rB := NewRunner()
+			stB, err := rB.StartFeed(&resB, 8, WDEQPolicy{}, nil, Options{EventCore: core})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := stB.Restore(&snap); err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range arrivals[snapAt+1:] {
+				if err := stB.Feed(a); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := stB.StepUntil(a.Release); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stB.CloseFeed()
+			if _, err := stB.StepUntil(math.Inf(1)); err != nil {
+				t.Fatal(err)
+			}
+			if resA.WeightedFlow != resB.WeightedFlow || resA.Events != resB.Events ||
+				resA.Makespan != resB.Makespan || resA.Completed != resB.Completed ||
+				resA.WeightedCompletion != resB.WeightedCompletion {
+				t.Fatalf("core %v snapAt=%d (virtual=%v): restored continuation diverges: wf %.17g vs %.17g, ev %d vs %d",
+					core, snapAt, snapVirtual, resA.WeightedFlow, resB.WeightedFlow, resA.Events, resB.Events)
+			}
+			if stA.QueueStats() != stB.QueueStats() {
+				t.Fatalf("core %v snapAt=%d: queue stats diverge: %+v vs %+v",
+					core, snapAt, stA.QueueStats(), stB.QueueStats())
+			}
+			if core == CoreAuto && snapAt == 60 && !snapVirtual {
+				// The workload is overloaded enough that the first snapshot
+				// point should sit inside a virtual segment; if not, the
+				// "mid-bucket" part of this test is vacuous.
+				t.Logf("warning: snapshot at %d not in a virtual segment", snapAt)
+			}
+		}
+	}
+}
+
+// Direct structure test: a calendar queue grown by interleaved inserts and
+// pops must extract the same (key, id) sequence as one bulk-rebuilt from the
+// same contents, whatever the geometry — including keys colliding in one
+// bucket and keys far past the window (overflow).
+func TestCalendarQueueValueOrderedExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	live := make([]liveTask, 0, 256)
+	for i := 0; i < 256; i++ {
+		key := rng.Float64() * 10
+		switch i % 5 {
+		case 1:
+			key = math.Floor(key) // collide on integer keys
+		case 3:
+			key = 1e6 + rng.Float64()*1e6 // deep overflow
+		}
+		live = append(live, liveTask{id: i, key: key})
+	}
+	var grown, rebuilt calendarQueue
+	grown.reset(0, 1, calMinBuckets, len(live))
+	for i := range live {
+		grown.insert(i, live[i].key)
+	}
+	rebuilt.rebuildCalendar(live, 0)
+
+	for n := len(live); n > 0; n-- {
+		gs, gok := grown.peekMin(live)
+		rs, rok := rebuilt.peekMin(live)
+		if !gok || !rok {
+			t.Fatalf("premature empty with %d left: grown=%v rebuilt=%v", n, gok, rok)
+		}
+		if live[gs].key != live[rs].key || live[gs].id != live[rs].id {
+			t.Fatalf("extraction order depends on geometry: grown (%g, %d) vs rebuilt (%g, %d)",
+				live[gs].key, live[gs].id, live[rs].key, live[rs].id)
+		}
+		grown.removeSlot(gs)
+		rebuilt.removeSlot(rs)
+	}
+	if _, ok := grown.peekMin(live); ok {
+		t.Fatal("grown queue not empty after draining")
+	}
+}
+
+// FuzzEventQueueEquivalence drives random arrival/volume/curve sequences
+// through the calendar-queue core and the retained naive reference and
+// requires identical event sequences: same per-task completion rows, same
+// aggregates, same path counters. The input bytes are decoded three per
+// arrival (release gap, volume, weight/delta/curve selector), which keeps
+// the corpus dense in schedules that hit key collisions, zero volumes and
+// mode transitions.
+func FuzzEventQueueEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 2, 3, 255, 254, 253, 7, 7, 7})
+	f.Add([]byte{10, 0, 200, 0, 0, 0, 31, 64, 9, 128, 130, 1, 90, 17, 3})
+	f.Add([]byte{255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		if len(data) > 3*512 {
+			data = data[:3*512]
+		}
+		arrivals := make([]Arrival, 0, len(data)/3)
+		now := 0.0
+		for i := 0; i+2 < len(data); i += 3 {
+			now += float64(data[i]) / 64
+			vol := float64(data[i+1]) / 16 // includes exact zeros
+			sel := data[i+2]
+			arrivals = append(arrivals, Arrival{
+				Release: now,
+				Tenant:  int(sel % 3),
+				Task: schedule.Task{
+					Volume: vol,
+					Weight: 1 + float64(sel%7)/2,
+					Delta:  1 + float64(sel%11),
+					Curve:  float64(sel%4) / 4,
+				},
+			})
+		}
+		if len(arrivals) == 0 {
+			t.Skip()
+		}
+		for _, policy := range []Policy{WDEQPolicy{}, DEQPolicy{}} {
+			auto, statsAuto := runCore(t, CoreAuto, 8, policy, arrivals, nil)
+			naive, statsNaive := runCore(t, CoreNaive, 8, policy, arrivals, nil)
+			requireIdenticalRuns(t, policy.Name(), auto, naive)
+			if statsAuto != statsNaive {
+				t.Fatalf("%s: path counters diverge: %+v vs %+v", policy.Name(), statsAuto, statsNaive)
+			}
+		}
+	})
+}

@@ -91,6 +91,29 @@ func (p remainingPoisoner) Allocate(capacity float64, alive []TaskState, dst []f
 	return p.inner.Allocate(capacity, poisoned, dst)
 }
 
+// certifiedPoisoner additionally forwards the wrapped policy's equal-share
+// certificate (a function of the task weight only, so the wrapper cannot leak
+// Remaining through it). Without the forward, honest and poisoned runs of a
+// certified policy would take different event cores — virtual-clock vs
+// fallback — and the comparison would measure the wrapper, not the policy.
+// poisonPolicy picks the wrapper so uncertified policies stay uncertified
+// when wrapped.
+type certifiedPoisoner struct {
+	remainingPoisoner
+	cert EqualShareCertifier
+}
+
+func (p certifiedPoisoner) EqualShareWeight(weight float64) float64 {
+	return p.cert.EqualShareWeight(weight)
+}
+
+func poisonPolicy(inner Policy) Policy {
+	if c, ok := inner.(EqualShareCertifier); ok {
+		return certifiedPoisoner{remainingPoisoner{inner: inner}, c}
+	}
+	return remainingPoisoner{inner: inner}
+}
+
 // Non-clairvoyance: every bundled policy that does not carry the Clairvoyant
 // marker must produce the identical run when the Remaining field it is not
 // supposed to read is replaced by garbage. The marker itself is part of the
@@ -109,7 +132,7 @@ func TestInvariantNonClairvoyance(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", modelName, policyName, err)
 			}
-			poisoned, err := RunWithOptions(8, remainingPoisoner{inner: policy}, arrivals, Options{Model: model})
+			poisoned, err := RunWithOptions(8, poisonPolicy(policy), arrivals, Options{Model: model})
 			if err != nil {
 				t.Fatalf("%s/%s (poisoned): %v", modelName, policyName, err)
 			}

@@ -28,6 +28,12 @@ func (WDEQPolicy) Allocate(p float64, alive []TaskState, dst []float64) []float6
 		func(i int) float64 { return alive[i].Delta })
 }
 
+// EqualShareWeight implements EqualShareCertifier: with no task pinned at its
+// degree bound, the share fixed point is exactly the weight-proportional
+// split, which is what lets the engine run WDEQ segments on the virtual
+// clock without invoking Allocate.
+func (WDEQPolicy) EqualShareWeight(weight float64) float64 { return weight }
+
 // DEQPolicy is the unweighted dynamic equipartition (all weights treated as
 // one), the baseline of Deng et al. that WDEQ generalizes.
 type DEQPolicy struct{}
@@ -41,6 +47,10 @@ func (DEQPolicy) Allocate(p float64, alive []TaskState, dst []float64) []float64
 		func(int) float64 { return 1 },
 		func(i int) float64 { return alive[i].Delta })
 }
+
+// EqualShareWeight implements EqualShareCertifier: DEQ splits capacity
+// evenly, i.e. proportionally to the constant weight 1.
+func (DEQPolicy) EqualShareWeight(float64) float64 { return 1 }
 
 // PriorityPolicy allocates the platform greedily following a fixed priority
 // list: the highest-priority alive task receives min(δ, what is left), then

@@ -84,6 +84,15 @@ type LoadResult struct {
 	// byte-identical across coordinator modes.
 	Rollbacks    int `json:"-"`
 	WastedEvents int `json:"-"`
+	// SpecBatchMin, SpecBatchMax and SpecBatchLast trace the speculative
+	// coordinator's adaptive window controller: the smallest and largest
+	// window depth it ran and the depth it settled on. The depth trades
+	// wall-clock time against rollback waste and never influences the
+	// scheduling outcome, so — like the counters above — it is excluded
+	// from JSON. All zero outside speculative mode.
+	SpecBatchMin  int `json:"-"`
+	SpecBatchMax  int `json:"-"`
+	SpecBatchLast int `json:"-"`
 }
 
 // ShardSeed derives a per-shard seed from the base seed with a splitmix64

@@ -139,9 +139,17 @@ func (a *AggregateSink) PerTenant() []TenantMetrics {
 			MaxFlow:      t.flow.Max(),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	sort.Sort(tenantMetricsByID(out))
 	return out
 }
+
+// tenantMetricsByID sorts a tenant table by tenant index without the closure
+// and reflection-swapper allocations of sort.Slice (the rankSorter idiom).
+type tenantMetricsByID []TenantMetrics
+
+func (s tenantMetricsByID) Len() int           { return len(s) }
+func (s tenantMetricsByID) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s tenantMetricsByID) Less(i, j int) bool { return s[i].Tenant < s[j].Tenant }
 
 // Reset empties the sink but keeps the tenant slots, so a warmed sink
 // observes without allocating in steady state across reuses.

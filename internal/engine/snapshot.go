@@ -65,6 +65,17 @@ type StepperSnapshot struct {
 	probeFinal      bool
 	done            bool
 
+	// Event-core scalars. The index structures themselves (calendar queue,
+	// eligibility and completion heaps) are never captured: they are pure
+	// functions of the live slots plus these scalars, and Restore just marks
+	// them for rebuild — extraction order is value-ordered, so a rebuilt
+	// queue is observationally identical to the one that grew incrementally.
+	virtual bool
+	vnow    float64
+	vrate   float64
+	wsum    float64
+	stats   QueueStats
+
 	// Result aggregates at the snapshot instant.
 	completed          int
 	events             int
@@ -148,6 +159,11 @@ func (st *Stepper) Snapshot(snap *StepperSnapshot) error {
 	snap.probeNext = st.probeNext
 	snap.probeFinal = st.probeFinal
 	snap.done = st.done
+	snap.virtual = st.virtual
+	snap.vnow = st.vnow
+	snap.vrate = st.vrate
+	snap.wsum = st.wsum
+	snap.stats = st.stats
 
 	res := st.res
 	snap.completed = res.Completed
@@ -206,6 +222,11 @@ func (st *Stepper) Restore(snap *StepperSnapshot) error {
 	st.probeNext = snap.probeNext
 	st.probeFinal = snap.probeFinal
 	st.done = snap.done
+	st.virtual = snap.virtual
+	st.vnow = snap.vnow
+	st.vrate = snap.vrate
+	st.wsum = snap.wsum
+	st.stats = snap.stats
 	st.err = nil
 
 	st.feedQ = append(st.feedQ[:0], snap.feedQ...)
@@ -214,6 +235,11 @@ func (st *Stepper) Restore(snap *StepperSnapshot) error {
 	r := st.r
 	r.live = append(r.live[:0], snap.live...)
 	r.rates = append(r.rates[:0], snap.rates...)
+	// The index structures are rebuilt from the restored live slots on first
+	// use (alloc-free once warmed).
+	r.cal.valid = false
+	r.drh.valid = false
+	r.qth.valid = false
 
 	res := st.res
 	res.Completed = snap.completed

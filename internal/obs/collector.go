@@ -115,6 +115,7 @@ type ClusterCollector struct {
 	observationTot *Counter
 	rollbacksTot   *Counter
 	wastedTot      *Counter
+	specBatch      *Gauge
 
 	// per-shard child cache, indexed by shard; built on first observation.
 	backlog    []*Gauge
@@ -138,6 +139,7 @@ func NewClusterCollector(r *Registry) *ClusterCollector {
 		observationTot:  r.Counter("mwct_cluster_observations_total", "Fleet observations delivered to the collector."),
 		rollbacksTot:    r.Counter("mwct_cluster_rollbacks_total", "Shard rollbacks performed by the speculative coordinator."),
 		wastedTot:       r.Counter("mwct_cluster_wasted_events_total", "Policy invocations discarded by speculative rollbacks."),
+		specBatch:       r.Gauge("mwct_cluster_spec_batch", "Speculation window depth the adaptive controller settled on in the last speculative run."),
 	}
 }
 
@@ -150,6 +152,9 @@ func NewClusterCollector(r *Registry) *ClusterCollector {
 func (c *ClusterCollector) ObserveResult(res *engine.LoadResult) {
 	c.rollbacksTot.Add(float64(res.Rollbacks))
 	c.wastedTot.Add(float64(res.WastedEvents))
+	if res.SpecBatchLast > 0 {
+		c.specBatch.Set(float64(res.SpecBatchLast))
+	}
 }
 
 // ObserveFleet implements cluster.Probe.

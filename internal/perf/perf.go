@@ -262,6 +262,27 @@ func Scenarios() []Scenario {
 			Tasks:      32768, Shards: 64, P: 8, Seed: 412,
 			Router: "round-robin", Workers: 8,
 		},
+		{
+			// Deep-backlog online run: arrivals outpace the platform ~12x, so
+			// the alive set climbs past 10k and stays above 4k for most of the
+			// run. Per-event cost here is all alive-set data structure — the
+			// regime the O(log n) event core exists for. The large-delta class
+			// (δ > P/2, unit weights) keeps every event on the certified
+			// equal-share path, so this pins the virtual-clock/calendar-queue
+			// core specifically; weight-greedy over the same stream (see
+			// EXPERIMENTS.md) pins the indexed-heap fallback.
+			Name: "online-hiback", Policy: "wdeq", Class: "large-delta",
+			Process: "poisson", Rate: 200, Tasks: 16384, Shards: 1, P: 8, Seed: 413,
+		},
+		{
+			// The same deep-backlog regime across a routed 4-shard fleet:
+			// every shard sustains a >= 4k-task backlog while the sequential
+			// least-backlog coordinator interleaves them, so the per-event win
+			// has to survive the coordinator's snapshot/advance pattern too.
+			Name: "cluster-hiback-lb", Policy: "wdeq", Class: "large-delta",
+			Process: "poisson", Rate: 800, Tasks: 32768, Shards: 4, P: 8, Seed: 414,
+			Router: "least-backlog",
+		},
 	}
 }
 
