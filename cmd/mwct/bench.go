@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -27,6 +28,7 @@ func runBench(args []string) error {
 	speedupSpec := fs.String("speedup", "", "override the speedup model of every selected scenario (ad-hoc exploration; do not combine with -baseline)")
 	workers := fs.Int("workers", -1, "override the coordinator worker count of every selected cluster scenario (ad-hoc scaling sweeps; -1 keeps the pinned counts; do not combine with -baseline)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile covering the measured runs to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof allocation profile (allocs, cumulative since process start) taken after the measured runs to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +55,21 @@ func runBench(args []string) error {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// A GC before the write settles the heap samples so the profile
+			// reflects the runs, not whatever happened to be in flight.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: write mem profile: %v\n", err)
+			}
 			f.Close()
 		}()
 	}

@@ -64,6 +64,18 @@ type loadtestSpec struct {
 	// (rollbacks, discarded events) lands in the stderr perf footer.
 	// Requires Router and Workers >= 2 to have any effect.
 	Speculate bool `json:"speculate,omitempty"`
+	// Stale runs the cluster coordinator in stale-batched mode: the router
+	// reads fleet views published once per dispatch window instead of exact
+	// per-dispatch snapshots, removing the per-dispatch barrier entirely.
+	// The report is deterministic and byte-identical at any Workers count,
+	// but it is a different (window-stale) schedule than exact routing.
+	// Requires Router with the window-stale capability (least-backlog, po2);
+	// the view cadence lands in the stderr perf footer.
+	Stale bool `json:"stale,omitempty"`
+	// Prefetch overlaps arrival generation (or trace decode) with cluster
+	// execution on a producer goroutine. Pure pipelining — the report is
+	// byte-identical with and without it. Requires Router.
+	Prefetch bool `json:"prefetch,omitempty"`
 	// Speedup is the speedup-model spec (linear, powerlaw[:alpha],
 	// amdahl[:sigma], platform:cap@t,...); empty means the paper's linear
 	// model.
@@ -176,6 +188,12 @@ func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.Arr
 	if spec.Speculate && spec.Router == "" {
 		return nil, nil, fmt.Errorf("loadtest: -speculate runs the cluster coordinator optimistically and needs -router (and -workers >= 2)")
 	}
+	if spec.Stale && spec.Router == "" {
+		return nil, nil, fmt.Errorf("loadtest: -stale stales the cluster router's fleet view and needs -router (least-backlog or po2)")
+	}
+	if spec.Prefetch && spec.Router == "" {
+		return nil, nil, fmt.Errorf("loadtest: -prefetch pipelines the cluster coordinator's arrival stream and needs -router")
+	}
 	policy, cfg, tenants, opts, err := spec.parse()
 	if err != nil {
 		return nil, nil, err
@@ -197,15 +215,17 @@ func runLoadtestSpecWrapped(spec loadtestSpec, wrap func(shard int, s engine.Arr
 			global = wrap(0, global)
 		}
 		res, err := cluster.Run(cluster.Config{
-			Shards:    spec.Shards,
-			P:         spec.P,
-			Policy:    policy,
-			Router:    router,
-			Workers:   spec.Workers,
-			Speculate: spec.Speculate,
-			Opts:      opts,
-			Sink:      obsv.sink,
-			Probe:     obsv.fleetProbe,
+			Shards:       spec.Shards,
+			P:            spec.P,
+			Policy:       policy,
+			Router:       router,
+			Workers:      spec.Workers,
+			Speculate:    spec.Speculate,
+			StaleRouting: spec.Stale,
+			Prefetch:     spec.Prefetch,
+			Opts:         opts,
+			Sink:         obsv.sink,
+			Probe:        obsv.fleetProbe,
 		}, global)
 		if err != nil {
 			return nil, nil, err
@@ -309,6 +329,11 @@ func renderLoadResult(w io.Writer, spec loadtestSpec, res *engine.LoadResult, te
 		}
 		if spec.Speculate {
 			routed += " speculate=true"
+		}
+		if spec.Stale {
+			// Stale routing IS part of the deterministic schedule (unlike
+			// -workers), so it belongs in the header unconditionally.
+			routed += " stale=true"
 		}
 	}
 	if spec.TenantSkew > 0 {
@@ -621,6 +646,7 @@ func runLoadtest(args []string) error {
 
 	rollbacks, wasted := 0, 0
 	batchLo, batchHi, batchLast := 0, 0, 0
+	staleViews, staleWindow, staleTasks := 0, 0, 0
 	err := memReport(perfW, *heapSample, func() (int, error) {
 		res, tenantSpecs, err := runLoadtestSpecWrapped(spec, wrap, obsv)
 		if err != nil {
@@ -629,6 +655,7 @@ func runLoadtest(args []string) error {
 		renderLoadResult(os.Stdout, spec, res, tenantSpecs)
 		rollbacks, wasted = res.Rollbacks, res.WastedEvents
 		batchLo, batchHi, batchLast = res.SpecBatchMin, res.SpecBatchMax, res.SpecBatchLast
+		staleViews, staleWindow, staleTasks = res.StaleViews, res.StaleWindow, res.TotalTasks
 		return res.TotalTasks, nil
 	})
 	if err == nil && spec.Speculate {
@@ -638,6 +665,17 @@ func runLoadtest(args []string) error {
 		// modes.
 		fmt.Fprintf(perfW, "speculate: rollbacks=%d wasted-events=%d batch=%d..%d final=%d\n",
 			rollbacks, wasted, batchLo, batchHi, batchLast)
+	}
+	if err == nil && spec.Stale {
+		// Same split for the stale footer: the view cadence is a perf figure
+		// (how much dispatch the fleet amortized per published view), not
+		// part of the deterministic report.
+		perView := 0.0
+		if staleViews > 0 {
+			perView = float64(staleTasks) / float64(staleViews)
+		}
+		fmt.Fprintf(perfW, "stale: views=%d window=%d dispatches-per-view=%.1f\n",
+			staleViews, staleWindow, perView)
 	}
 	if traceFile != nil {
 		if err == nil && tee != nil {

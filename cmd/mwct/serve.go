@@ -90,6 +90,8 @@ type serveMetrics struct {
 	rollbacks    *obs.Counter
 	wastedEvents *obs.Counter
 	specBatch    *obs.Gauge
+	staleViews   *obs.Counter
+	staleWindow  *obs.Gauge
 }
 
 func newServeMetrics() *serveMetrics {
@@ -105,6 +107,8 @@ func newServeMetrics() *serveMetrics {
 		rollbacks:    reg.Counter("mwct_cluster_rollbacks_total", "Shard rollbacks performed by speculative cluster load tests."),
 		wastedEvents: reg.Counter("mwct_cluster_wasted_events_total", "Policy invocations discarded by speculative rollbacks."),
 		specBatch:    reg.Gauge("mwct_cluster_spec_batch", "Speculation window depth the adaptive controller settled on in the last speculative run."),
+		staleViews:   reg.Counter("mwct_cluster_stale_views_total", "Window-boundary fleet views published by stale-batched cluster load tests."),
+		staleWindow:  reg.Gauge("mwct_cluster_stale_window", "Dispatch window size of the last stale-batched run."),
 	}
 }
 
@@ -124,6 +128,11 @@ func (m *serveMetrics) record(res *engine.LoadResult) {
 	m.wastedEvents.Add(float64(res.WastedEvents))
 	if res.SpecBatchLast > 0 {
 		m.specBatch.Set(float64(res.SpecBatchLast))
+	}
+	// Likewise zero outside stale-batched runs.
+	m.staleViews.Add(float64(res.StaleViews))
+	if res.StaleWindow > 0 {
+		m.staleWindow.Set(float64(res.StaleWindow))
 	}
 }
 
@@ -298,6 +307,18 @@ func handleLoadtest(w http.ResponseWriter, r *http.Request, metrics *serveMetric
 			out["speculate"] = true
 			out["rollbacks"] = res.Rollbacks
 			out["wastedEvents"] = res.WastedEvents
+		}
+		if spec.Stale {
+			// Stale routing changes the schedule AND amortizes dispatch;
+			// report both the mode and its view cadence.
+			out["stale"] = true
+			out["staleViews"] = res.StaleViews
+			out["staleWindow"] = res.StaleWindow
+			perView := 0.0
+			if res.StaleViews > 0 {
+				perView = float64(res.TotalTasks) / float64(res.StaleViews)
+			}
+			out["dispatchesPerView"] = perView
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -41,6 +41,8 @@ func specFlags(fs *flag.FlagSet, def loadtestSpec) func() loadtestSpec {
 	router := fs.String("router", def.Router, "cluster mode: dispatch ONE global arrival stream (rate is then fleet-wide) across the shards with this router: round-robin, hash-tenant, least-backlog, po2; empty keeps independent per-shard streams")
 	workers := fs.Int("workers", def.Workers, "cluster coordinator worker count: >= 2 advances shards concurrently between dispatches with a byte-identical report (requires -router); 0 or 1 stays sequential")
 	speculate := fs.Bool("speculate", def.Speculate, "run the parallel cluster coordinator optimistically: shards advance past dispatch times on checkpoints and mispredictions roll back, with a byte-identical report (requires -router and -workers >= 2; rollback counts go to the stderr perf footer)")
+	stale := fs.Bool("stale", def.Stale, "run the cluster coordinator in stale-batched mode: the router reads fleet views published once per dispatch window instead of per dispatch, removing the per-dispatch barrier; deterministic at any -workers but a different schedule than exact routing (requires -router least-backlog or po2; view counts go to the stderr perf footer)")
+	prefetch := fs.Bool("prefetch", def.Prefetch, "overlap arrival generation/trace decode with cluster execution on a producer goroutine; pure pipelining, byte-identical output (requires -router)")
 	speedupSpec := fs.String("speedup", def.Speedup, "speedup model: linear, powerlaw[:alpha], amdahl[:sigma], platform:cap@t,... (empty = linear)")
 	curveMin := fs.Float64("curve-min", def.CurveMin, "lower bound of per-task speedup-curve draws (0 with -curve-max 0 disables)")
 	curveMax := fs.Float64("curve-max", def.CurveMax, "upper bound of per-task speedup-curve draws")
@@ -61,6 +63,8 @@ func specFlags(fs *flag.FlagSet, def loadtestSpec) func() loadtestSpec {
 			Router:     *router,
 			Workers:    *workers,
 			Speculate:  *speculate,
+			Stale:      *stale,
+			Prefetch:   *prefetch,
 			Speedup:    *speedupSpec,
 			CurveMin:   *curveMin,
 			CurveMax:   *curveMax,

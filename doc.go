@@ -46,7 +46,15 @@
 //     and RunSpec.Speculate additionally runs the coordinator
 //     optimistically on stepper checkpoint/rollback (speculate past
 //     pending dispatches, roll back only the mispredicted shard), still
-//     byte-identical, with misprediction totals reported out of band;
+//     byte-identical, with misprediction totals reported out of band.
+//     RunSpec.StaleRouting trades exactness for pipelining instead: a
+//     window-stale router (least-backlog, po2) reads fleet views published
+//     once per 512-dispatch window, which removes the per-dispatch barrier
+//     entirely — a different but fully deterministic schedule, byte-identical
+//     at every worker count, with the view cadence reported on the result
+//     (StaleViews, StaleWindow) — and RunSpec.Prefetch overlaps arrival
+//     generation or trace decode with shard execution on a producer
+//     goroutine without changing any output byte;
 //   - SpeedupModel, the kernel's pluggable processing-rate model: the
 //     paper's linear-cap speedup is the default, and ParseSpeedupModel
 //     resolves concave power-law and Amdahl models (with optional per-task
@@ -84,7 +92,11 @@
 //	RunCluster(cfg, st)                              Run(RunSpec{P: cfg.P, Policy: cfg.Policy, Stream: st, Shards: cfg.Shards, Router: cfg.Router, Workers: cfg.Workers, Sink: cfg.Sink, FleetProbe: cfg.Probe, ...})
 //
 // The OnlineOptions fields flatten into the spec (Model, TraceDecisions,
-// MaxEvents, Probe, ProbeEveryEvents, ProbeInterval). Two intentional
+// MaxEvents, Probe, ProbeEveryEvents, ProbeInterval). Cluster knobs added
+// after the migration (RunSpec.Speculate, RunSpec.StaleRouting,
+// RunSpec.Prefetch) have no legacy spelling: they exist only on the spec,
+// and a spec that sets them without a Router is rejected rather than
+// silently ignored. Two intentional
 // differences: Run always returns the merged *RunResult (single-engine runs
 // read back as a one-shard fleet, with the legacy OnlineResult available as
 // Shards[0].Result), and the slice-shard topology of RunOnlineShards is

@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"github.com/malleable-sched/malleable/internal/engine"
+	"github.com/malleable-sched/malleable/internal/workload"
 )
 
 // batchSize bounds how many arrivals a parallel coordinator pre-routes
@@ -83,6 +84,32 @@ type Config struct {
 	// Opts.TraceDecisions falls back to the conservative modes (decision
 	// traces cannot be checkpointed).
 	Speculate bool
+	// StaleRouting opts a state-reading router into window-stale dispatch,
+	// the stale-batched mode (see stale.go and the DESIGN.md section of the
+	// same name): the router's fleet view is published once per dispatch
+	// window of up to batchSize arrivals — the state every shard reached at
+	// the last window boundary, evolved only by the coordinator's own
+	// in-window dispatch counts — instead of being re-synchronized per
+	// dispatch. The view is a pure function of the stream and the window
+	// size, never of worker interleaving, so output stays byte-identical at
+	// every Workers setting (including 0 and 1, which run the same windowed
+	// algorithm serially). It is NOT the exact-view schedule: routing
+	// decisions, and therefore results, differ deterministically from the
+	// sequential coordinator's. Requires a router declaring the
+	// WindowStaleRouter capability (least-backlog, po2); a state-free
+	// router ignores the flag (batched dispatch never reads the view), any
+	// other router is rejected. Takes precedence over Speculate and is
+	// incompatible with Opts.Probe (whose global event interleave needs the
+	// sequential coordinator).
+	StaleRouting bool
+	// Prefetch overlaps arrival generation or trace decoding with shard
+	// execution: a single producer goroutine fills fixed-size buffers — one
+	// dispatch window each — while the coordinator drains the previously
+	// handed-off one (see workload.Prefetch). Handoff happens at fixed
+	// batch boundaries, so the coordinator observes exactly the stream's
+	// sequence and every mode's output is unchanged; the knob trades one
+	// goroutine for overlap, nothing more.
+	Prefetch bool
 	// Sink, when non-nil, observes every completed task of the whole fleet
 	// in a deterministic global order: ascending completion time, ties by
 	// shard index, exactly the order the sequential coordinator emits. With
@@ -155,6 +182,9 @@ type coordinator struct {
 	spec      []*specShard
 	rollbacks int
 	wasted    int
+
+	// Stale-batched mode: window views published so far (see stale.go).
+	staleViews int
 }
 
 // Run dispatches the global arrival stream across the fleet and merges the
@@ -190,6 +220,28 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 	if router == nil {
 		router = NewRoundRobin()
 	}
+	// Window-stale dispatch is a router capability, not just a flag: the
+	// router must have declared that boundary views are acceptable input.
+	stale := false
+	if cfg.StaleRouting {
+		if cfg.Opts.Probe != nil {
+			return nil, fmt.Errorf("cluster: StaleRouting is incompatible with an engine probe (Opts.Probe): the probe interleaves every shard's events on one timeline, stale dispatch advances shards through private windows; drop one")
+		}
+		if ws, ok := router.(WindowStaleRouter); ok && ws.WindowStale() {
+			stale = true
+		} else if sf, ok := router.(StateFreeRouter); !ok || !sf.StateFree() {
+			return nil, fmt.Errorf("cluster: router %q reads exact fleet state and declares no WindowStaleRouter capability; StaleRouting needs a window-stale router (least-backlog, po2) or a state-free one", router.Name())
+		}
+		// A state-free router never reads the view at all: the batched mode
+		// is already exact and barrier-free, so the flag is a no-op there.
+	}
+	if cfg.Prefetch {
+		// The prefetcher is a pure pipeline stage over the global stream —
+		// same arrivals, same order — so it composes with every mode below.
+		pf := workload.NewPrefetch(stream, batchSize)
+		defer pf.Stop()
+		stream = pf
+	}
 
 	c := &coordinator{cfg: cfg, n: cfg.Shards, router: router, stream: stream}
 
@@ -201,8 +253,9 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 	// timeline — inherently sequential, so they pin the sequential mode.
 	parallel := workers >= 2 && cfg.Opts.Probe == nil
 	// Optimistic execution rides on Stepper.Snapshot, which cannot capture a
-	// decision trace, so traced runs stay on the conservative modes.
-	speculative := parallel && cfg.Speculate && !cfg.Opts.TraceDecisions
+	// decision trace, so traced runs stay on the conservative modes; the
+	// stale-batched mode needs no checkpoints and takes precedence.
+	speculative := parallel && cfg.Speculate && !cfg.Opts.TraceDecisions && !stale
 
 	n := c.n
 	c.runners = make([]*engine.Runner, n)
@@ -212,7 +265,7 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 	c.steppers = make([]*engine.Stepper, n)
 	c.states = make([]ShardState, n)
 	c.dispatched = make([]int, n)
-	if parallel && (cfg.Sink != nil || speculative) {
+	if (parallel || stale) && (cfg.Sink != nil || speculative) {
 		c.bufs = make([]*sinkBuffer, n)
 		c.flushHead = make([]int, n)
 	}
@@ -245,6 +298,18 @@ func Run(cfg Config, stream engine.ArrivalStream) (*engine.LoadResult, error) {
 		c.steppers[i] = st
 	}
 
+	if stale {
+		// Stale-batched runs the same windowed algorithm at every worker
+		// count — the window schedule is fixed by the stream, workers only
+		// add hands — so even 0 or 1 workers go through runStaleBatched
+		// (serially, without a pool) rather than falling back to the
+		// sequential exact-view coordinator, whose routing would differ.
+		if parallel {
+			c.pool = newPool(workers, n)
+			defer c.pool.close()
+		}
+		return c.runStaleBatched()
+	}
 	if !parallel {
 		return c.runSequential()
 	}
@@ -474,6 +539,55 @@ type shardBatch struct {
 	arrivals []int32 // indices into the batch's arrival slice
 }
 
+// newFeedScratch allocates the per-shard arrival scratch feedWindow batches
+// into, or nil when a shared sink forces the per-arrival interleave.
+func (c *coordinator) newFeedScratch() [][]engine.Arrival {
+	if c.bufs != nil {
+		return nil
+	}
+	return make([][]engine.Arrival, c.n)
+}
+
+// feedWindow advances shard s through one dispatch window: its subsequence
+// of the batch is fed in release order, then events drain up to the window
+// horizon. Without a shared sink the whole subsequence goes through
+// Stepper.FeedBatch — one fused advance-and-feed call per shard per window,
+// which is where the batched modes' per-arrival overhead goes away; with
+// one, feeds interleave an arrival at a time so the sink buffer's window
+// floor can track each dispatch (see sinkBuffer). The two paths are
+// bit-identical by FeedBatch's contract.
+func (c *coordinator) feedWindow(s int, arrs []engine.Arrival, idxs []int32, scratch [][]engine.Arrival, horizon float64) error {
+	st := c.steppers[s]
+	if c.bufs == nil {
+		if len(idxs) > 0 {
+			batch := scratch[s][:0]
+			for _, gi := range idxs {
+				batch = append(batch, arrs[gi])
+			}
+			scratch[s] = batch
+			if _, err := st.FeedBatch(batch); err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+		}
+	} else {
+		buf := c.bufs[s]
+		for _, gi := range idxs {
+			a := arrs[gi]
+			if _, err := st.StepUntil(a.Release); err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+			if err := st.Feed(a); err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+			buf.floor = int(gi) + 1
+		}
+	}
+	if _, err := st.StepUntil(horizon); err != nil {
+		return fmt.Errorf("cluster: shard %d: %w", s, err)
+	}
+	return nil
+}
+
 // runBatched is the wide-window parallel mode for state-free routers: the
 // coordinator pre-routes up to batchSize arrivals (the router never looks at
 // the fleet, so routing needs no synchronization), hands every shard its
@@ -487,30 +601,11 @@ func (c *coordinator) runBatched() (*engine.LoadResult, error) {
 	arrs := make([]engine.Arrival, 0, batchSize)
 	releases := make([]float64, 0, batchSize)
 	perShard := make([]shardBatch, c.n)
+	scratch := c.newFeedScratch()
 	var horizon float64
 
 	work := func(s int) error {
-		st := c.steppers[s]
-		var buf *sinkBuffer
-		if c.bufs != nil {
-			buf = c.bufs[s]
-		}
-		for _, gi := range perShard[s].arrivals {
-			a := arrs[gi]
-			if _, err := st.StepUntil(a.Release); err != nil {
-				return fmt.Errorf("cluster: shard %d: %w", s, err)
-			}
-			if err := st.Feed(a); err != nil {
-				return fmt.Errorf("cluster: shard %d: %w", s, err)
-			}
-			if buf != nil {
-				buf.floor = int(gi) + 1
-			}
-		}
-		if _, err := st.StepUntil(horizon); err != nil {
-			return fmt.Errorf("cluster: shard %d: %w", s, err)
-		}
-		return nil
+		return c.feedWindow(s, arrs, perShard[s].arrivals, scratch, horizon)
 	}
 
 	next, ok, err := c.pull()

@@ -19,10 +19,23 @@ type recordingStateFree struct {
 
 func (r *recordingStateFree) StateFree() bool { return true }
 
-// record wraps a router with dispatch recording, keeping StateFree intact.
+// recordingWindowStale likewise preserves the wrapped router's window-stale
+// declaration, so recording does not demote a stale-batched run either.
+type recordingWindowStale struct {
+	recordingRouter
+}
+
+func (r *recordingWindowStale) WindowStale() bool { return true }
+
+// record wraps a router with dispatch recording, keeping the StateFree and
+// WindowStale capabilities intact.
 func record(inner Router) (Router, *recordingRouter) {
 	if sf, ok := inner.(StateFreeRouter); ok && sf.StateFree() {
 		r := &recordingStateFree{recordingRouter{inner: inner}}
+		return r, &r.recordingRouter
+	}
+	if ws, ok := inner.(WindowStaleRouter); ok && ws.WindowStale() {
+		r := &recordingWindowStale{recordingRouter{inner: inner}}
 		return r, &r.recordingRouter
 	}
 	r := &recordingRouter{inner: inner}

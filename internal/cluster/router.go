@@ -64,6 +64,27 @@ type StateFreeRouter interface {
 	StateFree() bool
 }
 
+// WindowStaleRouter is the opt-in capability of a state-reading router that
+// accepts fleet views observed as of the last window boundary instead of
+// exact dispatch-time snapshots. The coordinator's stale-batched mode
+// (Config.StaleRouting) publishes one view per dispatch window of up to
+// batchSize arrivals — the state every shard reached at the previous
+// window's horizon, evolved only by the coordinator's own in-window
+// dispatch bookkeeping — so the per-dispatch barrier disappears and the
+// router runs through the same wide-window fast path as the state-free
+// routers. The Router contract's determinism clause still applies
+// unchanged: decisions must be a pure function of the handed ShardState
+// slice and the router's seeded construction, which is what keeps a
+// window-stale run byte-identical at any worker count (the views depend
+// only on where the window boundaries fall in the stream, never on worker
+// interleaving). Routers that need exact state simply don't implement the
+// interface and keep the per-dispatch window in every mode.
+type WindowStaleRouter interface {
+	Router
+	// WindowStale reports that Route accepts window-boundary views.
+	WindowStale() bool
+}
+
 // splitmix is the deterministic RNG of the randomized routers: splitmix64,
 // the same generator the engine's ShardSeed derivation uses, so a router's
 // draws are a pure function of its seed.
@@ -154,6 +175,13 @@ func (r *LeastBacklog) Route(a engine.Arrival, shards []ShardState) int {
 	return best
 }
 
+// WindowStale opts least-backlog into stale-batched dispatch: its scan
+// reads Backlog and Dispatched, and both stay meaningful on a
+// window-boundary view — each in-window dispatch counts into its target's
+// backlog estimate until the next boundary republishes exact state, so a
+// window spreads across shards instead of dogpiling the boundary minimum.
+func (r *LeastBacklog) WindowStale() bool { return true }
+
 // PowerOfTwo samples two shards with its deterministic RNG and dispatches to
 // the one with the smaller backlog — the classic power-of-two-choices
 // placement: exponentially better tail behavior than blind random placement
@@ -184,6 +212,13 @@ func (r *PowerOfTwo) Route(a engine.Arrival, shards []ShardState) int {
 	}
 	return i
 }
+
+// WindowStale opts power-of-two-choices into stale-batched dispatch: its
+// two sampled backlogs tolerate boundary staleness by construction (the
+// classic analysis assumes sampled, possibly outdated load), and the
+// coordinator's in-window dispatch counting keeps repeated draws from
+// piling onto one window's minimum.
+func (r *PowerOfTwo) WindowStale() bool { return true }
 
 // RouterNames lists the bundled router names RouterByName accepts.
 func RouterNames() []string {

@@ -93,6 +93,14 @@ type LoadResult struct {
 	SpecBatchMin  int `json:"-"`
 	SpecBatchMax  int `json:"-"`
 	SpecBatchLast int `json:"-"`
+	// StaleViews and StaleWindow report the stale-batched coordinator's
+	// view cadence: how many window-boundary fleet views were published and
+	// the dispatch window size they were published at. Dispatches per view
+	// is TotalTasks / StaleViews. Both are zero outside stale-batched mode
+	// and — like the counters above — excluded from JSON, since they
+	// describe coordinator mechanics, not the scheduling outcome.
+	StaleViews  int `json:"-"`
+	StaleWindow int `json:"-"`
 }
 
 // ShardSeed derives a per-shard seed from the base seed with a splitmix64

@@ -116,6 +116,8 @@ type ClusterCollector struct {
 	rollbacksTot   *Counter
 	wastedTot      *Counter
 	specBatch      *Gauge
+	staleViewsTot  *Counter
+	staleWindow    *Gauge
 
 	// per-shard child cache, indexed by shard; built on first observation.
 	backlog    []*Gauge
@@ -140,6 +142,8 @@ func NewClusterCollector(r *Registry) *ClusterCollector {
 		rollbacksTot:    r.Counter("mwct_cluster_rollbacks_total", "Shard rollbacks performed by the speculative coordinator."),
 		wastedTot:       r.Counter("mwct_cluster_wasted_events_total", "Policy invocations discarded by speculative rollbacks."),
 		specBatch:       r.Gauge("mwct_cluster_spec_batch", "Speculation window depth the adaptive controller settled on in the last speculative run."),
+		staleViewsTot:   r.Counter("mwct_cluster_stale_views_total", "Window-boundary fleet views published by stale-batched coordinators."),
+		staleWindow:     r.Gauge("mwct_cluster_stale_window", "Dispatch window size of the last stale-batched run."),
 	}
 }
 
@@ -154,6 +158,12 @@ func (c *ClusterCollector) ObserveResult(res *engine.LoadResult) {
 	c.wastedTot.Add(float64(res.WastedEvents))
 	if res.SpecBatchLast > 0 {
 		c.specBatch.Set(float64(res.SpecBatchLast))
+	}
+	// Same once-per-run cadence for the stale-batched view counters:
+	// exact-view runs report zeros and leave them untouched.
+	c.staleViewsTot.Add(float64(res.StaleViews))
+	if res.StaleWindow > 0 {
+		c.staleWindow.Set(float64(res.StaleWindow))
 	}
 }
 

@@ -67,6 +67,16 @@ type Scenario struct {
 	// the sequential coordinator. Only meaningful with a Router and
 	// Workers >= 2.
 	Speculate bool `json:"speculate,omitempty"`
+	// Stale sets cluster.Config.StaleRouting: the stale-batched coordinator,
+	// whose router reads fleet views published once per dispatch window. A
+	// different (deterministic) schedule than the exact-view coordinators,
+	// byte-identical at any Workers. Only meaningful with a window-stale
+	// Router (least-backlog, po2).
+	Stale bool `json:"stale,omitempty"`
+	// Prefetch sets cluster.Config.Prefetch: arrival generation overlaps
+	// shard execution on a producer goroutine. Pure pipelining, same bytes
+	// out. Only meaningful with a Router.
+	Prefetch bool `json:"prefetch,omitempty"`
 	// Tasks is the number of tasks per run (total across shards).
 	Tasks int `json:"tasks"`
 	// Shards is the number of concurrent engines; 1 runs a single engine on
@@ -261,6 +271,35 @@ func Scenarios() []Scenario {
 			TenantSkew: 1.5,
 			Tasks:      32768, Shards: 64, P: 8, Seed: 412,
 			Router: "round-robin", Workers: 8,
+		},
+		{
+			// The stale-batched coordinator on the same fleet and load as
+			// cluster-parallel-lb: least-backlog routes from window-boundary
+			// views instead of exact per-dispatch snapshots, so dispatch runs
+			// through the 512-arrival batched fast path with one barrier per
+			// window, and the arrival stream is prefetched on a producer
+			// goroutine. The pinned gap against cluster-parallel-lb IS the win
+			// of window-stale routing over exact windowing (asserted >= 1x by
+			// TestStaleBatchedScalingRatio in CI's multicore job).
+			Name: "cluster-stale-lb", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 115.2,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      16384, Shards: 8, P: 8, Seed: 411,
+			Router: "least-backlog", Workers: 8, Stale: true, Prefetch: true,
+		},
+		{
+			// The scaled stale fleet: 64 shards on the cluster-spec-lb-64 load,
+			// stale-batched instead of speculative. Each view is one O(shards)
+			// state fill per 512 dispatches rather than one scan per dispatch,
+			// so this pins how the view cadence amortizes the routing envelope
+			// at fleet width.
+			Name: "cluster-stale-lb-64", Policy: "wdeq", Class: "uniform",
+			Process: "poisson", Rate: 921.6,
+			Tenants:    "t0:4:1,t1:2:1,t2:1:1,t3:1:1,t4:1:1,t5:1:1,t6:1:1,t7:1:1",
+			TenantSkew: 1.5,
+			Tasks:      32768, Shards: 64, P: 8, Seed: 412,
+			Router: "least-backlog", Workers: 8, Stale: true, Prefetch: true,
 		},
 		{
 			// Deep-backlog online run: arrivals outpace the platform ~12x, so
@@ -551,13 +590,15 @@ func runClusterScenario(s Scenario, policy engine.Policy, cfg workload.ArrivalCo
 			return err
 		}
 		load, err = cluster.Run(cluster.Config{
-			Shards:    s.Shards,
-			P:         s.P,
-			Policy:    policy,
-			Router:    router,
-			Workers:   s.Workers,
-			Speculate: s.Speculate,
-			Opts:      opts,
+			Shards:       s.Shards,
+			P:            s.P,
+			Policy:       policy,
+			Router:       router,
+			Workers:      s.Workers,
+			Speculate:    s.Speculate,
+			StaleRouting: s.Stale,
+			Prefetch:     s.Prefetch,
+			Opts:         opts,
 		}, stream)
 		return err
 	}

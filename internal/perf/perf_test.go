@@ -446,3 +446,50 @@ func TestSpeculativeScalingRatio(t *testing.T) {
 		t.Errorf("speculative coordinator is %.2fx the windowed baseline, want >= 1x", ratio)
 	}
 }
+
+// The stale-batched coordinator's acceptance number: on the same fleet, load
+// and worker count as the windowed exact-view run, routing from
+// window-boundary views must not be slower — cluster-stale-lb swaps
+// cluster-parallel-lb's per-dispatch windows for one published view per
+// 512-arrival batch (plus stream prefetch), so the ratio isolates what
+// dropping the per-dispatch barrier buys a state-reading router. Skips mirror
+// TestParallelScalingRatio; CI's pinned multi-core runner enforces the bound.
+func TestStaleBatchedScalingRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling ratio needs real wall time; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("race-instrumented throughput is not a scaling measurement")
+	}
+	if cores := runtime.GOMAXPROCS(0); cores < 8 {
+		t.Skipf("need >= 8 usable cores for the 8-worker scaling bound, have %d", cores)
+	}
+	windowed, err := ScenarioByName("cluster-parallel-lb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := ScenarioByName("cluster-stale-lb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale.Stale || !stale.Prefetch || stale.Speculate ||
+		stale.Workers != windowed.Workers || stale.Shards != windowed.Shards ||
+		stale.Seed != windowed.Seed || stale.Rate != windowed.Rate || stale.Router != windowed.Router {
+		t.Fatalf("pinned scenarios drifted: windowed=%+v stale=%+v", windowed, stale)
+	}
+	const budget = 2 * time.Second
+	winRes, err := RunScenario(windowed, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleRes, err := RunScenario(stale, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := staleRes.TasksPerSec / winRes.TasksPerSec
+	t.Logf("windowed %.0f tasks/sec, stale-batched %.0f tasks/sec, ratio %.2fx",
+		winRes.TasksPerSec, staleRes.TasksPerSec, ratio)
+	if ratio < 1 {
+		t.Errorf("stale-batched coordinator is %.2fx the windowed baseline, want >= 1x", ratio)
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"sync"
+
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+// DefaultPrefetchBatch is the buffer granularity a Prefetch hands from its
+// producer goroutine to the consumer. It matches the cluster coordinator's
+// dispatch window, so one handoff feeds one dispatch batch.
+const DefaultPrefetchBatch = 512
+
+// PullStream is the source contract a Prefetch decouples from its consumer:
+// any pull generator or trace decoder yielding arrivals in non-decreasing
+// release order (Stream, TraceReader and the engine's ArrivalStream all
+// satisfy it structurally).
+type PullStream interface {
+	Next() (schedule.Arrival, bool, error)
+}
+
+// prefetchBuf is one producer-filled block. A terminal buffer (eof or err
+// set) is the last one the producer ever sends.
+type prefetchBuf struct {
+	arrs []schedule.Arrival
+	err  error
+	eof  bool
+}
+
+// Prefetch overlaps arrival generation or trace decoding with whatever the
+// consumer does between pulls — in the cluster, shard execution. A single
+// producer goroutine fills fixed-size buffers from the source while the
+// consumer drains the previously handed-off one: double buffering with
+// handoff at fixed batch boundaries, so the consumer observes exactly the
+// source's sequence (same values, same order, same terminal error) and
+// replay stays deterministic no matter how the two sides interleave.
+//
+// A Prefetch is single-use and not safe for concurrent consumers, exactly
+// like the streams it wraps. The consumer must call Stop when it abandons
+// the stream early, or the producer goroutine leaks blocked on its next
+// handoff; Stop after exhaustion is a harmless no-op.
+type Prefetch struct {
+	data chan *prefetchBuf // producer → consumer handoff, capacity 1
+	free chan *prefetchBuf // consumer → producer recycling, capacity 2
+	stop chan struct{}
+	once sync.Once
+
+	cur *prefetchBuf // buffer being drained; retained forever once terminal
+	pos int
+}
+
+// NewPrefetch starts the producer goroutine over src. batch is the handoff
+// granularity; values <= 0 select DefaultPrefetchBatch. The source must not
+// be touched by anyone else from this point on.
+func NewPrefetch(src PullStream, batch int) *Prefetch {
+	if batch <= 0 {
+		batch = DefaultPrefetchBatch
+	}
+	p := &Prefetch{
+		data: make(chan *prefetchBuf, 1),
+		free: make(chan *prefetchBuf, 2),
+		stop: make(chan struct{}),
+	}
+	// Two buffers total: one draining at the consumer, one filling at the
+	// producer. The data channel's slot covers the handoff in between.
+	p.free <- &prefetchBuf{arrs: make([]schedule.Arrival, 0, batch)}
+	p.free <- &prefetchBuf{arrs: make([]schedule.Arrival, 0, batch)}
+	go p.produce(src, batch)
+	return p
+}
+
+func (p *Prefetch) produce(src PullStream, batch int) {
+	for {
+		var buf *prefetchBuf
+		select {
+		case buf = <-p.free:
+		case <-p.stop:
+			return
+		}
+		buf.arrs = buf.arrs[:0]
+		buf.err, buf.eof = nil, false
+		for len(buf.arrs) < batch {
+			a, ok, err := src.Next()
+			if err != nil {
+				buf.err = err
+				break
+			}
+			if !ok {
+				buf.eof = true
+				break
+			}
+			buf.arrs = append(buf.arrs, a)
+		}
+		terminal := buf.err != nil || buf.eof
+		select {
+		case p.data <- buf:
+		case <-p.stop:
+			return
+		}
+		if terminal {
+			close(p.data)
+			return
+		}
+	}
+}
+
+// Next yields the source's next arrival. It satisfies the engine's
+// ArrivalStream contract: end of stream as ok=false, the source's error —
+// if it stopped on one — surfaced at the position the source produced it,
+// and sticky thereafter.
+func (p *Prefetch) Next() (schedule.Arrival, bool, error) {
+	for {
+		if p.cur != nil {
+			if p.pos < len(p.cur.arrs) {
+				a := p.cur.arrs[p.pos]
+				p.pos++
+				return a, true, nil
+			}
+			if p.cur.err != nil {
+				return schedule.Arrival{}, false, p.cur.err
+			}
+			if p.cur.eof {
+				return schedule.Arrival{}, false, nil
+			}
+			// Drained a full non-terminal buffer: recycle it and block for
+			// the next handoff.
+			p.free <- p.cur
+			p.cur = nil
+		}
+		select {
+		case buf, ok := <-p.data:
+			if !ok {
+				// Only possible after Stop raced the terminal handoff
+				// away; report a clean end of stream.
+				return schedule.Arrival{}, false, nil
+			}
+			p.cur, p.pos = buf, 0
+		case <-p.stop:
+			// Next after Stop: the producer may already be gone, so never
+			// block on a handoff that will not come.
+			return schedule.Arrival{}, false, nil
+		}
+	}
+}
+
+// Stop releases the producer goroutine without draining the stream. Safe to
+// call more than once and after exhaustion.
+func (p *Prefetch) Stop() { p.once.Do(func() { close(p.stop) }) }

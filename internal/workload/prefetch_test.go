@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/malleable-sched/malleable/internal/schedule"
+)
+
+func prefetchConfig() ArrivalConfig {
+	return ArrivalConfig{Class: Uniform, P: 8, Process: Poisson, Rate: 8}
+}
+
+// A Prefetch is a pure pipeline stage: the consumer must observe exactly the
+// wrapped stream's sequence — same arrivals, same order, same end — at any
+// handoff granularity, including batches smaller than, equal to and far
+// larger than the stream.
+func TestPrefetchMatchesSource(t *testing.T) {
+	const n, seed = 1500, 17
+	for _, batch := range []int{1, 7, 512, 4096, 0} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			direct, err := NewStream(prefetchConfig(), n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := NewStream(prefetchConfig(), n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf := NewPrefetch(src, batch)
+			defer pf.Stop()
+			for i := 0; ; i++ {
+				want, wantOK, err := direct.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotOK, err := pf.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotOK != wantOK {
+					t.Fatalf("arrival %d: ok=%v, want %v", i, gotOK, wantOK)
+				}
+				if !wantOK {
+					break
+				}
+				if got != want {
+					t.Fatalf("arrival %d differs: %+v vs %+v", i, got, want)
+				}
+			}
+			// Exhaustion is stable, not a one-shot signal.
+			if _, ok, err := pf.Next(); ok || err != nil {
+				t.Fatalf("Next after exhaustion = (ok=%v, err=%v)", ok, err)
+			}
+		})
+	}
+}
+
+// failAfter yields count arrivals and then fails.
+type failAfter struct {
+	count int
+	fed   int
+	err   error
+}
+
+func (s *failAfter) Next() (schedule.Arrival, bool, error) {
+	if s.fed >= s.count {
+		return schedule.Arrival{}, false, s.err
+	}
+	s.fed++
+	return schedule.Arrival{Task: schedule.Task{Weight: 1, Volume: 1, Delta: 2}, Release: float64(s.fed)}, true, nil
+}
+
+// A source error surfaces at exactly the position the source produced it —
+// after every preceding arrival has been delivered — and stays sticky.
+func TestPrefetchPropagatesError(t *testing.T) {
+	boom := errors.New("decode failed")
+	// 700 puts the failure inside the second 512-batch.
+	pf := NewPrefetch(&failAfter{count: 700, err: boom}, 512)
+	defer pf.Stop()
+	for i := 0; i < 700; i++ {
+		a, ok, err := pf.Next()
+		if err != nil || !ok {
+			t.Fatalf("arrival %d: ok=%v err=%v", i, ok, err)
+		}
+		if a.Release != float64(i+1) {
+			t.Fatalf("arrival %d has release %g", i, a.Release)
+		}
+	}
+	for range 2 {
+		if _, ok, err := pf.Next(); ok || !errors.Is(err, boom) {
+			t.Fatalf("Next past the failure = (ok=%v, err=%v)", ok, err)
+		}
+	}
+}
+
+// Stop mid-stream releases the producer without deadlocking the consumer;
+// Next afterwards reports end of stream, and Stop is idempotent.
+func TestPrefetchStopEarly(t *testing.T) {
+	src, err := NewStream(prefetchConfig(), 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := NewPrefetch(src, 64)
+	for i := 0; i < 10; i++ {
+		if _, ok, err := pf.Next(); !ok || err != nil {
+			t.Fatalf("arrival %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	pf.Stop()
+	pf.Stop()
+	for i := 0; i < 200; i++ {
+		if _, ok, err := pf.Next(); err != nil {
+			t.Fatalf("Next after Stop errored: %v", err)
+		} else if !ok {
+			return
+		}
+	}
+	t.Fatal("Next after Stop never reported end of stream")
+}

@@ -65,6 +65,23 @@ type RunSpec struct {
 	// Ignored without a Router or with Workers < 2; TraceDecisions falls
 	// back to the conservative modes.
 	Speculate bool
+	// StaleRouting switches a cluster run (Router set) to the stale-batched
+	// coordinator: the router observes fleet state as of the last dispatch
+	// window boundary — an epoch-published view, refreshed once per window —
+	// instead of exact dispatch-time snapshots, which removes the
+	// per-dispatch fleet barrier entirely. Output is deterministic and
+	// byte-identical at every Workers setting, but it is a different
+	// (window-stale) schedule than the exact-view coordinator's. Requires a
+	// router with the window-stale capability (least-backlog, po2); state-
+	// free routers ignore the flag. Takes precedence over Speculate and is
+	// incompatible with Probe. The result's StaleViews/StaleWindow report
+	// the view cadence.
+	StaleRouting bool
+	// Prefetch overlaps arrival generation or trace decoding with cluster
+	// execution on a single producer goroutine, handing off fixed windows
+	// of arrivals (see the workload prefetcher). Pure pipelining: every
+	// byte of output is unchanged. Cluster mode only.
+	Prefetch bool
 	// Seed derives per-shard seeds in Source mode and is recorded in the
 	// result's shard metadata otherwise.
 	Seed int64
@@ -148,6 +165,12 @@ func Run(spec RunSpec) (*RunResult, error) {
 	if spec.Workers != 0 {
 		return nil, fmt.Errorf("malleable: RunSpec.Workers needs a Router: only the cluster coordinator has independent shards to advance in parallel")
 	}
+	if spec.StaleRouting {
+		return nil, fmt.Errorf("malleable: RunSpec.StaleRouting stales a router's fleet view; set a Router")
+	}
+	if spec.Prefetch {
+		return nil, fmt.Errorf("malleable: RunSpec.Prefetch pipelines the cluster coordinator's stream; set a Router")
+	}
 	if spec.FleetProbe != nil || spec.ProbeEveryDispatches != 0 {
 		return nil, fmt.Errorf("malleable: RunSpec.FleetProbe observes a routed fleet; set a Router")
 	}
@@ -181,6 +204,8 @@ func (spec RunSpec) runCluster(shards int) (*RunResult, error) {
 		Router:               spec.Router,
 		Workers:              spec.Workers,
 		Speculate:            spec.Speculate,
+		StaleRouting:         spec.StaleRouting,
+		Prefetch:             spec.Prefetch,
 		Opts:                 spec.options(),
 		Sink:                 spec.Sink,
 		Probe:                spec.FleetProbe,
